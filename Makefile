@@ -1,0 +1,23 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples verify all
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+verify: test bench examples
+
+all: install verify

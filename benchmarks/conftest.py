@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every bench regenerates a paper artifact (table/figure) or measures one
+of the P1–P6 performance questions of DESIGN.md §5.  Benches *assert*
+the reproduced content before timing it, so a performance run doubles as
+a correctness run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.usecases.micromobility import figure1_stream, figure2_graph
+
+
+@pytest.fixture(scope="session")
+def rental_stream():
+    return figure1_stream()
+
+
+@pytest.fixture(scope="session")
+def merged_rental_graph():
+    return figure2_graph()

@@ -1,0 +1,57 @@
+"""P9: MERGE ingestion throughput (the Listing 4 pipeline).
+
+Measures loading raw rental messages into the store via parameterized
+MERGE statements and sealing periodic delta events — the write-side
+counterpart of the evaluation benches.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.temporal import MINUTE, parse_datetime
+from repro.usecases.ingestion import IngestionPipeline, RentalMessage
+from repro.usecases.ingestion import replay_running_example
+
+START = parse_datetime("2022-08-01T08:00")
+
+
+def synthetic_messages(count, seed=3):
+    rng = random.Random(seed)
+    messages = []
+    for index in range(count):
+        occurred = START + index * MINUTE
+        vehicle = rng.randint(1, 40)
+        station = rng.randint(1, 15)
+        user = rng.randint(1, 60)
+        if rng.random() < 0.5:
+            messages.append(
+                RentalMessage("rental", vehicle, station, user, occurred)
+            )
+        else:
+            messages.append(
+                RentalMessage("return", vehicle, station, user, occurred,
+                              duration=rng.randint(5, 40))
+            )
+    return messages
+
+
+def test_running_example_ingestion(benchmark):
+    pipeline, elements = benchmark(replay_running_example)
+    assert pipeline.store.graph().size == 8
+    assert len(elements) == 5
+
+
+@pytest.mark.parametrize("count", [50, 200])
+def test_merge_throughput(benchmark, count):
+    messages = synthetic_messages(count)
+
+    def run():
+        pipeline = IngestionPipeline(period=5 * MINUTE, start=START)
+        for message in messages:
+            pipeline.feed(message)
+        return pipeline, pipeline.seal_until(START + count * MINUTE + 300)
+
+    pipeline, elements = benchmark(run)
+    assert pipeline.store.graph().size == count
+    assert sum(element.graph.size for element in elements) == count

@@ -1,0 +1,69 @@
+"""P4: pattern matching scaling — graph size, var-length bounds, shortest
+paths.
+
+The matcher is the per-evaluation hot loop (Section 3.2 semantics);
+this bench profiles its main cost drivers in isolation from streaming.
+"""
+
+import random
+
+import pytest
+
+from repro.cypher import run_cypher
+from repro.graph.generators import random_graph
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    rng = random.Random(41)
+    return {
+        size: random_graph(rng, num_nodes=size, num_relationships=2 * size)
+        for size in (50, 100, 200)
+    }
+
+
+@pytest.mark.parametrize("size", [50, 100, 200])
+def test_single_hop_scan(benchmark, graphs, size):
+    table = benchmark(
+        run_cypher,
+        "MATCH (a)-[r]->(b) RETURN count(r) AS n",
+        graphs[size],
+    )
+    assert table.records[0]["n"] == 2 * size
+
+
+@pytest.mark.parametrize("bound", [2, 3, 4])
+def test_var_length_expansion(benchmark, graphs, bound):
+    query = (
+        f"MATCH (a:Person)-[*1..{bound}]->(b) RETURN count(*) AS paths"
+    )
+    table = benchmark(run_cypher, query, graphs[50])
+    assert table.records[0]["paths"] >= 0
+
+
+@pytest.mark.parametrize("size", [50, 100])
+def test_shortest_path_all_pairs_sample(benchmark, graphs, size):
+    query = (
+        "MATCH p = shortestPath((a:Person)-[*..6]->(b:Station)) "
+        "RETURN count(p) AS routes"
+    )
+    table = benchmark(run_cypher, query, graphs[size])
+    assert table.records[0]["routes"] >= 0
+
+
+def test_triangle_join(benchmark, graphs):
+    query = (
+        "MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(c), (a)-[:KNOWS]->(c) "
+        "RETURN count(*) AS triangles"
+    )
+    table = benchmark(run_cypher, query, graphs[100])
+    assert table.records[0]["triangles"] >= 0
+
+
+def test_aggregation_pipeline(benchmark, graphs):
+    query = (
+        "MATCH (a)-[r]->() WITH a, count(r) AS fanout "
+        "WHERE fanout > 1 RETURN avg(fanout) AS mean, max(fanout) AS peak"
+    )
+    table = benchmark(run_cypher, query, graphs[200])
+    assert len(table) == 1

@@ -1,0 +1,59 @@
+"""Bench for the network monitoring use case (Section 4.1, Listing 2).
+
+Regenerates the continuous anomalous-routes run: synthetic topology,
+10-minute window, 1-minute reporting, z-score threshold 3.  Asserts the
+detector flags only racks behind faulted routers before timing.
+"""
+
+import pytest
+
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.usecases.network import (
+    NetworkConfig,
+    NetworkStreamGenerator,
+    anomalous_routes_query,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return NetworkStreamGenerator(NetworkConfig(events=15, seed=13))
+
+
+@pytest.fixture(scope="module")
+def stream(generator):
+    return generator.stream()
+
+
+def _run(stream):
+    engine = SeraphEngine()
+    sink = CollectingSink()
+    engine.register(anomalous_routes_query(), sink=sink)
+    engine.run_stream(stream)
+    return sink
+
+
+def test_listing2_continuous_anomaly_detection(benchmark, generator, stream):
+    sink = benchmark(_run, stream)
+    assert len(sink.emissions) == len(stream)
+    for emission in sink.non_empty():
+        down = generator.faults_at(emission.instant)
+        for record in emission.table:
+            assert generator.topology.router_of_rack(record["rack_id"]) in down
+
+
+def test_configuration_snapshot_generation(benchmark, generator):
+    topology = generator.topology
+    graph = benchmark(topology.configuration_graph, set())
+    assert graph.order > 0
+
+
+@pytest.mark.parametrize("racks", [4, 8, 16])
+def test_scaling_with_topology_size(benchmark, racks):
+    """Evaluation cost as the data center grows (shortest-path fan-out)."""
+    generator = NetworkStreamGenerator(
+        NetworkConfig(racks=racks, events=6, seed=13)
+    )
+    stream = generator.stream()
+    sink = benchmark(_run, stream)
+    assert len(sink.emissions) == len(stream)

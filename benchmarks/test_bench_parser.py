@@ -1,0 +1,73 @@
+"""P5 + grammar conformance: parser throughput over the paper's corpora.
+
+Covers Figure 3 (core Cypher grammar), Figure 6 (Seraph grammar), and the
+Table 1 query sketches; every corpus entry must parse before timing.
+"""
+
+import pytest
+
+from repro.cypher.parser import parse_cypher
+from repro.seraph.parser import parse_seraph
+from repro.usecases.micromobility import LISTING1_CYPHER, LISTING5_SERAPH
+from repro.usecases.network import (
+    anomalous_routes_query,
+    anomalous_routes_query_data_driven,
+)
+from repro.usecases.pole import crime_suspects_query
+
+CYPHER_CORPUS = [
+    LISTING1_CYPHER,
+    "MATCH (n:Person) WHERE n.age > 30 RETURN n.name AS name ORDER BY name",
+    "MATCH (a)-[r:KNOWS*2..4]->(b) WHERE ALL(e IN r WHERE e.w > 0) RETURN b",
+    "MATCH p = shortestPath((a:X)-[:R*..10]-(b:Y)) RETURN length(p) AS l",
+    "UNWIND range(1, 100) AS x WITH x WHERE x % 2 = 0 "
+    "RETURN collect(x) AS evens",
+    "MATCH (a) OPTIONAL MATCH (a)-->(b) RETURN a, count(b) AS fanout "
+    "ORDER BY fanout DESC SKIP 2 LIMIT 10",
+    "RETURN CASE WHEN 1 < 2 THEN 'a' ELSE 'b' END AS verdict "
+    "UNION ALL RETURN 'c' AS verdict",
+    "MATCH (n) WHERE (n)-[:R]->(:X) AND n.name STARTS WITH 'a' "
+    "RETURN DISTINCT n",
+]
+
+SERAPH_CORPUS = [
+    LISTING5_SERAPH,
+    anomalous_routes_query(),
+    anomalous_routes_query_data_driven(),
+    crime_suspects_query(),
+    """REGISTER QUERY multi STARTING AT 2022-08-01T00:00 {
+       MATCH (a:X) WITHIN PT1H
+       OPTIONAL MATCH (a)-[:R]->(b:Y) WITHIN PT10M
+       WITH a, count(b) AS n
+       EMIT id(a) AS a, n ON EXITING EVERY PT30S }""",
+]
+
+
+def test_figure3_cypher_corpus_parses(benchmark):
+    def parse_all():
+        return [parse_cypher(text) for text in CYPHER_CORPUS]
+
+    queries = benchmark(parse_all)
+    assert len(queries) == len(CYPHER_CORPUS)
+
+
+def test_figure6_seraph_corpus_parses(benchmark):
+    def parse_all():
+        return [parse_seraph(text) for text in SERAPH_CORPUS]
+
+    queries = benchmark(parse_all)
+    assert len(queries) == len(SERAPH_CORPUS)
+
+
+def test_parse_render_round_trip_throughput(benchmark):
+    """Parser + renderer loop: the canonicalization pipeline."""
+
+    def round_trip():
+        out = []
+        for text in SERAPH_CORPUS:
+            query = parse_seraph(text)
+            out.append(parse_seraph(query.render()))
+        return out
+
+    queries = benchmark(round_trip)
+    assert all(query is not None for query in queries)

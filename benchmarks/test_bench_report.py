@@ -1,0 +1,87 @@
+"""P3: report-policy cost (SNAPSHOT vs ON ENTERING vs ON EXITING).
+
+ON ENTERING/ON EXITING pay a bag-difference against the previous
+evaluation; SNAPSHOT pays nothing but re-emits everything.  This bench
+measures the policy layer in isolation (pure table algebra) and
+end-to-end through the engine.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.table import Record, Table
+from repro.graph.generators import random_stream
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.report import ReportPolicy, ReportState
+
+QUERY = """
+REGISTER QUERY pairs STARTING AT 1970-01-01T00:00
+{{
+  MATCH (a)-[r]->(b) WITHIN PT15M
+  EMIT id(a) AS src, id(b) AS dst, id(r) AS rel
+  {policy} EVERY PT1M
+}}
+"""
+
+POLICY_TEXT = {
+    ReportPolicy.SNAPSHOT: "SNAPSHOT",
+    ReportPolicy.ON_ENTERING: "ON ENTERING",
+    ReportPolicy.ON_EXITING: "ON EXITING",
+}
+
+
+def sliding_tables(rounds=60, size=200, churn=20):
+    """A sequence of result tables with bounded churn per evaluation."""
+    rng = random.Random(17)
+    current = {rng.randint(0, 10**6) for _ in range(size)}
+    tables = []
+    for _ in range(rounds):
+        leaving = set(rng.sample(sorted(current), k=min(churn, len(current))))
+        current = (current - leaving) | {
+            rng.randint(0, 10**6) for _ in range(churn)
+        }
+        tables.append(
+            Table([Record({"x": value}) for value in sorted(current)],
+                  fields={"x"})
+        )
+    return tables
+
+
+@pytest.mark.parametrize("policy", list(ReportPolicy))
+def test_policy_layer_in_isolation(benchmark, policy):
+    tables = sliding_tables()
+
+    def run():
+        state = ReportState(policy)
+        emitted = 0
+        for table in tables:
+            emitted += len(state.apply(table))
+        return emitted
+
+    emitted = benchmark(run)
+    if policy is ReportPolicy.SNAPSHOT:
+        assert emitted == sum(len(table) for table in tables)
+    else:
+        assert emitted < sum(len(table) for table in tables)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return random_stream(
+        random.Random(23), num_events=60, period=60, start=0,
+        nodes_per_event=4, relationships_per_event=4, shared_node_pool=10,
+    )
+
+
+@pytest.mark.parametrize("policy", list(ReportPolicy))
+def test_policy_end_to_end(benchmark, stream, policy):
+    def run():
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(QUERY.format(policy=POLICY_TEXT[policy]), sink=sink)
+        engine.run_stream(stream)
+        return sum(len(emission.table) for emission in sink.emissions)
+
+    total = benchmark(run)
+    assert total >= 0

@@ -1,0 +1,85 @@
+"""P10: shared window state across concurrent queries (Section 6).
+
+Registers N queries with identical window configurations but different
+bodies and measures a full run with and without state sharing.  The win
+is in snapshot maintenance: one refcounted union instead of N.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.generators import random_stream
+from repro.seraph import CollectingSink, SeraphEngine
+
+BODIES = [
+    "MATCH (a)-[r:SENT]->(b) EMIT count(r) AS v",
+    "MATCH (a)-[r:KNOWS]->(b) EMIT count(r) AS v",
+    "MATCH (a)-[r]->(b) EMIT count(DISTINCT id(a)) AS v",
+    "MATCH (a)-[r:SENT]->(b) EMIT id(a) AS src, count(*) AS v",
+    "MATCH (a)-[:SENT]->(b)-[:SENT]->(c) EMIT count(*) AS v",
+    "MATCH (a) EMIT count(a) AS v",
+]
+
+
+def query_text(index, body):
+    return (
+        f"REGISTER QUERY q{index} STARTING AT 1970-01-01T00:00\n"
+        "{ " + body.replace(
+            "EMIT", "WITHIN PT20M\n  EMIT", 1
+        ).replace("MATCH (a) WITHIN", "MATCH (a) WITHIN")
+        + " SNAPSHOT EVERY PT1M }"
+    )
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return random_stream(
+        random.Random(47), num_events=60, period=60, start=0,
+        nodes_per_event=4, relationships_per_event=5, shared_node_pool=10,
+        types=("SENT", "KNOWS"),
+    )
+
+
+def run(stream, share):
+    engine = SeraphEngine(share_windows=share)
+    sinks = []
+    for index, body in enumerate(BODIES):
+        # WITHIN must follow the MATCH pattern; build valid texts.
+        text = (
+            f"REGISTER QUERY q{index} STARTING AT 1970-01-01T00:00\n"
+            "{ " + body.split(" EMIT")[0] + " WITHIN PT20M\n  EMIT"
+            + body.split(" EMIT")[1] + " SNAPSHOT EVERY PT1M }"
+        )
+        sink = CollectingSink()
+        engine.register(text, sink=sink)
+        sinks.append(sink)
+    engine.run_stream(stream)
+    return engine, sinks
+
+
+@pytest.mark.parametrize("share", [True, False])
+def test_concurrent_queries(benchmark, stream, share):
+    engine, sinks = benchmark.pedantic(run, args=(stream, share),
+                                       rounds=3, iterations=1)
+    assert all(len(sink.emissions) == 60 for sink in sinks)
+
+
+def test_sharing_is_transparent(stream):
+    _, shared_sinks = run(stream, True)
+    _, private_sinks = run(stream, False)
+    for shared, private in zip(shared_sinks, private_sinks):
+        assert len(shared.emissions) == len(private.emissions)
+        for left, right in zip(shared.emissions, private.emissions):
+            assert left.table.bag_equals(right.table)
+
+
+def test_sharing_reduces_window_states(stream):
+    engine, _ = run(stream, True)
+    states = {
+        id(state)
+        for registered in (engine.registered(f"q{i}")
+                           for i in range(len(BODIES)))
+        for state in registered.windows.values()
+    }
+    assert len(states) == 1  # all six queries share one window state

@@ -1,0 +1,67 @@
+"""P6 + Figure 4: window machinery costs under both policies."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import random_stream
+from repro.stream.stream import PropertyGraphStream
+from repro.stream.window import ActiveSubstreamPolicy, WindowConfig
+
+
+@pytest.fixture(scope="module")
+def long_stream():
+    return PropertyGraphStream(
+        random_stream(random.Random(21), num_events=500, period=60,
+                      shared_node_pool=20)
+    )
+
+
+def test_figure4_active_substream_selection(benchmark, long_stream):
+    """Figure 4: select the earliest containing window per evaluation."""
+    config = WindowConfig(start=0, width=600, slide=60)
+
+    def select_all():
+        return [
+            config.active_window(
+                instant, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+            )
+            for instant in config.evaluation_instants(
+                long_stream.head_instant
+            )
+        ]
+
+    windows = benchmark(select_all)
+    assert all(window is not None for window in windows)
+
+
+@pytest.mark.parametrize("policy", list(ActiveSubstreamPolicy))
+def test_active_substream_extraction(benchmark, long_stream, policy):
+    config = WindowConfig(start=0, width=600, slide=60)
+
+    def extract_all():
+        total = 0
+        for instant in config.evaluation_instants(long_stream.head_instant):
+            total += len(config.active_substream(long_stream, instant, policy))
+        return total
+
+    total = benchmark(extract_all)
+    assert total > 0
+
+
+def test_evaluation_instants_generation(benchmark):
+    config = WindowConfig(start=0, width=3600, slide=7)
+
+    def generate():
+        return sum(1 for _ in config.evaluation_instants(100_000))
+
+    count = benchmark(generate)
+    assert count == 100_000 // 7 + 1
+
+
+@pytest.mark.parametrize("overlap", [1, 4, 16])
+def test_windows_containing_by_overlap(benchmark, overlap):
+    """Cost of window membership as width/slide ratio grows."""
+    config = WindowConfig(start=0, width=60 * overlap, slide=60)
+    windows = benchmark(config.windows_containing, 50_000)
+    assert len(windows) == overlap

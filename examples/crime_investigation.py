@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Real-time surveillance on the POLE model (Section 4.2).
+
+A synthetic Person-Object-Location-Event stream carries camera sightings
+(``PASSED_BY``) and occasional crimes (``OCCURRED_AT``).  The continuous
+query reports, as soon as the evidence is in the window, every person who
+passed by a crime scene within 30 minutes of the crime — the paper's
+Table 1 surveillance query.
+
+Run:  python examples/crime_investigation.py
+"""
+
+from repro.graph.temporal import format_hhmm
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.usecases.pole import (
+    PoleConfig,
+    PoleStreamGenerator,
+    crime_suspects_query,
+)
+
+
+def main():
+    config = PoleConfig(persons=30, locations=10, events=24, seed=99)
+    generator = PoleStreamGenerator(config)
+    stream = generator.stream()
+    sightings = sum(element.graph.size for element in stream)
+    print(f"Streaming {len(stream)} five-minute batches "
+          f"({sightings} sightings/crime records, "
+          f"{config.persons} persons, {config.locations} locations).")
+
+    engine = SeraphEngine()
+    sink = CollectingSink()
+    engine.register(crime_suspects_query(), sink=sink)
+    engine.run_stream(stream)
+
+    print("\nSuspect reports (each evidence pair reported once, "
+          "ON ENTERING):")
+    found = set()
+    for emission in sink.non_empty():
+        for record in emission.table:
+            found.add((record["person_id"], record["crime_id"]))
+            print(
+                f"  {format_hhmm(emission.instant)}  person "
+                f"{record['person_id']:>2} near crime "
+                f"{record['crime_id']} at location "
+                f"{record['location_id']} (seen "
+                f"{format_hhmm(record['seen_at'])})"
+            )
+
+    truth = generator.ground_truth()
+    print(f"\nDetected {len(found)} (person, crime) pairs; "
+          f"ground truth has {len(truth)}.")
+    print("Exact match with ground truth:", found == truth)
+
+
+if __name__ == "__main__":
+    main()

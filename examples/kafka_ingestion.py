@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The Listing 4 ingestion path: raw queue messages → MERGE → stream.
+
+Reproduces the paper's deployment pipeline (Section 2 + Listing 4):
+stations transmit raw rental/return messages; the connector loads them
+into a persistent store with parameterized ``MERGE`` statements; every
+five minutes the period's *delta* becomes one property-graph stream
+event.  The resulting stream drives the Listing 5 continuous query and
+reproduces Tables 5/6 — while the store converges to the merged graph of
+Figure 2.
+
+Run:  python examples/kafka_ingestion.py
+"""
+
+from repro.graph.temporal import format_hhmm
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.usecases.ingestion import (
+    LISTING4_RENTAL,
+    IngestionPipeline,
+    running_example_messages,
+)
+from repro.usecases.micromobility import LISTING5_SERAPH, _t
+
+
+def main():
+    print("Ingestion statement (Listing 4 style):")
+    print(LISTING4_RENTAL)
+
+    pipeline = IngestionPipeline(period=300, start=_t("14:40"))
+    for message in running_example_messages():
+        pipeline.feed(message)
+        print(f"  queued: {message.kind:<7} vehicle {message.vehicle} "
+              f"@ station {message.station} by user {message.user} "
+              f"({format_hhmm(message.time)})")
+
+    elements = pipeline.seal_until(_t("15:40"))
+    print(f"\nSealed {len(elements)} delivery batches:")
+    for element in elements:
+        print(f"  {format_hhmm(element.instant)}h: delta with "
+              f"{element.graph.order} nodes, {element.graph.size} edges")
+
+    store = pipeline.store.graph()
+    print(f"\nPersistent store after ingestion (Figure 2): "
+          f"{store.order} nodes, {store.size} relationships")
+
+    engine = SeraphEngine()
+    sink = CollectingSink()
+    engine.register(LISTING5_SERAPH, sink=sink)
+    engine.run_stream(elements, until=_t("15:40"))
+    print("\nContinuous detection over the ingested stream:")
+    for emission in sink.non_empty():
+        users = [record["user_id"] for record in emission.table]
+        print(f"  {format_hhmm(emission.instant)}h: "
+              f"new violation by user(s) {users}")
+
+
+if __name__ == "__main__":
+    main()

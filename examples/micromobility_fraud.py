@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The paper's running example, end to end (Sections 2, 3.3, 5.4).
+
+Replays the exact Figure 1 stream, then:
+
+1. runs the Listing 1 one-time Cypher workaround at 15:40h → Table 2;
+2. registers the Listing 5 Seraph query and replays the stream → the
+   emissions of Tables 5 (15:15h) and 6 (15:40h);
+3. prints both, in the paper's table style, side by side with the
+   polling-baseline cross-check.
+
+Run:  python examples/micromobility_fraud.py
+"""
+
+from repro.baselines import CypherPollingBaseline
+from repro.cypher import run_cypher
+from repro.graph.temporal import HOUR, MINUTE, format_hhmm
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.report import ReportPolicy
+from repro.stream.timeline import TimeInterval
+from repro.stream.tvt import TimeAnnotatedTable
+from repro.usecases.micromobility import (
+    LISTING1_CYPHER,
+    LISTING5_SERAPH,
+    _t,
+    figure1_stream,
+    figure2_graph,
+)
+
+COLUMNS = ["user_id", "station_id", "val_time", "hops"]
+
+
+def show_table(title, table, interval=None):
+    print(f"\n### {title}")
+    pretty = table.__class__(
+        [record.with_field("val_time", format_hhmm(record["val_time"]))
+         for record in table],
+        fields=table.fields,
+    )
+    if interval is not None:
+        annotated = TimeAnnotatedTable(table=pretty, interval=interval)
+        print(annotated.render(COLUMNS + ["win_start", "win_end"]))
+    else:
+        print(pretty.render(COLUMNS))
+
+
+def main():
+    stream = figure1_stream()
+    print("Figure 1 stream:")
+    for element in stream:
+        print(f"  {format_hhmm(element.instant)}h: "
+              f"{element.graph.order} nodes, {element.graph.size} rentals/returns")
+
+    merged = figure2_graph()
+    print(f"\nFigure 2 merged graph: {merged.order} nodes, "
+          f"{merged.size} relationships")
+
+    # --- Section 3.3: the one-time Cypher query (Table 2) -----------------
+    window = TimeInterval(_t("14:40"), _t("15:40"))
+    table2 = run_cypher(
+        LISTING1_CYPHER,
+        merged,
+        parameters={"win_start": window.start, "win_end": window.end},
+    )
+    show_table("Table 2 — one-time Cypher at 15:40h", table2)
+    show_table("Table 4 — time-annotated form", table2, interval=window)
+
+    # --- Section 5.4: the Seraph continuous query -------------------------
+    engine = SeraphEngine()
+    sink = CollectingSink()
+    engine.register(LISTING5_SERAPH, sink=sink)
+    engine.run_stream(stream, until=_t("15:40"))
+
+    print("\nContinuous run (EMIT ... ON ENTERING EVERY PT5M):")
+    for emission in sink.emissions:
+        status = f"{len(emission.table)} new match(es)" if not emission.is_empty() \
+            else "nothing new"
+        print(f"  eval @ {format_hhmm(emission.instant)}h: {status}")
+
+    show_table(
+        "Table 5 — Seraph output at 15:15h",
+        sink.at(_t("15:15")).table.table,
+        interval=sink.at(_t("15:15")).table.interval,
+    )
+    show_table(
+        "Table 6 — Seraph output at 15:40h",
+        sink.at(_t("15:40")).table.table,
+        interval=sink.at(_t("15:40")).table.interval,
+    )
+
+    # --- Cross-check: the Section 3.3 polling workaround ------------------
+    baseline = CypherPollingBaseline(
+        LISTING1_CYPHER,
+        starting_at=_t("14:45"),
+        width=HOUR,
+        period=5 * MINUTE,
+        report=ReportPolicy.ON_ENTERING,
+    )
+    polls = baseline.run_stream(figure1_stream(), until=_t("15:40"))
+    agreement = all(
+        sorted(r["user_id"] for r in poll.table)
+        == sorted(r["user_id"] for r in emission.table)
+        for poll, emission in zip(polls, sink.emissions)
+    )
+    print(f"\nPolling workaround agrees with Seraph at every instant: "
+          f"{agreement}")
+    print(f"...but its persisted store kept all {baseline.store.size} "
+          "relationships forever, while the engine retains only "
+          f"{engine.retained_elements} live stream event(s).")
+
+
+if __name__ == "__main__":
+    main()

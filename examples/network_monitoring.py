@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Network monitoring with continuous z-score anomaly detection
+(Section 4.1, Listing 2).
+
+A synthetic data center emits one full-configuration property graph per
+minute; an injected uplink fault forces affected racks onto a longer
+detour.  The registered Seraph query continuously reports every route
+whose length has z-score > 3 against the configured μ = 5 / σ = 0.3.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro.graph.temporal import format_hhmm
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.usecases.network import (
+    MEAN_HOPS,
+    STD_HOPS,
+    NetworkConfig,
+    NetworkStreamGenerator,
+    anomalous_routes_query,
+)
+
+
+def main():
+    config = NetworkConfig(racks=8, routers=4, events=25, seed=13)
+    generator = NetworkStreamGenerator(config)
+    stream = generator.stream()
+    print(f"Streaming {len(stream)} one-minute configuration snapshots "
+          f"({config.racks} racks, {config.routers} top-of-rack routers).")
+
+    engine = SeraphEngine()
+    sink = CollectingSink()
+    engine.register(anomalous_routes_query(), sink=sink)
+    engine.run_stream(stream)
+
+    print(f"\nEvaluations: {len(sink.emissions)}; "
+          f"with anomalies: {len(sink.non_empty())}")
+    print(f"(z-score threshold 3 against mu={MEAN_HOPS}, sigma={STD_HOPS}; "
+          "a route is anomalous above "
+          f"{MEAN_HOPS + 3 * STD_HOPS:.1f} hops)\n")
+
+    for emission in sink.non_empty():
+        down = sorted(generator.faults_at(emission.instant))
+        routes = ", ".join(
+            f"rack {record['rack_id']}: {record['hops']} hops"
+            for record in emission.table
+        )
+        print(f"{format_hhmm(emission.instant)}  uplinks down: {down}  "
+              f"anomalous routes: {routes}")
+
+    if not sink.non_empty():
+        print("No anomalies in this run — increase fault_rate or events.")
+    else:
+        print("\nNote the delay between a fault starting and its anomaly "
+              "appearing: the 10-minute snapshot union keeps the healthy "
+              "configuration alive until it slides out of the window.")
+
+
+if __name__ == "__main__":
+    main()

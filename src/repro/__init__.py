@@ -1,0 +1,79 @@
+"""Reproduction of *Seraph: Continuous Queries on Property Graph Streams*
+(EDBT 2024).
+
+Public API highlights
+---------------------
+* :class:`repro.graph.PropertyGraph`, :class:`repro.graph.GraphBuilder` —
+  the property graph model (Definition 3.1).
+* :func:`repro.cypher.run_cypher` — one-time core-Cypher evaluation
+  (Section 3).
+* :class:`repro.stream.PropertyGraphStream`,
+  :class:`repro.stream.WindowConfig` — streams and time-based windows
+  (Definitions 5.2, 5.9–5.11).
+* :func:`repro.seraph.parse_seraph`, :class:`repro.seraph.SeraphEngine` —
+  the Seraph language and its continuous engine (Sections 5–6).
+
+Quickstart::
+
+    from repro import SeraphEngine, parse_seraph
+    engine = SeraphEngine()
+    engine.register(parse_seraph(QUERY_TEXT))
+    emissions = engine.run_stream(stream_elements)
+"""
+
+from repro.cypher import parse_cypher, run_cypher, run_update
+from repro.metrics import RunReport, instrumented_run
+from repro.graph import (
+    GraphBuilder,
+    Node,
+    Path,
+    PropertyGraph,
+    Record,
+    Relationship,
+    Table,
+)
+from repro.seraph import (
+    CollectingSink,
+    Emission,
+    SeraphEngine,
+    SeraphQuery,
+    parse_seraph,
+)
+from repro.stream import (
+    ActiveSubstreamPolicy,
+    PropertyGraphStream,
+    ReportPolicy,
+    StreamElement,
+    TimeAnnotatedTable,
+    TimeInterval,
+    WindowConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveSubstreamPolicy",
+    "CollectingSink",
+    "Emission",
+    "GraphBuilder",
+    "Node",
+    "Path",
+    "PropertyGraph",
+    "PropertyGraphStream",
+    "Record",
+    "Relationship",
+    "ReportPolicy",
+    "SeraphEngine",
+    "SeraphQuery",
+    "StreamElement",
+    "Table",
+    "TimeAnnotatedTable",
+    "TimeInterval",
+    "WindowConfig",
+    "RunReport",
+    "instrumented_run",
+    "parse_cypher",
+    "parse_seraph",
+    "run_cypher",
+    "run_update",
+]

@@ -1,0 +1,16 @@
+"""Baselines: the Cypher polling workaround and snapshot-maintenance arms."""
+
+from repro.baselines.polling import CypherPollingBaseline, PollResult
+from repro.baselines.recompute import (
+    incremental_engine,
+    naive_executor,
+    recompute_engine,
+)
+
+__all__ = [
+    "CypherPollingBaseline",
+    "PollResult",
+    "incremental_engine",
+    "naive_executor",
+    "recompute_engine",
+]

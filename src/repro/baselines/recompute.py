@@ -1,0 +1,63 @@
+"""Snapshot-maintenance baselines for the ablation benchmark (P2).
+
+Three ways to obtain each evaluation's snapshot graph, from naive to the
+engine's default:
+
+1. :func:`naive_executor` — the denotational semantics itself: re-extract
+   the substream and re-union it per evaluation (no state at all).
+2. ``SeraphEngine(incremental=False)`` — window content tracked
+   incrementally, union recomputed per evaluation.
+3. ``SeraphEngine(incremental=True)`` — full incremental maintenance
+   (refcounted union), the default.
+
+All three must produce identical emissions; benchmarks measure the cost
+gap as window/slide ratios change.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from repro.graph.temporal import TimeInstant
+from repro.seraph.ast import SeraphQuery
+from repro.seraph.engine import SeraphEngine
+from repro.seraph.parser import parse_seraph
+from repro.seraph.semantics import continuous_run
+from repro.seraph.sinks import Emission
+from repro.stream.stream import PropertyGraphStream, StreamElement
+from repro.stream.window import ActiveSubstreamPolicy
+
+
+def naive_executor(
+    query: Union[str, SeraphQuery],
+    elements: Iterable[StreamElement],
+    until: TimeInstant,
+    policy: ActiveSubstreamPolicy = ActiveSubstreamPolicy.TRAILING,
+) -> List[Emission]:
+    """Stateless re-evaluation from the raw stream (Definition 5.8 by the
+    letter).  Returns emissions shaped like the engine's."""
+    if isinstance(query, str):
+        query = parse_seraph(query)
+    stream = PropertyGraphStream(elements)
+    out: List[Emission] = []
+    instant = query.starting_at
+    for annotated in continuous_run(query, stream, until, policy):
+        out.append(
+            Emission(query_name=query.name, instant=instant, table=annotated)
+        )
+        instant += query.slide if query.is_continuous else 0
+    return out
+
+
+def recompute_engine(
+    policy: ActiveSubstreamPolicy = ActiveSubstreamPolicy.TRAILING,
+) -> SeraphEngine:
+    """An engine that re-unions the window per evaluation (ablation arm)."""
+    return SeraphEngine(policy=policy, incremental=False)
+
+
+def incremental_engine(
+    policy: ActiveSubstreamPolicy = ActiveSubstreamPolicy.TRAILING,
+) -> SeraphEngine:
+    """The default fully-incremental engine (for symmetric bench naming)."""
+    return SeraphEngine(policy=policy, incremental=True)

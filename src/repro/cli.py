@@ -1,0 +1,135 @@
+"""Command-line interface: run Seraph queries over recorded streams.
+
+Usage (installed as a module)::
+
+    python -m repro.cli run QUERY.seraph STREAM.jsonl [--until ISO] \
+        [--policy trailing|formal] [--all]
+    python -m repro.cli explain QUERY.seraph
+    python -m repro.cli validate QUERY.seraph
+    python -m repro.cli oneshot QUERY.cypher GRAPH.json
+
+Streams are JSON-lines files (one ``{"instant": ..., "graph": ...}`` per
+line, the format of :mod:`repro.graph.io`); graphs are JSON documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cypher import run_cypher
+from repro.errors import ReproError
+from repro.graph.io import graph_from_json, stream_from_jsonl
+from repro.graph.temporal import parse_datetime
+from repro.seraph import CollectingSink, SeraphEngine, parse_seraph
+from repro.seraph.explain import explain
+from repro.stream.window import ActiveSubstreamPolicy
+
+_POLICIES = {
+    "trailing": ActiveSubstreamPolicy.TRAILING,
+    "formal": ActiveSubstreamPolicy.EARLIEST_CONTAINING,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Run Seraph continuous queries over recorded "
+        "property graph streams.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run a continuous query")
+    run.add_argument("query", help="path to a REGISTER QUERY file")
+    run.add_argument("stream", help="path to a JSON-lines stream file")
+    run.add_argument("--until", help="final instant (ISO-8601 datetime)")
+    run.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="trailing",
+        help="active-substream policy (DESIGN.md §3)",
+    )
+    run.add_argument(
+        "--all", action="store_true",
+        help="print empty emissions too",
+    )
+
+    exp = commands.add_parser("explain", help="show the execution outline")
+    exp.add_argument("query", help="path to a REGISTER QUERY file")
+
+    val = commands.add_parser("validate", help="parse-check a query file")
+    val.add_argument("query", help="path to a REGISTER QUERY file")
+
+    one = commands.add_parser(
+        "oneshot", help="run a one-time Cypher query over a graph"
+    )
+    one.add_argument("query", help="path to a Cypher query file")
+    one.add_argument("graph", help="path to a JSON graph file")
+    return parser
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    query = parse_seraph(_read(args.query))
+    elements = stream_from_jsonl(_read(args.stream))
+    until = parse_datetime(args.until) if args.until else None
+    engine = SeraphEngine(policy=_POLICIES[args.policy])
+    sink = CollectingSink()
+    engine.register(query, sink=sink)
+    engine.run_stream(elements, until=until)
+    shown = 0
+    for emission in sink.emissions:
+        if emission.is_empty() and not args.all:
+            continue
+        print(emission.render())
+        shown += 1
+    print(
+        f"-- {len(sink.emissions)} evaluations, {shown} shown "
+        f"({len(sink.non_empty())} non-empty)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    print(explain(_read(args.query)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    query = parse_seraph(_read(args.query))
+    print(f"OK: query {query.name!r} parses "
+          f"({len(query.body)} body clauses)")
+    return 0
+
+
+def _cmd_oneshot(args: argparse.Namespace) -> int:
+    graph = graph_from_json(_read(args.graph))
+    table = run_cypher(_read(args.query), graph)
+    print(table.render())
+    print(f"-- {len(table)} rows", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "explain": _cmd_explain,
+    "validate": _cmd_validate,
+    "oneshot": _cmd_oneshot,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Core-Cypher engine: lexer, parser, matcher, evaluator (Figure 3)."""
+
+from repro.cypher.evaluator import QueryEvaluator, run_cypher
+from repro.cypher.parser import CypherParser, parse_cypher, parse_cypher_expression
+from repro.cypher.updating import UpdatingQueryEvaluator, run_update
+
+__all__ = [
+    "CypherParser",
+    "QueryEvaluator",
+    "UpdatingQueryEvaluator",
+    "parse_cypher",
+    "parse_cypher_expression",
+    "run_cypher",
+    "run_update",
+]

@@ -1,0 +1,157 @@
+"""Aggregation functions with Cypher null semantics.
+
+``count(*)`` counts rows; every other aggregate skips ``null`` inputs.
+``avg``/``min``/``max`` of no (non-null) values is ``null``; ``sum`` is 0;
+``collect`` is ``[]``; ``stDev``/``stDevP`` of fewer than two values is 0
+(matching Neo4j).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.errors import CypherEvaluationError, CypherTypeError
+from repro.graph.values import NULL, cypher_compare, is_numeric, values_distinct
+
+
+def _non_null(values: Sequence[Any]) -> List[Any]:
+    return [value for value in values if value is not NULL]
+
+
+def _require_numbers(name: str, values: Sequence[Any]) -> List[float]:
+    for value in values:
+        if not is_numeric(value):
+            raise CypherTypeError(f"{name}() expects numbers, got {value!r}")
+    return list(values)
+
+
+def agg_count(values: Sequence[Any]) -> int:
+    return len(_non_null(values))
+
+
+def agg_sum(values: Sequence[Any]) -> Any:
+    numbers = _require_numbers("sum", _non_null(values))
+    total = sum(numbers)
+    if all(isinstance(value, int) for value in numbers):
+        return int(total)
+    return total
+
+
+def agg_avg(values: Sequence[Any]) -> Any:
+    numbers = _require_numbers("avg", _non_null(values))
+    if not numbers:
+        return NULL
+    return sum(numbers) / len(numbers)
+
+
+def _extreme(values: Sequence[Any], want_max: bool) -> Any:
+    kept = _non_null(values)
+    if not kept:
+        return NULL
+    best = kept[0]
+    for value in kept[1:]:
+        comparison = cypher_compare(value, best)
+        if comparison is None:
+            # Mixed incomparable types: fall back to a stable documented
+            # choice — numbers beat strings beat booleans (Neo4j-like).
+            continue
+        if (comparison > 0) == want_max and comparison != 0:
+            best = value
+    return best
+
+
+def agg_min(values: Sequence[Any]) -> Any:
+    return _extreme(values, want_max=False)
+
+
+def agg_max(values: Sequence[Any]) -> Any:
+    return _extreme(values, want_max=True)
+
+
+def agg_collect(values: Sequence[Any]) -> List[Any]:
+    return _non_null(values)
+
+
+def agg_stdev(values: Sequence[Any]) -> Any:
+    """Sample standard deviation (divisor n-1)."""
+    numbers = _require_numbers("stDev", _non_null(values))
+    if len(numbers) < 2:
+        return 0.0
+    mean = sum(numbers) / len(numbers)
+    variance = sum((value - mean) ** 2 for value in numbers) / (len(numbers) - 1)
+    return math.sqrt(variance)
+
+
+def agg_stdevp(values: Sequence[Any]) -> Any:
+    """Population standard deviation (divisor n)."""
+    numbers = _require_numbers("stDevP", _non_null(values))
+    if not numbers:
+        return 0.0
+    mean = sum(numbers) / len(numbers)
+    variance = sum((value - mean) ** 2 for value in numbers) / len(numbers)
+    return math.sqrt(variance)
+
+
+def agg_percentile_cont(values: Sequence[Any], percentile: float) -> Any:
+    """Linear-interpolation percentile (0 ≤ p ≤ 1)."""
+    numbers = sorted(_require_numbers("percentileCont", _non_null(values)))
+    if not numbers:
+        return NULL
+    if not 0 <= percentile <= 1:
+        raise CypherEvaluationError("percentile must be within [0, 1]")
+    if len(numbers) == 1:
+        return float(numbers[0])
+    rank = percentile * (len(numbers) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(numbers[low])
+    fraction = rank - low
+    return numbers[low] * (1 - fraction) + numbers[high] * fraction
+
+
+def agg_percentile_disc(values: Sequence[Any], percentile: float) -> Any:
+    """Nearest-rank percentile (0 ≤ p ≤ 1)."""
+    numbers = sorted(_require_numbers("percentileDisc", _non_null(values)))
+    if not numbers:
+        return NULL
+    if not 0 <= percentile <= 1:
+        raise CypherEvaluationError("percentile must be within [0, 1]")
+    rank = max(0, math.ceil(percentile * len(numbers)) - 1)
+    return numbers[rank]
+
+
+_SIMPLE: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "collect": agg_collect,
+    "stdev": agg_stdev,
+    "stdevp": agg_stdevp,
+}
+
+_WITH_PARAMETER: Dict[str, Callable[[Sequence[Any], float], Any]] = {
+    "percentilecont": agg_percentile_cont,
+    "percentiledisc": agg_percentile_disc,
+}
+
+
+def compute_aggregate(
+    name: str,
+    values: Sequence[Any],
+    parameter: Any = None,
+    distinct: bool = False,
+) -> Any:
+    """Dispatch an aggregate call over the collected per-row values."""
+    if distinct:
+        values = values_distinct(_non_null(values))
+    if name in _SIMPLE:
+        return _SIMPLE[name](values)
+    if name in _WITH_PARAMETER:
+        if parameter is NULL or parameter is None:
+            raise CypherEvaluationError(f"{name}() requires a percentile argument")
+        return _WITH_PARAMETER[name](values, float(parameter))
+    raise CypherEvaluationError(f"unknown aggregate {name}()")

@@ -1,0 +1,420 @@
+"""Clause-by-clause query evaluation — the ``[[Q]]_G`` pipeline.
+
+Each clause is a function from tables to tables (Section 3.2); query
+output is ``[[Q]]_G(T())`` where ``T()`` is the unit table.  The Seraph
+layer reuses this evaluator verbatim on snapshot graphs — that reuse *is*
+snapshot reducibility (Definition 5.8) in code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.cypher import ast
+from repro.cypher.aggregates import compute_aggregate
+from repro.cypher.expressions import ExpressionEvaluator, contains_aggregate
+from repro.cypher.functions import AGGREGATE_NAMES
+from repro.cypher.matcher import PatternMatcher
+from repro.errors import CypherEvaluationError
+from repro.graph.model import PropertyGraph
+from repro.graph.table import Record, Table
+from repro.graph.values import NULL, Ternary, hashable, order_key
+
+
+class QueryEvaluator:
+    """Evaluates core-Cypher queries over one property graph.
+
+    ``base_scope`` provides implicit variables visible to every expression
+    even when not projected by WITH — Seraph injects the reserved
+    ``win_start``/``win_end`` names through it (Definition 5.6).
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        parameters: Optional[Mapping[str, Any]] = None,
+        base_scope: Optional[Mapping[str, Any]] = None,
+        optimize: bool = True,
+    ):
+        self.graph = graph
+        self.base_scope = dict(base_scope or {})
+        self.optimize = optimize
+        self.evaluator = ExpressionEvaluator(graph, parameters=parameters)
+        self.matcher = PatternMatcher(graph, self.evaluator)
+        self.evaluator._pattern_checker = self.matcher.has_match
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, query: ast.Query, table: Optional[Table] = None) -> Table:
+        """Evaluate a (possibly UNION) query from the unit table."""
+        result = self.run_single(query.parts[0], table)
+        for union_all, part in zip(query.union_all, query.parts[1:]):
+            other = self.run_single(part, table)
+            if result.fields != other.fields and result and other:
+                raise CypherEvaluationError(
+                    "UNION operands must produce the same fields"
+                )
+            result = result.bag_union(other)
+            if not union_all:
+                result = result.distinct()
+        return result
+
+    def run_single(
+        self, query: ast.SingleQuery, table: Optional[Table] = None
+    ) -> Table:
+        current = table if table is not None else Table.unit()
+        for clause in query.clauses:
+            current = self.apply_clause(clause, current)
+        return current
+
+    def apply_clause(self, clause: ast.Clause, table: Table) -> Table:
+        if isinstance(clause, ast.Match):
+            return self._apply_match(clause, table)
+        if isinstance(clause, ast.Unwind):
+            return self._apply_unwind(clause, table)
+        if isinstance(clause, ast.With):
+            return self._apply_projection(
+                table,
+                items=clause.items,
+                distinct=clause.distinct,
+                star=clause.star,
+                order_by=clause.order_by,
+                skip=clause.skip,
+                limit=clause.limit,
+                where=clause.where,
+            )
+        if isinstance(clause, ast.Return):
+            return self._apply_projection(
+                table,
+                items=clause.items,
+                distinct=clause.distinct,
+                star=clause.star,
+                order_by=clause.order_by,
+                skip=clause.skip,
+                limit=clause.limit,
+                where=None,
+            )
+        raise CypherEvaluationError(f"unsupported clause {type(clause).__name__}")
+
+    # -- scopes -----------------------------------------------------------------
+
+    def _scope(self, record: Record) -> Dict[str, Any]:
+        scope = dict(self.base_scope)
+        scope.update(record)
+        return scope
+
+    # -- MATCH -------------------------------------------------------------------
+
+    def _apply_match(self, clause: ast.Match, table: Table) -> Table:
+        free = clause.pattern.free_variables()
+        out_fields = set(table.fields) | set(free)
+        pattern = clause.pattern
+        if self.optimize:
+            from repro.cypher.planner import plan_pattern
+
+            bound = frozenset(self.base_scope) | table.fields
+            pattern = plan_pattern(pattern, self.graph, bound)
+        out: List[Record] = []
+        for record in table:
+            scope = self._scope(record)
+            survivors: List[Record] = []
+            for new_bindings in self.matcher.match_pattern(pattern, scope):
+                # Free variables already bound by the incoming record stay
+                # as they are; the match only adds the genuinely new names,
+                # so merged.domain == out_fields by construction.
+                merged = record.merged(Record(new_bindings))
+                if clause.where is not None:
+                    verdict = self.evaluator.truth(
+                        clause.where, self._scope(merged)
+                    )
+                    if verdict is not Ternary.TRUE:
+                        continue
+                survivors.append(merged.project(out_fields))
+            if survivors:
+                out.extend(survivors)
+            elif clause.optional:
+                nulled = dict(record)
+                for name in out_fields - record.domain:
+                    nulled[name] = NULL
+                out.append(Record(nulled))
+        return Table(out, fields=out_fields)
+
+    # -- UNWIND ------------------------------------------------------------------
+
+    def _apply_unwind(self, clause: ast.Unwind, table: Table) -> Table:
+        out_fields = set(table.fields) | {clause.alias}
+        out: List[Record] = []
+        for record in table:
+            value = self.evaluator.evaluate(clause.source, self._scope(record))
+            if value is NULL:
+                continue
+            items = value if isinstance(value, list) else [value]
+            for item in items:
+                out.append(record.with_field(clause.alias, item))
+        return Table(out, fields=out_fields)
+
+    # -- WITH / RETURN -----------------------------------------------------------
+
+    def _apply_projection(
+        self,
+        table: Table,
+        items: Tuple[ast.ProjectionItem, ...],
+        distinct: bool,
+        star: bool,
+        order_by: Tuple[ast.OrderItem, ...],
+        skip: Optional[ast.Expression],
+        limit: Optional[ast.Expression],
+        where: Optional[ast.Expression],
+    ) -> Table:
+        has_aggregate = any(contains_aggregate(item.expression) for item in items)
+        if has_aggregate and star:
+            raise CypherEvaluationError(
+                "cannot combine * with aggregating projection items"
+            )
+        if has_aggregate:
+            projected, pair_rows = self._project_aggregating(table, items)
+        else:
+            projected, pair_rows = self._project_plain(table, items, star)
+
+        if where is not None:
+            kept = []
+            for out_record, in_record in pair_rows:
+                scope = self._order_scope(out_record, in_record)
+                if self.evaluator.truth(where, scope) is Ternary.TRUE:
+                    kept.append((out_record, in_record))
+            pair_rows = kept
+
+        if distinct:
+            seen = set()
+            kept = []
+            for out_record, in_record in pair_rows:
+                key = out_record.key()
+                if key not in seen:
+                    seen.add(key)
+                    kept.append((out_record, in_record))
+            pair_rows = kept
+
+        if order_by:
+            pair_rows = self._sort(pair_rows, order_by)
+
+        rows = [out_record for out_record, _ in pair_rows]
+        if skip is not None:
+            count = self._constant_int(skip, "SKIP")
+            rows = rows[count:]
+        if limit is not None:
+            count = self._constant_int(limit, "LIMIT")
+            rows = rows[:count]
+        return Table(rows, fields=projected)
+
+    def _project_plain(
+        self,
+        table: Table,
+        items: Tuple[ast.ProjectionItem, ...],
+        star: bool,
+    ) -> Tuple[set, List[Tuple[Record, Record]]]:
+        names: List[str] = []
+        if star:
+            names.extend(sorted(table.fields))
+        for item in items:
+            names.append(item.output_name())
+        pair_rows: List[Tuple[Record, Record]] = []
+        for record in table:
+            scope = self._scope(record)
+            values: Dict[str, Any] = {}
+            if star:
+                values.update(record)
+            for item in items:
+                values[item.output_name()] = self.evaluator.evaluate(
+                    item.expression, scope
+                )
+            pair_rows.append((Record(values), record))
+        return set(names), pair_rows
+
+    def _project_aggregating(
+        self,
+        table: Table,
+        items: Tuple[ast.ProjectionItem, ...],
+    ) -> Tuple[set, List[Tuple[Record, Record]]]:
+        grouping = [
+            item for item in items if not contains_aggregate(item.expression)
+        ]
+        aggregating = [item for item in items if contains_aggregate(item.expression)]
+        names = {item.output_name() for item in items}
+
+        groups: Dict[Tuple, Dict[str, Any]] = {}
+        for record in table:
+            scope = self._scope(record)
+            key_values = [
+                self.evaluator.evaluate(item.expression, scope) for item in grouping
+            ]
+            key = tuple(hashable(value) for value in key_values)
+            bucket = groups.setdefault(
+                key, {"values": key_values, "rows": [], "first": record}
+            )
+            bucket["rows"].append(record)
+        if not grouping and not groups:
+            groups[()] = {"values": [], "rows": [], "first": Record()}
+
+        pair_rows: List[Tuple[Record, Record]] = []
+        for bucket in groups.values():
+            out: Dict[str, Any] = {}
+            for item, value in zip(grouping, bucket["values"]):
+                out[item.output_name()] = value
+            for item in aggregating:
+                out[item.output_name()] = self._evaluate_aggregate(
+                    item.expression, bucket["rows"]
+                )
+            pair_rows.append((Record(out), bucket["first"]))
+        return names, pair_rows
+
+    def _evaluate_aggregate(
+        self, expression: ast.Expression, rows: List[Record]
+    ) -> Any:
+        """Evaluate an expression containing aggregate calls over a group."""
+        if isinstance(expression, ast.CountStar):
+            return len(rows)
+        if (
+            isinstance(expression, ast.FunctionCall)
+            and expression.name in AGGREGATE_NAMES
+        ):
+            if not expression.args:
+                raise CypherEvaluationError(
+                    f"aggregate {expression.name}() requires an argument"
+                )
+            values = [
+                self.evaluator.evaluate(expression.args[0], self._scope(row))
+                for row in rows
+            ]
+            parameter = None
+            if len(expression.args) > 1:
+                parameter = self.evaluator.evaluate(
+                    expression.args[1],
+                    self._scope(rows[0] if rows else Record()),
+                )
+            return compute_aggregate(
+                expression.name, values, parameter=parameter,
+                distinct=expression.distinct,
+            )
+        if isinstance(expression, ast.BinaryOp):
+            left = self._aggregate_operand(expression.left, rows)
+            right = self._aggregate_operand(expression.right, rows)
+            return self.evaluator._eval_BinaryOp(
+                ast.BinaryOp(op=expression.op,
+                             left=ast.Literal(left), right=ast.Literal(right)),
+                {},
+            )
+        if isinstance(expression, ast.UnaryOp):
+            operand = self._aggregate_operand(expression.operand, rows)
+            return self.evaluator._eval_UnaryOp(
+                ast.UnaryOp(op=expression.op, operand=ast.Literal(operand)), {}
+            )
+        if isinstance(expression, ast.FunctionCall):
+            args = [self._aggregate_operand(arg, rows) for arg in expression.args]
+            return self.evaluator.evaluate(
+                ast.FunctionCall(
+                    name=expression.name,
+                    args=tuple(ast.Literal(arg) for arg in args),
+                ),
+                {},
+            )
+        if isinstance(expression, ast.Comparison):
+            first = self._aggregate_operand(expression.first, rows)
+            rest = tuple(
+                (op, ast.Literal(self._aggregate_operand(operand, rows)))
+                for op, operand in expression.rest
+            )
+            return self.evaluator._eval_Comparison(
+                ast.Comparison(first=ast.Literal(first), rest=rest), {}
+            )
+        if isinstance(expression, ast.Index):
+            subject = self._aggregate_operand(expression.subject, rows)
+            index = self._aggregate_operand(expression.index, rows)
+            return self.evaluator._eval_Index(
+                ast.Index(subject=ast.Literal(subject),
+                          index=ast.Literal(index)),
+                {},
+            )
+        if isinstance(expression, ast.Slice):
+            subject = self._aggregate_operand(expression.subject, rows)
+            lower = (
+                ast.Literal(self._aggregate_operand(expression.lower, rows))
+                if expression.lower is not None else None
+            )
+            upper = (
+                ast.Literal(self._aggregate_operand(expression.upper, rows))
+                if expression.upper is not None else None
+            )
+            return self.evaluator._eval_Slice(
+                ast.Slice(subject=ast.Literal(subject), lower=lower,
+                          upper=upper),
+                {},
+            )
+        if isinstance(expression, ast.ListLiteral):
+            return [
+                self._aggregate_operand(item, rows)
+                for item in expression.items
+            ]
+        raise CypherEvaluationError(
+            "unsupported aggregate expression shape: "
+            f"{type(expression).__name__}"
+        )
+
+    def _aggregate_operand(
+        self, expression: ast.Expression, rows: List[Record]
+    ) -> Any:
+        if contains_aggregate(expression):
+            return self._evaluate_aggregate(expression, rows)
+        representative = rows[0] if rows else Record()
+        return self.evaluator.evaluate(expression, self._scope(representative))
+
+    # -- ordering, skip/limit --------------------------------------------------------
+
+    def _order_scope(self, out_record: Record, in_record: Record) -> Dict[str, Any]:
+        scope = dict(self.base_scope)
+        scope.update(in_record)
+        scope.update(out_record)
+        return scope
+
+    def _sort(
+        self,
+        pair_rows: List[Tuple[Record, Record]],
+        order_by: Tuple[ast.OrderItem, ...],
+    ) -> List[Tuple[Record, Record]]:
+        decorated = list(pair_rows)
+        for item in reversed(order_by):
+            def sort_key(pair, item=item):
+                out_record, in_record = pair
+                scope = self._order_scope(out_record, in_record)
+                return order_key(self.evaluator.evaluate(item.expression, scope))
+
+            decorated.sort(key=sort_key, reverse=item.descending)
+        return decorated
+
+    def _constant_int(self, expression: ast.Expression, context: str) -> int:
+        value = self.evaluator.evaluate(expression, dict(self.base_scope))
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise CypherEvaluationError(
+                f"{context} requires a non-negative integer, got {value!r}"
+            )
+        return value
+
+
+def run_cypher(
+    query: "str | ast.Query",
+    graph: PropertyGraph,
+    parameters: Optional[Mapping[str, Any]] = None,
+    base_scope: Optional[Mapping[str, Any]] = None,
+    optimize: bool = True,
+) -> Table:
+    """Parse (if needed) and evaluate a core-Cypher query over a graph.
+
+    This is ``output(Q, G)`` of Section 3.2.  ``optimize=False`` disables
+    the pattern planner (the ablation arm; results are identical).
+    """
+    from repro.cypher.parser import parse_cypher
+
+    if isinstance(query, str):
+        query = parse_cypher(query)
+    return QueryEvaluator(
+        graph, parameters=parameters, base_scope=base_scope, optimize=optimize
+    ).run(query)

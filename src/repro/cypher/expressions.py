@@ -1,0 +1,464 @@
+"""Expression evaluation with Cypher's three-valued logic.
+
+:class:`ExpressionEvaluator` evaluates AST expressions against a *scope*
+(a mapping from names to values — a table record, possibly extended with
+Seraph's reserved window fields) and a property graph (needed for pattern
+predicates and ``startNode``/``endNode``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from repro.cypher import ast
+from repro.cypher.functions import AGGREGATE_NAMES, call_function
+from repro.errors import CypherEvaluationError, CypherTypeError
+from repro.graph.model import PropertyGraph, Node, Relationship
+from repro.graph.values import (
+    NULL,
+    Ternary,
+    and3,
+    cypher_compare,
+    cypher_equals,
+    is_numeric,
+    not3,
+    or3,
+    xor3,
+)
+
+
+def contains_aggregate(expression: ast.Expression) -> bool:
+    """True when the expression tree contains an aggregate call."""
+    if isinstance(expression, ast.CountStar):
+        return True
+    if isinstance(expression, ast.FunctionCall):
+        if expression.name in AGGREGATE_NAMES:
+            return True
+        return any(contains_aggregate(arg) for arg in expression.args)
+    if isinstance(expression, (ast.And, ast.Or, ast.Xor)):
+        return contains_aggregate(expression.left) or contains_aggregate(
+            expression.right
+        )
+    if isinstance(expression, ast.Not):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.UnaryOp):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.BinaryOp):
+        return contains_aggregate(expression.left) or contains_aggregate(
+            expression.right
+        )
+    if isinstance(expression, ast.Comparison):
+        return contains_aggregate(expression.first) or any(
+            contains_aggregate(operand) for _op, operand in expression.rest
+        )
+    if isinstance(expression, ast.IsNull):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.InList):
+        return contains_aggregate(expression.item) or contains_aggregate(
+            expression.container
+        )
+    if isinstance(expression, ast.StringPredicate):
+        return contains_aggregate(expression.left) or contains_aggregate(
+            expression.right
+        )
+    if isinstance(expression, ast.PropertyAccess):
+        return contains_aggregate(expression.subject)
+    if isinstance(expression, ast.Index):
+        return contains_aggregate(expression.subject) or contains_aggregate(
+            expression.index
+        )
+    if isinstance(expression, ast.Slice):
+        return any(
+            contains_aggregate(part)
+            for part in (expression.subject, expression.lower, expression.upper)
+            if part is not None
+        )
+    if isinstance(expression, ast.ListLiteral):
+        return any(contains_aggregate(item) for item in expression.items)
+    if isinstance(expression, ast.MapLiteral):
+        return any(contains_aggregate(value) for _key, value in expression.entries)
+    if isinstance(expression, ast.ListComprehension):
+        return any(
+            contains_aggregate(part)
+            for part in (expression.source, expression.predicate,
+                         expression.projection)
+            if part is not None
+        )
+    if isinstance(expression, ast.Quantifier):
+        return contains_aggregate(expression.source) or contains_aggregate(
+            expression.predicate
+        )
+    if isinstance(expression, ast.CaseExpression):
+        parts = [expression.operand, expression.default]
+        for when, then in expression.alternatives:
+            parts.extend((when, then))
+        return any(contains_aggregate(part) for part in parts if part is not None)
+    return False
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions against a scope and a graph."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        parameters: Optional[Mapping[str, Any]] = None,
+        pattern_checker: Optional[Callable[[ast.PathPattern, Mapping[str, Any]], bool]]
+        = None,
+    ):
+        self.graph = graph
+        self.parameters = dict(parameters or {})
+        # Injected by the evaluator layer to avoid a circular import with
+        # the matcher; checks whether a pattern predicate has any match.
+        self._pattern_checker = pattern_checker
+
+    # -- public API --------------------------------------------------------------
+
+    def evaluate(self, expression: ast.Expression, scope: Mapping[str, Any]) -> Any:
+        # Dispatch via a precomputed type table — this is the hottest
+        # call in the engine (every predicate on every candidate row).
+        method = _DISPATCH.get(type(expression))
+        if method is None:
+            raise CypherEvaluationError(
+                f"cannot evaluate expression node {type(expression).__name__}"
+            )
+        return method(self, expression, scope)
+
+    def truth(self, expression: ast.Expression, scope: Mapping[str, Any]) -> Ternary:
+        """Evaluate as a predicate (for WHERE and friends)."""
+        return Ternary.of(self.evaluate(expression, scope))
+
+    # -- atoms --------------------------------------------------------------------
+
+    def _eval_Literal(self, node: ast.Literal, scope: Mapping[str, Any]) -> Any:
+        return node.value
+
+    def _eval_Parameter(self, node: ast.Parameter, scope: Mapping[str, Any]) -> Any:
+        if node.name not in self.parameters:
+            raise CypherEvaluationError(f"missing parameter ${node.name}")
+        return self.parameters[node.name]
+
+    def _eval_Variable(self, node: ast.Variable, scope: Mapping[str, Any]) -> Any:
+        if node.name in scope:
+            return scope[node.name]
+        raise CypherEvaluationError(f"unknown variable {node.name}")
+
+    def _eval_PropertyAccess(
+        self, node: ast.PropertyAccess, scope: Mapping[str, Any]
+    ) -> Any:
+        subject = self.evaluate(node.subject, scope)
+        if subject is NULL:
+            return NULL
+        if isinstance(subject, (Node, Relationship)):
+            return subject.property(node.key)
+        if isinstance(subject, dict):
+            return subject.get(node.key, NULL)
+        raise CypherTypeError(
+            f"cannot access property {node.key!r} on {subject!r}"
+        )
+
+    def _eval_ListLiteral(self, node: ast.ListLiteral, scope: Mapping[str, Any]) -> Any:
+        return [self.evaluate(item, scope) for item in node.items]
+
+    def _eval_MapLiteral(self, node: ast.MapLiteral, scope: Mapping[str, Any]) -> Any:
+        return {key: self.evaluate(value, scope) for key, value in node.entries}
+
+    def _eval_Index(self, node: ast.Index, scope: Mapping[str, Any]) -> Any:
+        subject = self.evaluate(node.subject, scope)
+        index = self.evaluate(node.index, scope)
+        if subject is NULL or index is NULL:
+            return NULL
+        if isinstance(subject, list):
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise CypherTypeError(f"list index must be an integer, got {index!r}")
+            if -len(subject) <= index < len(subject):
+                return subject[index]
+            return NULL
+        if isinstance(subject, dict):
+            return subject.get(index, NULL)
+        if isinstance(subject, (Node, Relationship)):
+            return subject.property(index)
+        raise CypherTypeError(f"cannot index into {subject!r}")
+
+    def _eval_Slice(self, node: ast.Slice, scope: Mapping[str, Any]) -> Any:
+        subject = self.evaluate(node.subject, scope)
+        if subject is NULL:
+            return NULL
+        if not isinstance(subject, list):
+            raise CypherTypeError(f"cannot slice {subject!r}")
+        lower = self.evaluate(node.lower, scope) if node.lower else 0
+        upper = self.evaluate(node.upper, scope) if node.upper else len(subject)
+        if lower is NULL or upper is NULL:
+            return NULL
+        return subject[lower:upper]
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, scope: Mapping[str, Any]) -> Any:
+        operand = self.evaluate(node.operand, scope)
+        if operand is NULL:
+            return NULL
+        if not is_numeric(operand):
+            raise CypherTypeError(f"unary {node.op} expects a number, got {operand!r}")
+        return -operand if node.op == "-" else +operand
+
+    def _eval_BinaryOp(self, node: ast.BinaryOp, scope: Mapping[str, Any]) -> Any:
+        left = self.evaluate(node.left, scope)
+        right = self.evaluate(node.right, scope)
+        if left is NULL or right is NULL:
+            return NULL
+        op = node.op
+        if op == "+":
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            if isinstance(left, list) and isinstance(right, list):
+                return left + right
+            if isinstance(left, list):
+                return left + [right]
+            if isinstance(right, list):
+                return [left] + right
+            self._require_numbers(op, left, right)
+            return left + right
+        self._require_numbers(op, left, right)
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise CypherEvaluationError("division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left / right)  # Cypher truncates toward zero
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise CypherEvaluationError("modulo by zero")
+            # Cypher % keeps the dividend's sign (like Java), not Python's.
+            result = abs(left) % abs(right)
+            result = -result if left < 0 else result
+            if isinstance(left, int) and isinstance(right, int):
+                return int(result)
+            return result
+        if op == "^":
+            return float(left) ** float(right)
+        raise CypherEvaluationError(f"unknown operator {op}")
+
+    @staticmethod
+    def _require_numbers(op: str, left: Any, right: Any) -> None:
+        if not is_numeric(left) or not is_numeric(right):
+            raise CypherTypeError(
+                f"operator {op} expects numbers, got {left!r} and {right!r}"
+            )
+
+    # -- predicates -----------------------------------------------------------------
+
+    def _eval_Comparison(self, node: ast.Comparison, scope: Mapping[str, Any]) -> Any:
+        result = Ternary.TRUE
+        left = self.evaluate(node.first, scope)
+        for op, operand_node in node.rest:
+            right = self.evaluate(operand_node, scope)
+            result = and3(result, self._compare(op, left, right))
+            if result is Ternary.FALSE:
+                return False
+            left = right
+        return result.to_value()
+
+    @staticmethod
+    def _compare(op: str, left: Any, right: Any) -> Ternary:
+        if op == "=":
+            return cypher_equals(left, right)
+        if op == "<>":
+            return not3(cypher_equals(left, right))
+        ordering = cypher_compare(left, right)
+        if ordering is None:
+            return Ternary.UNKNOWN
+        if op == "<":
+            return Ternary.of(ordering < 0)
+        if op == ">":
+            return Ternary.of(ordering > 0)
+        if op == "<=":
+            return Ternary.of(ordering <= 0)
+        if op == ">=":
+            return Ternary.of(ordering >= 0)
+        raise CypherEvaluationError(f"unknown comparison operator {op}")
+
+    def _eval_And(self, node: ast.And, scope: Mapping[str, Any]) -> Any:
+        return and3(self.truth(node.left, scope), self.truth(node.right, scope)) \
+            .to_value()
+
+    def _eval_Or(self, node: ast.Or, scope: Mapping[str, Any]) -> Any:
+        return or3(self.truth(node.left, scope), self.truth(node.right, scope)) \
+            .to_value()
+
+    def _eval_Xor(self, node: ast.Xor, scope: Mapping[str, Any]) -> Any:
+        return xor3(self.truth(node.left, scope), self.truth(node.right, scope)) \
+            .to_value()
+
+    def _eval_Not(self, node: ast.Not, scope: Mapping[str, Any]) -> Any:
+        return not3(self.truth(node.operand, scope)).to_value()
+
+    def _eval_IsNull(self, node: ast.IsNull, scope: Mapping[str, Any]) -> Any:
+        value = self.evaluate(node.operand, scope)
+        result = value is NULL
+        return (not result) if node.negated else result
+
+    def _eval_InList(self, node: ast.InList, scope: Mapping[str, Any]) -> Any:
+        item = self.evaluate(node.item, scope)
+        container = self.evaluate(node.container, scope)
+        if container is NULL:
+            return NULL
+        if not isinstance(container, list):
+            raise CypherTypeError(f"IN expects a list, got {container!r}")
+        saw_unknown = item is NULL and bool(container)
+        for element in container:
+            verdict = cypher_equals(item, element)
+            if verdict is Ternary.TRUE:
+                return True
+            if verdict is Ternary.UNKNOWN:
+                saw_unknown = True
+        return NULL if saw_unknown else False
+
+    def _eval_StringPredicate(
+        self, node: ast.StringPredicate, scope: Mapping[str, Any]
+    ) -> Any:
+        left = self.evaluate(node.left, scope)
+        right = self.evaluate(node.right, scope)
+        if left is NULL or right is NULL:
+            return NULL
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise CypherTypeError(
+                f"{node.kind} expects strings, got {left!r} and {right!r}"
+            )
+        if node.kind == "STARTS WITH":
+            return left.startswith(right)
+        if node.kind == "ENDS WITH":
+            return left.endswith(right)
+        if node.kind == "CONTAINS":
+            return right in left
+        if node.kind == "=~":
+            import re
+
+            return re.fullmatch(right, left) is not None
+        raise CypherEvaluationError(f"unknown string predicate {node.kind}")
+
+    def _eval_Quantifier(self, node: ast.Quantifier, scope: Mapping[str, Any]) -> Any:
+        source = self.evaluate(node.source, scope)
+        if source is NULL:
+            return NULL
+        if not isinstance(source, list):
+            raise CypherTypeError(f"{node.kind} expects a list, got {source!r}")
+        verdicts = []
+        for element in source:
+            inner = dict(scope)
+            inner[node.variable] = element
+            verdicts.append(self.truth(node.predicate, inner))
+        true_count = sum(1 for verdict in verdicts if verdict is Ternary.TRUE)
+        unknown = any(verdict is Ternary.UNKNOWN for verdict in verdicts)
+        if node.kind == "ALL":
+            if any(verdict is Ternary.FALSE for verdict in verdicts):
+                return False
+            return NULL if unknown else True
+        if node.kind == "ANY":
+            if true_count:
+                return True
+            return NULL if unknown else False
+        if node.kind == "NONE":
+            if true_count:
+                return False
+            return NULL if unknown else True
+        if node.kind == "SINGLE":
+            if true_count > 1:
+                return False
+            if unknown:
+                return NULL
+            return true_count == 1
+        raise CypherEvaluationError(f"unknown quantifier {node.kind}")
+
+    # -- composite expressions ---------------------------------------------------
+
+    def _eval_ListComprehension(
+        self, node: ast.ListComprehension, scope: Mapping[str, Any]
+    ) -> Any:
+        source = self.evaluate(node.source, scope)
+        if source is NULL:
+            return NULL
+        if not isinstance(source, list):
+            raise CypherTypeError(
+                f"list comprehension expects a list, got {source!r}"
+            )
+        out = []
+        for element in source:
+            inner = dict(scope)
+            inner[node.variable] = element
+            if node.predicate is not None:
+                if self.truth(node.predicate, inner) is not Ternary.TRUE:
+                    continue
+            if node.projection is not None:
+                out.append(self.evaluate(node.projection, inner))
+            else:
+                out.append(element)
+        return out
+
+    def _eval_CaseExpression(
+        self, node: ast.CaseExpression, scope: Mapping[str, Any]
+    ) -> Any:
+        if node.operand is not None:
+            operand = self.evaluate(node.operand, scope)
+            for when, then in node.alternatives:
+                verdict = cypher_equals(operand, self.evaluate(when, scope))
+                if verdict is Ternary.TRUE:
+                    return self.evaluate(then, scope)
+        else:
+            for when, then in node.alternatives:
+                if self.truth(when, scope) is Ternary.TRUE:
+                    return self.evaluate(then, scope)
+        if node.default is not None:
+            return self.evaluate(node.default, scope)
+        return NULL
+
+    def _eval_FunctionCall(
+        self, node: ast.FunctionCall, scope: Mapping[str, Any]
+    ) -> Any:
+        if node.name in AGGREGATE_NAMES:
+            raise CypherEvaluationError(
+                f"aggregate {node.name}() is only allowed in WITH/RETURN items"
+            )
+        args = [self.evaluate(arg, scope) for arg in node.args]
+        # Graph-aware functions need endpoint resolution.
+        if node.name in ("startnode", "endnode"):
+            rel = args[0]
+            if rel is NULL:
+                return NULL
+            if not isinstance(rel, Relationship):
+                raise CypherTypeError(
+                    f"{node.name}() expects a relationship, got {rel!r}"
+                )
+            node_id = rel.src if node.name == "startnode" else rel.trg
+            return self.graph.node(node_id)
+        return call_function(node.name, args)
+
+    def _eval_CountStar(self, node: ast.CountStar, scope: Mapping[str, Any]) -> Any:
+        raise CypherEvaluationError("count(*) is only allowed in WITH/RETURN items")
+
+    def _eval_PatternPredicate(
+        self, node: ast.PatternPredicate, scope: Mapping[str, Any]
+    ) -> Any:
+        if self._pattern_checker is None:
+            raise CypherEvaluationError(
+                "pattern predicates are not available in this context"
+            )
+        return self._pattern_checker(node.pattern, scope)
+
+
+#: Precomputed expression-type → handler table (see evaluate()).
+_DISPATCH = {
+    node_type: getattr(ExpressionEvaluator, f"_eval_{node_type.__name__}")
+    for node_type in (
+        ast.Literal, ast.Parameter, ast.Variable, ast.PropertyAccess,
+        ast.ListLiteral, ast.MapLiteral, ast.Index, ast.Slice, ast.UnaryOp,
+        ast.BinaryOp, ast.Comparison, ast.And, ast.Or, ast.Xor, ast.Not,
+        ast.IsNull, ast.InList, ast.StringPredicate, ast.Quantifier,
+        ast.ListComprehension, ast.CaseExpression, ast.FunctionCall,
+        ast.CountStar, ast.PatternPredicate,
+    )
+}

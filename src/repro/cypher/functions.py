@@ -1,0 +1,312 @@
+"""Scalar and list functions available in expressions.
+
+The registry maps lower-case function names to plain Python callables
+taking already-evaluated argument values.  Null handling follows Cypher:
+most functions are null-propagating (null in → null out); exceptions like
+``coalesce`` are implemented explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.errors import CypherEvaluationError, CypherTypeError
+from repro.graph.model import Node, Path, Relationship
+from repro.graph.values import NULL, is_numeric
+
+
+def _null_propagating(fn: Callable) -> Callable:
+    def wrapper(*args: Any) -> Any:
+        if any(arg is NULL for arg in args):
+            return NULL
+        return fn(*args)
+
+    return wrapper
+
+
+def _fn_labels(node: Any) -> Any:
+    if not isinstance(node, Node):
+        raise CypherTypeError(f"labels() expects a node, got {node!r}")
+    return sorted(node.labels)
+
+
+def _fn_type(rel: Any) -> Any:
+    if not isinstance(rel, Relationship):
+        raise CypherTypeError(f"type() expects a relationship, got {rel!r}")
+    return rel.type
+
+
+def _fn_id(entity: Any) -> Any:
+    if isinstance(entity, (Node, Relationship)):
+        return entity.id
+    raise CypherTypeError(f"id() expects a node or relationship, got {entity!r}")
+
+
+def _fn_nodes(path: Any) -> Any:
+    if not isinstance(path, Path):
+        raise CypherTypeError(f"nodes() expects a path, got {path!r}")
+    return list(path.nodes)
+
+
+def _fn_relationships(path: Any) -> Any:
+    if not isinstance(path, Path):
+        raise CypherTypeError(f"relationships() expects a path, got {path!r}")
+    return list(path.relationships)
+
+
+def _fn_length(value: Any) -> Any:
+    if isinstance(value, Path):
+        return value.length
+    if isinstance(value, (list, str)):
+        # length() on lists/strings is legacy Cypher; accepted for R4.
+        return len(value)
+    raise CypherTypeError(f"length() expects a path, got {value!r}")
+
+
+def _fn_size(value: Any) -> Any:
+    if isinstance(value, (list, str, dict)):
+        return len(value)
+    raise CypherTypeError(f"size() expects a list, string or map, got {value!r}")
+
+
+def _fn_head(value: Any) -> Any:
+    if not isinstance(value, list):
+        raise CypherTypeError(f"head() expects a list, got {value!r}")
+    return value[0] if value else NULL
+
+
+def _fn_last(value: Any) -> Any:
+    if not isinstance(value, list):
+        raise CypherTypeError(f"last() expects a list, got {value!r}")
+    return value[-1] if value else NULL
+
+
+def _fn_tail(value: Any) -> Any:
+    if not isinstance(value, list):
+        raise CypherTypeError(f"tail() expects a list, got {value!r}")
+    return value[1:]
+
+
+def _fn_reverse(value: Any) -> Any:
+    if isinstance(value, list):
+        return list(reversed(value))
+    if isinstance(value, str):
+        return value[::-1]
+    raise CypherTypeError(f"reverse() expects a list or string, got {value!r}")
+
+
+def _fn_keys(value: Any) -> Any:
+    if isinstance(value, (Node, Relationship)):
+        return sorted(value.properties.keys())
+    if isinstance(value, dict):
+        return sorted(value.keys())
+    raise CypherTypeError(f"keys() expects an entity or map, got {value!r}")
+
+
+def _fn_properties(value: Any) -> Any:
+    if isinstance(value, (Node, Relationship)):
+        return dict(value.properties)
+    if isinstance(value, dict):
+        return dict(value)
+    raise CypherTypeError(f"properties() expects an entity or map, got {value!r}")
+
+
+def _fn_start_node(rel: Any) -> Any:
+    if not isinstance(rel, Relationship):
+        raise CypherTypeError(f"startNode() expects a relationship, got {rel!r}")
+    return rel.src
+
+
+def _fn_end_node(rel: Any) -> Any:
+    if not isinstance(rel, Relationship):
+        raise CypherTypeError(f"endNode() expects a relationship, got {rel!r}")
+    return rel.trg
+
+
+def _fn_range(*args: Any) -> Any:
+    if len(args) == 2:
+        start, stop, step = args[0], args[1], 1
+    elif len(args) == 3:
+        start, stop, step = args
+    else:
+        raise CypherEvaluationError("range() takes 2 or 3 arguments")
+    if step == 0:
+        raise CypherEvaluationError("range() step must not be zero")
+    out: List[int] = []
+    current = start
+    if step > 0:
+        while current <= stop:
+            out.append(current)
+            current += step
+    else:
+        while current >= stop:
+            out.append(current)
+            current += step
+    return out
+
+
+def _fn_to_integer(value: Any) -> Any:
+    if isinstance(value, bool):
+        return 1 if value else 0
+    if is_numeric(value):
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(float(value)) if "." in value else int(value)
+        except ValueError:
+            return NULL
+    raise CypherTypeError(f"toInteger() cannot convert {value!r}")
+
+
+def _fn_to_float(value: Any) -> Any:
+    if is_numeric(value):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return NULL
+    raise CypherTypeError(f"toFloat() cannot convert {value!r}")
+
+
+def _fn_to_string(value: Any) -> Any:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if is_numeric(value) or isinstance(value, str):
+        return str(value)
+    raise CypherTypeError(f"toString() cannot convert {value!r}")
+
+
+def _fn_to_boolean(value: Any) -> Any:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        return NULL
+    raise CypherTypeError(f"toBoolean() cannot convert {value!r}")
+
+
+def _numeric_unary(name: str, fn: Callable[[float], float],
+                   integer_preserving: bool = False) -> Callable:
+    def wrapper(value: Any) -> Any:
+        if not is_numeric(value):
+            raise CypherTypeError(f"{name}() expects a number, got {value!r}")
+        result = fn(value)
+        if integer_preserving and isinstance(value, int):
+            return int(result)
+        return result
+
+    return wrapper
+
+
+def _fn_round(value: Any) -> Any:
+    if not is_numeric(value):
+        raise CypherTypeError(f"round() expects a number, got {value!r}")
+    return float(math.floor(value + 0.5))
+
+
+def _fn_split(text: Any, sep: Any) -> Any:
+    if not isinstance(text, str) or not isinstance(sep, str):
+        raise CypherTypeError("split() expects two strings")
+    return text.split(sep)
+
+
+def _fn_substring(*args: Any) -> Any:
+    if len(args) == 2:
+        text, start = args
+        return text[start:]
+    if len(args) == 3:
+        text, start, length = args
+        return text[start : start + length]
+    raise CypherEvaluationError("substring() takes 2 or 3 arguments")
+
+
+def _fn_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not NULL:
+            return arg
+    return NULL
+
+
+def _fn_exists(value: Any) -> Any:
+    return value is not NULL
+
+
+def _fn_abs(value: Any) -> Any:
+    if not is_numeric(value):
+        raise CypherTypeError(f"abs() expects a number, got {value!r}")
+    return abs(value)
+
+
+def _fn_sign(value: Any) -> Any:
+    if not is_numeric(value):
+        raise CypherTypeError(f"sign() expects a number, got {value!r}")
+    return (value > 0) - (value < 0)
+
+
+FUNCTIONS: Dict[str, Callable] = {
+    "labels": _null_propagating(_fn_labels),
+    "type": _null_propagating(_fn_type),
+    "id": _null_propagating(_fn_id),
+    "nodes": _null_propagating(_fn_nodes),
+    "relationships": _null_propagating(_fn_relationships),
+    "rels": _null_propagating(_fn_relationships),
+    "length": _null_propagating(_fn_length),
+    "size": _null_propagating(_fn_size),
+    "head": _null_propagating(_fn_head),
+    "last": _null_propagating(_fn_last),
+    "tail": _null_propagating(_fn_tail),
+    "reverse": _null_propagating(_fn_reverse),
+    "keys": _null_propagating(_fn_keys),
+    "properties": _null_propagating(_fn_properties),
+    "startnode": _null_propagating(_fn_start_node),
+    "endnode": _null_propagating(_fn_end_node),
+    "range": _null_propagating(_fn_range),
+    "tointeger": _null_propagating(_fn_to_integer),
+    "tofloat": _null_propagating(_fn_to_float),
+    "tostring": _null_propagating(_fn_to_string),
+    "toboolean": _null_propagating(_fn_to_boolean),
+    "abs": _null_propagating(_fn_abs),
+    "sign": _null_propagating(_fn_sign),
+    "sqrt": _null_propagating(_numeric_unary("sqrt", math.sqrt)),
+    "floor": _null_propagating(_numeric_unary("floor", math.floor)),
+    "ceil": _null_propagating(_numeric_unary("ceil", math.ceil)),
+    "round": _null_propagating(_fn_round),
+    "exp": _null_propagating(_numeric_unary("exp", math.exp)),
+    "log": _null_propagating(_numeric_unary("log", math.log)),
+    "log10": _null_propagating(_numeric_unary("log10", math.log10)),
+    "tolower": _null_propagating(lambda s: s.lower()),
+    "toupper": _null_propagating(lambda s: s.upper()),
+    "trim": _null_propagating(lambda s: s.strip()),
+    "ltrim": _null_propagating(lambda s: s.lstrip()),
+    "rtrim": _null_propagating(lambda s: s.rstrip()),
+    "replace": _null_propagating(lambda s, old, new: s.replace(old, new)),
+    "split": _null_propagating(_fn_split),
+    "substring": _null_propagating(_fn_substring),
+    "left": _null_propagating(lambda s, n: s[:n]),
+    "right": _null_propagating(lambda s, n: s[-n:] if n else ""),
+    "coalesce": _fn_coalesce,
+    "exists": _fn_exists,
+}
+
+#: Aggregate function names — these are *not* in FUNCTIONS; the evaluator
+#: routes them through :mod:`repro.cypher.aggregates`.
+AGGREGATE_NAMES = frozenset(
+    {
+        "count", "sum", "avg", "min", "max", "collect",
+        "stdev", "stdevp", "percentilecont", "percentiledisc",
+    }
+)
+
+
+def call_function(name: str, args: Sequence[Any]) -> Any:
+    """Invoke a registered scalar/list function by (lower-case) name."""
+    fn = FUNCTIONS.get(name)
+    if fn is None:
+        raise CypherEvaluationError(f"unknown function {name}()")
+    return fn(*args)

@@ -1,0 +1,429 @@
+"""Pattern matching over property graphs — ``match(π, G, u)`` of Section 3.2.
+
+Implements Cypher's matching semantics:
+
+* bag semantics — one output assignment per distinct way of embedding the
+  pattern (per rigid pattern × path, in the paper's formulation);
+* **relationship uniqueness** — within one match of a whole ``MATCH``
+  pattern, no relationship is traversed twice (nodes may repeat);
+* variable-length patterns ``*lo..hi`` enumerate all rigid expansions,
+  finitely because of relationship uniqueness;
+* ``shortestPath``/``allShortestPaths`` via breadth-first search.
+
+The matcher works against a *scope* of pre-existing bindings (the record
+``u``), only yielding assignments for names not already bound, exactly as
+``dom(u') = free(π) \\ dom(u)`` requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+
+from repro.cypher import ast
+from repro.cypher.expressions import ExpressionEvaluator
+from repro.errors import CypherEvaluationError
+from repro.graph.model import Node, Path, PropertyGraph, Relationship
+from repro.graph.values import NULL, Ternary, cypher_equals
+
+Bindings = Dict[str, Any]
+UsedRels = FrozenSet[int]
+
+
+class PatternMatcher:
+    """Matches patterns against one property graph."""
+
+    def __init__(self, graph: PropertyGraph, evaluator: ExpressionEvaluator):
+        self.graph = graph
+        self.evaluator = evaluator
+
+    # -- public API ---------------------------------------------------------
+
+    def match_pattern(
+        self, pattern: ast.Pattern, scope: Mapping[str, Any]
+    ) -> Iterator[Bindings]:
+        """Yield the new-bindings records ``u'`` for each match of the
+        whole comma-separated pattern, honouring relationship uniqueness
+        across all its path patterns."""
+        initial = frozenset(scope)
+        for bindings, _used in self._match_paths(
+            list(pattern.paths), dict(scope), frozenset()
+        ):
+            yield {
+                name: value for name, value in bindings.items() if name not in initial
+            }
+
+    def has_match(self, path: ast.PathPattern, scope: Mapping[str, Any]) -> bool:
+        """Existence check for pattern predicates (no uniqueness sharing
+        with the enclosing MATCH, per Cypher)."""
+        for _ in self._match_single_path(path, dict(scope), frozenset()):
+            return True
+        return False
+
+    # -- pattern-level recursion ---------------------------------------------
+
+    def _match_paths(
+        self, paths: List[ast.PathPattern], bindings: Bindings, used: UsedRels
+    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        if not paths:
+            yield bindings, used
+            return
+        head, tail = paths[0], paths[1:]
+        for new_bindings, new_used in self._match_single_path(head, bindings, used):
+            yield from self._match_paths(tail, new_bindings, new_used)
+
+    # -- single path pattern ----------------------------------------------------
+
+    def _match_single_path(
+        self, path: ast.PathPattern, bindings: Bindings, used: UsedRels
+    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        if path.shortest is not None:
+            yield from self._match_shortest(path, bindings, used)
+            return
+        for start in self._node_candidates(path.nodes[0], bindings):
+            start_bindings = self._bind_node(path.nodes[0], start, bindings)
+            if start_bindings is None:
+                continue
+            yield from self._walk(
+                path, 0, start, start_bindings, used, [start], []
+            )
+
+    def _walk(
+        self,
+        path: ast.PathPattern,
+        step: int,
+        current: Node,
+        bindings: Bindings,
+        used: UsedRels,
+        trav_nodes: List[Node],
+        trav_rels: List[Relationship],
+    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        if step == len(path.relationships):
+            final = bindings
+            if path.variable is not None:
+                path_value = Path(tuple(trav_nodes), tuple(trav_rels))
+                if path.flipped:
+                    # Planner-reversed walk: expose the source orientation.
+                    path_value = path_value.reversed()
+                if path.variable in bindings:
+                    if bindings[path.variable] != path_value:
+                        return
+                else:
+                    final = dict(bindings)
+                    final[path.variable] = path_value
+            yield final, used
+            return
+
+        rel_pattern = path.relationships[step]
+        next_pattern = path.nodes[step + 1]
+
+        if rel_pattern.var_length is None:
+            yield from self._walk_single_hop(
+                path, step, rel_pattern, next_pattern, current, bindings, used,
+                trav_nodes, trav_rels,
+            )
+        else:
+            yield from self._walk_var_length(
+                path, step, rel_pattern, next_pattern, current, bindings, used,
+                trav_nodes, trav_rels,
+            )
+
+    def _walk_single_hop(
+        self,
+        path: ast.PathPattern,
+        step: int,
+        rel_pattern: ast.RelationshipPattern,
+        next_pattern: ast.NodePattern,
+        current: Node,
+        bindings: Bindings,
+        used: UsedRels,
+        trav_nodes: List[Node],
+        trav_rels: List[Relationship],
+    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        bound_rel = None
+        if rel_pattern.variable is not None and rel_pattern.variable in bindings:
+            bound_rel = bindings[rel_pattern.variable]
+            if not isinstance(bound_rel, Relationship):
+                return
+        for rel, next_node in self._expand(current, rel_pattern, bindings, used):
+            if bound_rel is not None and rel.id != bound_rel.id:
+                continue
+            new_bindings = bindings
+            if rel_pattern.variable is not None and bound_rel is None:
+                new_bindings = dict(bindings)
+                new_bindings[rel_pattern.variable] = rel
+            node_bindings = self._bind_node(next_pattern, next_node, new_bindings)
+            if node_bindings is None:
+                continue
+            yield from self._walk(
+                path,
+                step + 1,
+                next_node,
+                node_bindings,
+                used | {rel.id},
+                trav_nodes + [next_node],
+                trav_rels + [rel],
+            )
+
+    def _walk_var_length(
+        self,
+        path: ast.PathPattern,
+        step: int,
+        rel_pattern: ast.RelationshipPattern,
+        next_pattern: ast.NodePattern,
+        current: Node,
+        bindings: Bindings,
+        used: UsedRels,
+        trav_nodes: List[Node],
+        trav_rels: List[Relationship],
+    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        low, high = rel_pattern.var_length
+        low = 1 if low is None else low
+        bound_value = None
+        if rel_pattern.variable is not None and rel_pattern.variable in bindings:
+            bound_value = bindings[rel_pattern.variable]
+
+        def finalize(
+            node: Node,
+            seg_rels: List[Relationship],
+            seg_nodes: List[Node],
+            seg_used: UsedRels,
+        ) -> Iterator[Tuple[Bindings, UsedRels]]:
+            # Planner-reversed walk: the bound list keeps source order.
+            rel_list = (
+                list(reversed(seg_rels)) if path.flipped else list(seg_rels)
+            )
+            if bound_value is not None:
+                if not isinstance(bound_value, list) or [
+                    item.id for item in bound_value if isinstance(item, Relationship)
+                ] != [rel.id for rel in rel_list]:
+                    return
+                new_bindings = bindings
+            elif rel_pattern.variable is not None:
+                new_bindings = dict(bindings)
+                new_bindings[rel_pattern.variable] = rel_list
+            else:
+                new_bindings = bindings
+            node_bindings = self._bind_node(next_pattern, node, new_bindings)
+            if node_bindings is None:
+                return
+            yield from self._walk(
+                path,
+                step + 1,
+                node,
+                node_bindings,
+                seg_used,
+                trav_nodes + seg_nodes,
+                trav_rels + seg_rels,
+            )
+
+        def extend(
+            node: Node,
+            seg_rels: List[Relationship],
+            seg_nodes: List[Node],
+            seg_used: UsedRels,
+            depth: int,
+        ) -> Iterator[Tuple[Bindings, UsedRels]]:
+            if depth >= low:
+                yield from finalize(node, seg_rels, seg_nodes, seg_used)
+            if high is not None and depth >= high:
+                return
+            for rel, nxt in self._expand(node, rel_pattern, bindings, seg_used):
+                yield from extend(
+                    nxt,
+                    seg_rels + [rel],
+                    seg_nodes + [nxt],
+                    seg_used | {rel.id},
+                    depth + 1,
+                )
+
+        yield from extend(current, [], [], used, 0)
+
+    # -- expansion and candidate generation ------------------------------------
+
+    def _expand(
+        self,
+        node: Node,
+        rel_pattern: ast.RelationshipPattern,
+        scope: Mapping[str, Any],
+        used: UsedRels,
+    ) -> Iterator[Tuple[Relationship, Node]]:
+        """Candidate (relationship, next node) pairs from ``node``."""
+        direction = rel_pattern.direction
+        if direction is ast.Direction.OUT:
+            candidates = (
+                (rel, self.graph.node(rel.trg)) for rel in self.graph.outgoing(node.id)
+            )
+        elif direction is ast.Direction.IN:
+            candidates = (
+                (rel, self.graph.node(rel.src)) for rel in self.graph.incoming(node.id)
+            )
+        else:
+            candidates = (
+                (rel, self.graph.node(rel.other_end(node.id)))
+                for rel in self.graph.incident(node.id)
+            )
+        for rel, next_node in candidates:
+            if rel.id in used:
+                continue
+            if rel_pattern.types and rel.type not in rel_pattern.types:
+                continue
+            if not self._properties_match(rel, rel_pattern.properties, scope):
+                continue
+            yield rel, next_node
+
+    def _node_candidates(
+        self, node_pattern: ast.NodePattern, bindings: Bindings
+    ) -> Iterator[Node]:
+        if node_pattern.variable is not None and node_pattern.variable in bindings:
+            value = bindings[node_pattern.variable]
+            if isinstance(value, Node) and value.id in self.graph.nodes:
+                yield self.graph.node(value.id)
+            return
+        if node_pattern.labels:
+            yield from self.graph.nodes_with_labels(node_pattern.labels)
+        else:
+            yield from self.graph.nodes.values()
+
+    def _bind_node(
+        self, node_pattern: ast.NodePattern, node: Node, bindings: Bindings
+    ) -> Optional[Bindings]:
+        """Check a node against its pattern and bind its variable.
+
+        Returns the (possibly extended) bindings, or None on mismatch.
+        """
+        if not frozenset(node_pattern.labels) <= node.labels:
+            return None
+        if not self._properties_match(node, node_pattern.properties, bindings):
+            return None
+        if node_pattern.variable is None:
+            return bindings
+        existing = bindings.get(node_pattern.variable)
+        if existing is not None:
+            if not isinstance(existing, Node) or existing.id != node.id:
+                return None
+            return bindings
+        if node_pattern.variable in bindings:  # bound to null
+            return None
+        extended = dict(bindings)
+        extended[node_pattern.variable] = node
+        return extended
+
+    def _properties_match(
+        self,
+        entity: Any,
+        properties: Tuple[Tuple[str, ast.Expression], ...],
+        scope: Mapping[str, Any],
+    ) -> bool:
+        for key, expression in properties:
+            expected = self.evaluator.evaluate(expression, scope)
+            verdict = cypher_equals(entity.property(key), expected)
+            if verdict is not Ternary.TRUE:
+                return False
+        return True
+
+    # -- shortest paths ----------------------------------------------------------
+
+    def _match_shortest(
+        self, path: ast.PathPattern, bindings: Bindings, used: UsedRels
+    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        if len(path.relationships) != 1:
+            raise CypherEvaluationError(
+                "shortestPath() requires a single relationship pattern"
+            )
+        rel_pattern = path.relationships[0]
+        low, high = (
+            rel_pattern.var_length if rel_pattern.var_length is not None else (1, 1)
+        )
+        low = 1 if low is None else low
+        want_all = path.shortest == "allShortestPaths"
+        for start in self._node_candidates(path.nodes[0], bindings):
+            start_bindings = self._bind_node(path.nodes[0], start, bindings)
+            if start_bindings is None:
+                continue
+            for end in self._node_candidates(path.nodes[1], start_bindings):
+                end_bindings = self._bind_node(path.nodes[1], end, start_bindings)
+                if end_bindings is None:
+                    continue
+                shortest = self._bfs_shortest(
+                    start, end, rel_pattern, end_bindings, used, low, high
+                )
+                if not shortest:
+                    continue
+                emitted = shortest if want_all else shortest[:1]
+                for path_value in emitted:
+                    final = end_bindings
+                    new_used = used | {rel.id for rel in path_value.relationships}
+                    if rel_pattern.variable is not None:
+                        final = dict(final)
+                        final[rel_pattern.variable] = list(path_value.relationships)
+                    if path.variable is not None:
+                        final = dict(final)
+                        final[path.variable] = path_value
+                    yield final, new_used
+
+    def _bfs_shortest(
+        self,
+        start: Node,
+        end: Node,
+        rel_pattern: ast.RelationshipPattern,
+        scope: Mapping[str, Any],
+        used: UsedRels,
+        low: int,
+        high: Optional[int],
+    ) -> List[Path]:
+        """All shortest paths from start to end of length in [low, high]."""
+        if start.id == end.id and low == 0:
+            return [Path((start,), ())]
+        # Breadth-first over (node) levels; track every shortest incoming
+        # (prev_node, rel) per node for path enumeration.
+        frontier = {start.id}
+        parents: Dict[int, List[Tuple[int, Relationship]]] = {}
+        depth_of: Dict[int, int] = {start.id: 0}
+        depth = 0
+        found_depth: Optional[int] = None
+        while frontier:
+            if high is not None and depth >= high:
+                break
+            if found_depth is not None:
+                break
+            next_frontier = set()
+            for node_id in frontier:
+                node = self.graph.node(node_id)
+                for rel, nxt in self._expand(node, rel_pattern, scope, used):
+                    known = depth_of.get(nxt.id)
+                    if known is None or known == depth + 1:
+                        depth_of[nxt.id] = depth + 1
+                        parents.setdefault(nxt.id, []).append((node_id, rel))
+                        next_frontier.add(nxt.id)
+                        if nxt.id == end.id and depth + 1 >= low:
+                            found_depth = depth + 1
+            frontier = next_frontier
+            depth += 1
+        if found_depth is None:
+            return []
+
+        # Enumerate the shortest paths backward from the target.
+        paths: List[Path] = []
+
+        def backtrack(node_id: int, suffix_nodes: List[Node],
+                      suffix_rels: List[Relationship]) -> None:
+            if node_id == start.id:
+                if len(suffix_rels) == found_depth:
+                    nodes = [start] + list(reversed(suffix_nodes))
+                    rels = list(reversed(suffix_rels))
+                    paths.append(Path(tuple(nodes), tuple(rels)))
+                return
+            current_depth = found_depth - len(suffix_rels)
+            for prev_id, rel in parents.get(node_id, []):
+                if depth_of.get(prev_id) != current_depth - 1:
+                    continue
+                backtrack(
+                    prev_id,
+                    suffix_nodes + [self.graph.node(node_id)],
+                    suffix_rels + [rel],
+                )
+
+        backtrack(end.id, [], [])
+        # Deterministic ordering: by the relationship-id sequence.
+        paths.sort(key=lambda p: tuple(rel.id for rel in p.relationships))
+        return paths

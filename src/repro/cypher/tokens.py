@@ -1,0 +1,88 @@
+"""Token kinds shared by the Cypher and Seraph lexers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    PARAMETER = "parameter"
+    DATETIME = "datetime"
+
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    COLON = ":"
+    SEMICOLON = ";"
+    DOT = "."
+    DOTDOT = ".."
+    PIPE = "|"
+
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    CARET = "^"
+
+    EQ = "="
+    NEQ = "<>"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    REGEX_MATCH = "=~"
+
+    EOF = "end of input"
+
+
+#: Reserved words of the core Cypher grammar (Figure 3) plus the Seraph
+#: extensions (Figure 6).  The lexer uppercases candidate identifiers and
+#: classifies them as keywords when they appear here; Cypher keywords are
+#: case-insensitive.
+KEYWORDS = frozenset(
+    {
+        # Core Cypher (Figure 3)
+        "MATCH", "OPTIONAL", "WHERE", "WITH", "RETURN", "UNWIND", "AS",
+        "UNION", "ALL", "AND", "OR", "XOR", "NOT", "IN", "IS", "NULL",
+        "TRUE", "FALSE", "DISTINCT", "ORDER", "BY", "ASC", "ASCENDING",
+        "DESC", "DESCENDING", "SKIP", "LIMIT", "STARTS", "ENDS", "CONTAINS",
+        "CASE", "WHEN", "THEN", "ELSE", "END", "ANY", "NONE", "SINGLE",
+        "EXISTS",
+        # Write clauses (the ingestion subset, Listing 4)
+        "CREATE", "MERGE", "SET", "DELETE", "DETACH", "REMOVE",
+        # Seraph extensions (Figure 6)
+        "REGISTER", "QUERY", "STARTING", "AT", "WITHIN", "EMIT", "EVERY",
+        "ON", "ENTERING", "EXITING", "SNAPSHOT",
+        # Multi-stream extension (the paper's future work i)
+        "FROM", "STREAM",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}@{self.line}:{self.column})"

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the Seraph reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for property-graph model errors."""
+
+
+class GraphConsistencyError(GraphError):
+    """A property graph violates Definition 3.1 (dangling endpoints, ...)."""
+
+
+class GraphUnionError(GraphError):
+    """Two graphs cannot be united under UNA (Definition 5.4).
+
+    Raised when the same identifier carries conflicting labels, types,
+    endpoints, or property values in the two operands.
+    """
+
+
+class TableError(ReproError):
+    """Base class for table (Definition 3.2) errors."""
+
+
+class SchemaMismatchError(TableError):
+    """Records with different field sets were mixed into one table."""
+
+
+class TemporalError(ReproError):
+    """Invalid time instants, intervals, or ISO-8601 strings."""
+
+
+class StreamError(ReproError):
+    """Base class for property-graph-stream errors."""
+
+
+class OutOfOrderEventError(StreamError):
+    """A stream element arrived with a timestamp before the stream head."""
+
+
+class WindowError(ReproError):
+    """Invalid window configuration (Definition 5.9)."""
+
+
+class TimeVaryingTableError(ReproError):
+    """A time-varying table constraint (Definition 5.7) was violated."""
+
+
+class CypherError(ReproError):
+    """Base class for Cypher language errors."""
+
+
+class CypherSyntaxError(CypherError):
+    """Lexing or parsing failed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending position.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class CypherTypeError(CypherError):
+    """An expression was applied to a value of the wrong type."""
+
+
+class CypherEvaluationError(CypherError):
+    """Runtime evaluation failure (unknown variable, bad aggregate, ...)."""
+
+
+class SeraphError(ReproError):
+    """Base class for Seraph language and engine errors."""
+
+
+class SeraphSyntaxError(SeraphError, CypherSyntaxError):
+    """Seraph-level parse failure (Figure 6 grammar)."""
+
+
+class SeraphSemanticError(SeraphError):
+    """A structurally valid Seraph query is semantically ill-formed."""
+
+
+class QueryRegistryError(SeraphError):
+    """Registering/deregistering a continuous query failed."""
+
+
+class EngineError(SeraphError):
+    """Continuous engine runtime failure."""

@@ -1,0 +1,94 @@
+"""Fluent construction of property graphs.
+
+:class:`GraphBuilder` assigns identifiers automatically (or accepts
+explicit ones, which the streaming examples need so that the same station
+appearing in two events unifies under UNA).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from repro.errors import GraphConsistencyError
+from repro.graph.model import Node, NodeId, PropertyGraph, Relationship, RelationshipId
+
+
+class GraphBuilder:
+    """Accumulates nodes and relationships, then freezes a PropertyGraph.
+
+    >>> builder = GraphBuilder()
+    >>> alice = builder.add_node(labels=["Person"], properties={"name": "Alice"})
+    >>> bob = builder.add_node(labels=["Person"], properties={"name": "Bob"})
+    >>> _ = builder.add_relationship(alice, "KNOWS", bob)
+    >>> builder.build().size
+    1
+    """
+
+    def __init__(self, id_offset: int = 0):
+        self._nodes: Dict[NodeId, Node] = {}
+        self._relationships: Dict[RelationshipId, Relationship] = {}
+        self._next_node_id = id_offset + 1
+        self._next_rel_id = id_offset + 1
+
+    def add_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, Any]] = None,
+        node_id: Optional[NodeId] = None,
+    ) -> NodeId:
+        """Add a node and return its identifier.
+
+        Re-adding an identical node is a no-op (convenient when events
+        repeat entities); re-adding a conflicting one raises.
+        """
+        if node_id is None:
+            while self._next_node_id in self._nodes:
+                self._next_node_id += 1
+            node_id = self._next_node_id
+            self._next_node_id += 1
+        node = Node(id=node_id, labels=frozenset(labels), properties=properties or {})
+        existing = self._nodes.get(node_id)
+        if existing is not None and (
+            existing.labels != node.labels
+            or dict(existing.properties) != dict(node.properties)
+        ):
+            raise GraphConsistencyError(f"conflicting redefinition of node {node_id}")
+        self._nodes[node_id] = node
+        return node_id
+
+    def add_relationship(
+        self,
+        src: NodeId,
+        rel_type: str,
+        trg: NodeId,
+        properties: Optional[Mapping[str, Any]] = None,
+        rel_id: Optional[RelationshipId] = None,
+    ) -> RelationshipId:
+        """Add a relationship ``(src)-[:rel_type]->(trg)`` and return its id."""
+        if src not in self._nodes:
+            raise GraphConsistencyError(f"unknown source node {src}")
+        if trg not in self._nodes:
+            raise GraphConsistencyError(f"unknown target node {trg}")
+        if rel_id is None:
+            while self._next_rel_id in self._relationships:
+                self._next_rel_id += 1
+            rel_id = self._next_rel_id
+            self._next_rel_id += 1
+        rel = Relationship(
+            id=rel_id, type=rel_type, src=src, trg=trg, properties=properties or {}
+        )
+        existing = self._relationships.get(rel_id)
+        if existing is not None and (
+            (existing.type, existing.src, existing.trg)
+            != (rel.type, rel.src, rel.trg)
+            or dict(existing.properties) != dict(rel.properties)
+        ):
+            raise GraphConsistencyError(
+                f"conflicting redefinition of relationship {rel_id}"
+            )
+        self._relationships[rel_id] = rel
+        return rel_id
+
+    def build(self) -> PropertyGraph:
+        """Freeze the accumulated elements into an immutable graph."""
+        return PropertyGraph.of(self._nodes.values(), self._relationships.values())

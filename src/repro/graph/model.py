@@ -1,0 +1,370 @@
+"""The property graph data model (Definition 3.1) and paths.
+
+A property graph is a tuple ``Γ = (N, R, src, trg, ι, λ, κ)``:
+
+* ``N`` — finite set of node identifiers,
+* ``R`` — finite set of relationship identifiers,
+* ``src, trg : R → N`` — endpoint functions,
+* ``ι : (N ∪ R) × 𝒦 ⇀ 𝒱`` — partial property assignment,
+* ``λ : N → 2^ℒ`` — node label sets,
+* ``κ : R → 𝒯`` — relationship types.
+
+We realize nodes and relationships as immutable dataclasses carrying their
+own labels/type/properties, and :class:`PropertyGraph` as an immutable
+container indexed by identifier with adjacency indexes for matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import GraphConsistencyError
+from repro.graph.values import NULL
+
+NodeId = int
+RelationshipId = int
+
+_EMPTY_MAP: Mapping[str, Any] = MappingProxyType({})
+
+
+def _freeze_properties(properties: Optional[Mapping[str, Any]]) -> Mapping[str, Any]:
+    if not properties:
+        return _EMPTY_MAP
+    return MappingProxyType(dict(properties))
+
+
+def _same_node(left: "Node", right: "Node") -> bool:
+    """Full structural comparison (id, labels, properties)."""
+    return (
+        left.id == right.id
+        and left.labels == right.labels
+        and dict(left.properties) == dict(right.properties)
+    )
+
+
+def _same_relationship(left: "Relationship", right: "Relationship") -> bool:
+    """Full structural comparison (id, type, endpoints, properties)."""
+    return (
+        left.id == right.id
+        and left.type == right.type
+        and (left.src, left.trg) == (right.src, right.trg)
+        and dict(left.properties) == dict(right.properties)
+    )
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node of a property graph: identifier, label set, and properties."""
+
+    id: NodeId
+    labels: FrozenSet[str] = frozenset()
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "labels", frozenset(self.labels))
+        object.__setattr__(self, "properties", _freeze_properties(self.properties))
+
+    def property(self, key: str) -> Any:
+        """Property lookup; missing keys yield Cypher ``null``."""
+        return self.properties.get(key, NULL)
+
+    def has_label(self, label: str) -> bool:
+        return label in self.labels
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("node", self.id))
+
+    def __repr__(self) -> str:
+        labels = "".join(f":{label}" for label in sorted(self.labels))
+        return f"(n{self.id}{labels} {dict(self.properties)!r})"
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A relationship: identifier, type, endpoints, and properties."""
+
+    id: RelationshipId
+    type: str
+    src: NodeId
+    trg: NodeId
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "properties", _freeze_properties(self.properties))
+
+    def property(self, key: str) -> Any:
+        """Property lookup; missing keys yield Cypher ``null``."""
+        return self.properties.get(key, NULL)
+
+    def other_end(self, node_id: NodeId) -> NodeId:
+        """The endpoint opposite to ``node_id`` (for undirected traversal)."""
+        if node_id == self.src:
+            return self.trg
+        if node_id == self.trg:
+            return self.src
+        raise GraphConsistencyError(
+            f"node {node_id} is not an endpoint of relationship {self.id}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Relationship) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(("rel", self.id))
+
+    def __repr__(self) -> str:
+        return (
+            f"(n{self.src})-[r{self.id}:{self.type} "
+            f"{dict(self.properties)!r}]->(n{self.trg})"
+        )
+
+
+@dataclass(frozen=True)
+class PropertyGraph:
+    """An immutable property graph per Definition 3.1.
+
+    Construct via :func:`PropertyGraph.of` or :class:`repro.graph.builder.
+    GraphBuilder`.  Adjacency indexes are built eagerly so pattern matching
+    is O(degree) per expansion.
+    """
+
+    nodes: Mapping[NodeId, Node] = field(default_factory=dict)
+    relationships: Mapping[RelationshipId, Relationship] = field(default_factory=dict)
+    _out: Mapping[NodeId, Tuple[RelationshipId, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _in: Mapping[NodeId, Tuple[RelationshipId, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _by_label: Mapping[str, Tuple[NodeId, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @staticmethod
+    def of(
+        nodes: Iterable[Node] = (),
+        relationships: Iterable[Relationship] = (),
+    ) -> "PropertyGraph":
+        """Build a graph from node/relationship collections, validating it."""
+        node_map: Dict[NodeId, Node] = {}
+        for node in nodes:
+            existing = node_map.get(node.id)
+            if existing is not None and not _same_node(existing, node):
+                raise GraphConsistencyError(f"duplicate node id {node.id}")
+            node_map[node.id] = node
+        rel_map: Dict[RelationshipId, Relationship] = {}
+        out_adj: Dict[NodeId, list] = {nid: [] for nid in node_map}
+        in_adj: Dict[NodeId, list] = {nid: [] for nid in node_map}
+        for rel in relationships:
+            if rel.id in rel_map:
+                raise GraphConsistencyError(f"duplicate relationship id {rel.id}")
+            if rel.src not in node_map:
+                raise GraphConsistencyError(
+                    f"relationship {rel.id} has dangling source {rel.src}"
+                )
+            if rel.trg not in node_map:
+                raise GraphConsistencyError(
+                    f"relationship {rel.id} has dangling target {rel.trg}"
+                )
+            rel_map[rel.id] = rel
+            out_adj[rel.src].append(rel.id)
+            in_adj[rel.trg].append(rel.id)
+        by_label: Dict[str, list] = {}
+        for node in node_map.values():
+            for label in node.labels:
+                by_label.setdefault(label, []).append(node.id)
+        return PropertyGraph(
+            nodes=MappingProxyType(node_map),
+            relationships=MappingProxyType(rel_map),
+            _out=MappingProxyType({k: tuple(v) for k, v in out_adj.items()}),
+            _in=MappingProxyType({k: tuple(v) for k, v in in_adj.items()}),
+            _by_label=MappingProxyType(
+                {label: tuple(ids) for label, ids in by_label.items()}
+            ),
+        )
+
+    @staticmethod
+    def empty() -> "PropertyGraph":
+        return _EMPTY_GRAPH
+
+    # -- accessors ---------------------------------------------------------
+
+    def node(self, node_id: NodeId) -> Node:
+        return self.nodes[node_id]
+
+    def relationship(self, rel_id: RelationshipId) -> Relationship:
+        return self.relationships[rel_id]
+
+    def outgoing(self, node_id: NodeId) -> Iterator[Relationship]:
+        """Relationships with ``src = node_id``."""
+        for rel_id in self._out.get(node_id, ()):
+            yield self.relationships[rel_id]
+
+    def incoming(self, node_id: NodeId) -> Iterator[Relationship]:
+        """Relationships with ``trg = node_id``."""
+        for rel_id in self._in.get(node_id, ()):
+            yield self.relationships[rel_id]
+
+    def incident(self, node_id: NodeId) -> Iterator[Relationship]:
+        """All relationships touching ``node_id`` (undirected view).
+
+        A self-loop is yielded once per direction it appears in the
+        adjacency index (i.e. once for out and once for in) to preserve
+        Cypher's traversal behaviour of visiting it a single time per
+        direction choice — the matcher deduplicates by relationship id.
+        """
+        seen = set()
+        for rel in self.outgoing(node_id):
+            seen.add(rel.id)
+            yield rel
+        for rel in self.incoming(node_id):
+            if rel.id not in seen:
+                yield rel
+
+    def nodes_with_labels(self, labels: Iterable[str]) -> Iterator[Node]:
+        """All nodes whose label set includes every label in ``labels``.
+
+        Served from the per-label index: iterate the rarest label's
+        candidates and check the rest — O(|smallest label|), not O(|N|).
+        """
+        wanted = frozenset(labels)
+        if not wanted:
+            yield from self.nodes.values()
+            return
+        candidate_lists = []
+        for label in wanted:
+            ids = self._by_label.get(label)
+            if ids is None:
+                return  # some label has no nodes at all
+            candidate_lists.append(ids)
+        smallest = min(candidate_lists, key=len)
+        for node_id in smallest:
+            node = self.nodes[node_id]
+            if wanted <= node.labels:
+                yield node
+
+    @property
+    def order(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def size(self) -> int:
+        """Number of relationships."""
+        return len(self.relationships)
+
+    def is_empty(self) -> bool:
+        return not self.nodes and not self.relationships
+
+    def degree(self, node_id: NodeId) -> int:
+        return len(self._out.get(node_id, ())) + len(self._in.get(node_id, ()))
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Node):
+            return self.nodes.get(item.id) == item
+        if isinstance(item, Relationship):
+            return self.relationships.get(item.id) == item
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same elements with the same descriptions.
+
+        (Node/Relationship ``==`` is identity-by-id, as Cypher's value
+        equality needs; graph equality must compare the full content.)
+        """
+        if not isinstance(other, PropertyGraph):
+            return NotImplemented
+        if set(self.nodes) != set(other.nodes):
+            return False
+        if set(self.relationships) != set(other.relationships):
+            return False
+        for node_id, node in self.nodes.items():
+            if not _same_node(node, other.nodes[node_id]):
+                return False
+        for rel_id, rel in self.relationships.items():
+            if not _same_relationship(rel, other.relationships[rel_id]):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.nodes), frozenset(self.relationships)))
+
+    def __repr__(self) -> str:
+        return f"PropertyGraph(order={self.order}, size={self.size})"
+
+
+_EMPTY_GRAPH = PropertyGraph.of()
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path: alternating nodes and relationships.
+
+    ``nodes`` has length ``len(relationships) + 1``.  A zero-length path is
+    a single node.  Relationships may be traversed against their stored
+    direction; the sequence in ``nodes`` records the traversal order.
+    """
+
+    nodes: Tuple[Node, ...]
+    relationships: Tuple[Relationship, ...] = ()
+
+    def __post_init__(self):
+        if len(self.nodes) != len(self.relationships) + 1:
+            raise GraphConsistencyError(
+                "a path needs exactly one more node than relationships"
+            )
+        for index, rel in enumerate(self.relationships):
+            step = {self.nodes[index].id, self.nodes[index + 1].id}
+            if step != {rel.src, rel.trg}:
+                raise GraphConsistencyError(
+                    f"path step {index} does not follow relationship {rel.id}"
+                )
+
+    @property
+    def length(self) -> int:
+        """Path length = number of relationships (Cypher ``length()``)."""
+        return len(self.relationships)
+
+    @property
+    def start(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def end(self) -> Node:
+        return self.nodes[-1]
+
+    def reversed(self) -> "Path":
+        return Path(tuple(reversed(self.nodes)), tuple(reversed(self.relationships)))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Path)
+            and tuple(n.id for n in self.nodes) == tuple(n.id for n in other.nodes)
+            and tuple(r.id for r in self.relationships)
+            == tuple(r.id for r in other.relationships)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                tuple(node.id for node in self.nodes),
+                tuple(rel.id for rel in self.relationships),
+            )
+        )
+
+    def __repr__(self) -> str:
+        if not self.relationships:
+            return f"<path (n{self.nodes[0].id})>"
+        parts = [f"(n{self.nodes[0].id})"]
+        for index, rel in enumerate(self.relationships):
+            nxt = self.nodes[index + 1]
+            if rel.src == self.nodes[index].id:
+                parts.append(f"-[r{rel.id}:{rel.type}]->(n{nxt.id})")
+            else:
+                parts.append(f"<-[r{rel.id}:{rel.type}]-(n{nxt.id})")
+        return "<path " + "".join(parts) + ">"

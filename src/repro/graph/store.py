@@ -1,0 +1,225 @@
+"""A mutable property graph store.
+
+The query language of Section 3 is read-only, but the paper's ingestion
+path (Section 5.2, Listing 4 — the Neo4j Kafka connector) maps stream
+events into a *store* via ``MERGE``-style statements.  :class:`GraphStore`
+is that store: a mutable counterpart of :class:`PropertyGraph` supporting
+the write clauses of :mod:`repro.cypher.updating`.
+
+``graph()`` freezes the current state into an immutable
+:class:`PropertyGraph` (cached until the next mutation), which is what
+the read side of the engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.errors import GraphConsistencyError
+from repro.graph.model import Node, NodeId, PropertyGraph, Relationship, \
+    RelationshipId
+from repro.graph.values import NULL
+
+
+@dataclass
+class _NodeState:
+    labels: Set[str] = field(default_factory=set)
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _RelationshipState:
+    type: str = ""
+    src: NodeId = 0
+    trg: NodeId = 0
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+
+class GraphStore:
+    """Mutable node/relationship state with Cypher write semantics."""
+
+    def __init__(self, graph: Optional[PropertyGraph] = None):
+        self._nodes: Dict[NodeId, _NodeState] = {}
+        self._relationships: Dict[RelationshipId, _RelationshipState] = {}
+        self._next_node_id = 1
+        self._next_rel_id = 1
+        self._dirty = True
+        self._cached = PropertyGraph.empty()
+        if graph is not None:
+            self.load(graph)
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self, graph: PropertyGraph) -> None:
+        """Bulk-load an immutable graph (existing ids preserved)."""
+        for node in graph.nodes.values():
+            self._nodes[node.id] = _NodeState(
+                labels=set(node.labels), properties=dict(node.properties)
+            )
+            self._next_node_id = max(self._next_node_id, node.id + 1)
+        for rel in graph.relationships.values():
+            self._relationships[rel.id] = _RelationshipState(
+                type=rel.type, src=rel.src, trg=rel.trg,
+                properties=dict(rel.properties),
+            )
+            self._next_rel_id = max(self._next_rel_id, rel.id + 1)
+        self._dirty = True
+
+    # -- reads ------------------------------------------------------------------
+
+    def graph(self) -> PropertyGraph:
+        """Freeze the current state (cached until the next mutation)."""
+        if self._dirty:
+            self._cached = PropertyGraph.of(
+                (
+                    Node(id=node_id, labels=frozenset(state.labels),
+                         properties=dict(state.properties))
+                    for node_id, state in self._nodes.items()
+                ),
+                (
+                    Relationship(
+                        id=rel_id, type=state.type, src=state.src,
+                        trg=state.trg, properties=dict(state.properties),
+                    )
+                    for rel_id, state in self._relationships.items()
+                ),
+            )
+            self._dirty = False
+        return self._cached
+
+    @property
+    def order(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self._relationships)
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def has_relationship(self, rel_id: RelationshipId) -> bool:
+        return rel_id in self._relationships
+
+    # -- creation -----------------------------------------------------------------
+
+    def create_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> Node:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        clean = {k: v for k, v in (properties or {}).items() if v is not NULL}
+        self._nodes[node_id] = _NodeState(labels=set(labels), properties=clean)
+        self._dirty = True
+        return Node(id=node_id, labels=frozenset(labels), properties=clean)
+
+    def create_relationship(
+        self,
+        src: NodeId,
+        rel_type: str,
+        trg: NodeId,
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> Relationship:
+        if src not in self._nodes:
+            raise GraphConsistencyError(f"unknown source node {src}")
+        if trg not in self._nodes:
+            raise GraphConsistencyError(f"unknown target node {trg}")
+        rel_id = self._next_rel_id
+        self._next_rel_id += 1
+        clean = {k: v for k, v in (properties or {}).items() if v is not NULL}
+        self._relationships[rel_id] = _RelationshipState(
+            type=rel_type, src=src, trg=trg, properties=clean
+        )
+        self._dirty = True
+        return Relationship(id=rel_id, type=rel_type, src=src, trg=trg,
+                            properties=clean)
+
+    # -- updates -------------------------------------------------------------------
+
+    def _node_state(self, node_id: NodeId) -> _NodeState:
+        state = self._nodes.get(node_id)
+        if state is None:
+            raise GraphConsistencyError(f"unknown node {node_id}")
+        return state
+
+    def _rel_state(self, rel_id: RelationshipId) -> _RelationshipState:
+        state = self._relationships.get(rel_id)
+        if state is None:
+            raise GraphConsistencyError(f"unknown relationship {rel_id}")
+        return state
+
+    def set_property(self, entity: Any, key: str, value: Any) -> None:
+        """SET e.key = value; setting null removes the property (Cypher)."""
+        if isinstance(entity, Node):
+            properties = self._node_state(entity.id).properties
+        elif isinstance(entity, Relationship):
+            properties = self._rel_state(entity.id).properties
+        else:
+            raise GraphConsistencyError(
+                f"cannot set properties on {entity!r}"
+            )
+        if value is NULL:
+            properties.pop(key, None)
+        else:
+            properties[key] = value
+        self._dirty = True
+
+    def set_properties_from_map(
+        self, entity: Any, mapping: Dict[str, Any], replace: bool
+    ) -> None:
+        """SET e = map (replace) or SET e += map (additive)."""
+        if isinstance(entity, Node):
+            properties = self._node_state(entity.id).properties
+        elif isinstance(entity, Relationship):
+            properties = self._rel_state(entity.id).properties
+        else:
+            raise GraphConsistencyError(
+                f"cannot set properties on {entity!r}"
+            )
+        if replace:
+            properties.clear()
+        for key, value in mapping.items():
+            if value is NULL:
+                properties.pop(key, None)
+            else:
+                properties[key] = value
+        self._dirty = True
+
+    def add_labels(self, node: Node, labels: Iterable[str]) -> None:
+        self._node_state(node.id).labels.update(labels)
+        self._dirty = True
+
+    def remove_labels(self, node: Node, labels: Iterable[str]) -> None:
+        self._node_state(node.id).labels.difference_update(labels)
+        self._dirty = True
+
+    def remove_property(self, entity: Any, key: str) -> None:
+        self.set_property(entity, key, NULL)
+
+    # -- deletion -------------------------------------------------------------------
+
+    def delete_relationship(self, rel_id: RelationshipId) -> None:
+        if rel_id in self._relationships:
+            del self._relationships[rel_id]
+            self._dirty = True
+
+    def delete_node(self, node_id: NodeId, detach: bool = False) -> None:
+        if node_id not in self._nodes:
+            return
+        incident = [
+            rel_id
+            for rel_id, state in self._relationships.items()
+            if state.src == node_id or state.trg == node_id
+        ]
+        if incident and not detach:
+            raise GraphConsistencyError(
+                f"cannot delete node {node_id}: it still has "
+                f"{len(incident)} relationship(s); use DETACH DELETE"
+            )
+        for rel_id in incident:
+            del self._relationships[rel_id]
+        del self._nodes[node_id]
+        self._dirty = True

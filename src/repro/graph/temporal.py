@@ -1,0 +1,158 @@
+"""Time instants and ISO-8601 parsing (Definition 5.1 support).
+
+The paper treats time as a discrete infinite sequence of instants with a
+constant unit.  We realize instants as **integer seconds** since the Unix
+epoch (`TimeInstant = int`), which makes window arithmetic exact and keeps
+the timeline totally ordered.  ISO-8601 datetimes (``2022-10-14T14:45``)
+and durations (``PT1H``, ``PT5M``, ``P1DT2H``) convert to and from these
+integers.
+
+The paper's listings use a trailing ``h`` on datetimes
+(``2022-10-14T14:45h``); we accept and ignore it.
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import datetime, timezone
+
+from repro.errors import TemporalError
+
+#: Alias documenting intent; instants are plain ints (seconds since epoch).
+TimeInstant = int
+
+SECOND = 1
+MINUTE = 60
+HOUR = 3600
+DAY = 86400
+WEEK = 7 * DAY
+
+_DURATION_RE = re.compile(
+    r"^P"
+    r"(?:(?P<weeks>\d+(?:\.\d+)?)W)?"
+    r"(?:(?P<days>\d+(?:\.\d+)?)D)?"
+    r"(?:T"
+    r"(?:(?P<hours>\d+(?:\.\d+)?)H)?"
+    r"(?:(?P<minutes>\d+(?:\.\d+)?)M)?"
+    r"(?:(?P<seconds>\d+(?:\.\d+)?)S)?"
+    r")?$",
+    re.IGNORECASE,
+)
+
+_DATETIME_FORMATS = (
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%dT%H:%M",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%d %H:%M",
+    "%Y-%m-%d",
+)
+
+
+def parse_duration(text: str) -> int:
+    """Parse an ISO-8601 duration into a number of seconds.
+
+    >>> parse_duration("PT1H")
+    3600
+    >>> parse_duration("PT5M")
+    300
+    >>> parse_duration("P1DT2H30M")
+    95400
+    """
+    if not isinstance(text, str):
+        raise TemporalError(f"duration must be a string, got {text!r}")
+    match = _DURATION_RE.match(text.strip())
+    if not match or text.strip().upper() in ("P", "PT"):
+        raise TemporalError(f"invalid ISO-8601 duration: {text!r}")
+    parts = {name: float(value) for name, value in match.groupdict().items() if value}
+    if not parts:
+        raise TemporalError(f"invalid ISO-8601 duration: {text!r}")
+    seconds = (
+        parts.get("weeks", 0.0) * WEEK
+        + parts.get("days", 0.0) * DAY
+        + parts.get("hours", 0.0) * HOUR
+        + parts.get("minutes", 0.0) * MINUTE
+        + parts.get("seconds", 0.0)
+    )
+    if seconds != int(seconds):
+        raise TemporalError(f"sub-second durations are not supported: {text!r}")
+    return int(seconds)
+
+
+def format_duration(seconds: int) -> str:
+    """Render a second count as a compact ISO-8601 duration.
+
+    >>> format_duration(3600)
+    'PT1H'
+    >>> format_duration(95400)
+    'P1DT2H30M'
+    """
+    if seconds < 0:
+        raise TemporalError("durations cannot be negative")
+    if seconds == 0:
+        return "PT0S"
+    days, rest = divmod(seconds, DAY)
+    hours, rest = divmod(rest, HOUR)
+    minutes, secs = divmod(rest, MINUTE)
+    out = "P"
+    if days:
+        out += f"{days}D"
+    if hours or minutes or secs:
+        out += "T"
+        if hours:
+            out += f"{hours}H"
+        if minutes:
+            out += f"{minutes}M"
+        if secs:
+            out += f"{secs}S"
+    return out
+
+
+def parse_datetime(text: str) -> TimeInstant:
+    """Parse an ISO-8601 datetime (UTC assumed) to a time instant.
+
+    Accepts the paper's trailing ``h`` suffix and a trailing ``Z``.
+
+    >>> parse_datetime("2022-10-14T14:45") == parse_datetime("2022-10-14T14:45h")
+    True
+    """
+    if not isinstance(text, str):
+        raise TemporalError(f"datetime must be a string, got {text!r}")
+    cleaned = text.strip()
+    if cleaned.endswith(("h", "H", "z", "Z")):
+        cleaned = cleaned[:-1]
+    for fmt in _DATETIME_FORMATS:
+        try:
+            parsed = datetime.strptime(cleaned, fmt)
+        except ValueError:
+            continue
+        return int(parsed.replace(tzinfo=timezone.utc).timestamp())
+    raise TemporalError(f"invalid ISO-8601 datetime: {text!r}")
+
+
+def format_datetime(instant: TimeInstant) -> str:
+    """Render an instant as ``YYYY-MM-DDTHH:MM:SS`` (UTC)."""
+    return datetime.fromtimestamp(int(instant), tz=timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%S"
+    )
+
+
+def format_hhmm(instant: TimeInstant) -> str:
+    """Render an instant as ``HH:MM`` the way the paper's tables do."""
+    return datetime.fromtimestamp(int(instant), tz=timezone.utc).strftime("%H:%M")
+
+
+def hhmm(text: str, day: str = "2022-08-01") -> TimeInstant:
+    """Build an instant from an ``HH:MM`` wall-clock string.
+
+    The paper's running example uses bare times ("14:45h"); we anchor them
+    on a fixed day in August 2022 as the narrative describes.
+
+    >>> format_hhmm(hhmm("14:45"))
+    '14:45'
+    """
+    cleaned = text.strip()
+    if cleaned.endswith(("h", "H")):
+        cleaned = cleaned[:-1]
+    if not re.match(r"^\d{1,2}:\d{2}$", cleaned):
+        raise TemporalError(f"invalid HH:MM time: {text!r}")
+    return parse_datetime(f"{day}T{cleaned}")

@@ -1,0 +1,149 @@
+"""Run instrumentation: per-evaluation latency and output statistics.
+
+Wraps a :class:`~repro.seraph.engine.SeraphEngine` run and records, per
+evaluation, wall-clock latency, rows emitted, and whether the engine's
+unchanged-window reuse fired — the measurements a systems evaluation of
+the engine reports (EXPERIMENTS.md's P-series).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.graph.temporal import TimeInstant
+from repro.seraph.engine import SeraphEngine
+from repro.seraph.sinks import Emission
+from repro.stream.stream import StreamElement
+
+
+@dataclass(frozen=True)
+class EvaluationSample:
+    """One evaluation's measurements."""
+
+    query_name: str
+    instant: TimeInstant
+    latency_seconds: float
+    rows_emitted: int
+    reused: bool
+
+
+@dataclass
+class RunReport:
+    """Aggregated measurements of one instrumented run."""
+
+    samples: List[EvaluationSample] = field(default_factory=list)
+    ingested_elements: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(sample.rows_emitted for sample in self.samples)
+
+    @property
+    def reuse_ratio(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(sample.reused for sample in self.samples) / len(
+            self.samples
+        )
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Nearest-rank latency percentile in seconds (0 < p ≤ 1)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(sample.latency_seconds for sample in self.samples)
+        rank = max(0, int(percentile * len(ordered) + 0.999999) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.latency_seconds for s in self.samples) / len(self.samples)
+
+    def by_query(self) -> Dict[str, List[EvaluationSample]]:
+        grouped: Dict[str, List[EvaluationSample]] = {}
+        for sample in self.samples:
+            grouped.setdefault(sample.query_name, []).append(sample)
+        return grouped
+
+    def render(self) -> str:
+        """One-paragraph human summary."""
+        return (
+            f"{self.evaluations} evaluations over "
+            f"{self.ingested_elements} events in {self.wall_seconds:.3f}s; "
+            f"mean latency {self.mean_latency * 1000:.2f}ms, "
+            f"p95 {self.latency_percentile(0.95) * 1000:.2f}ms; "
+            f"{self.total_rows} rows emitted; "
+            f"reuse ratio {self.reuse_ratio:.0%}"
+        )
+
+
+def instrumented_run(
+    engine: SeraphEngine,
+    elements: Iterable[StreamElement],
+    until: Optional[TimeInstant] = None,
+    stream: Optional[str] = None,
+) -> RunReport:
+    """Run a stream through an engine, sampling every evaluation.
+
+    Queries must already be registered.  Latency is measured around each
+    ``advance_to`` step and attributed to the emissions it produced
+    (evenly, when one step fires several evaluations).
+    """
+    from repro.seraph.ast import DEFAULT_STREAM
+
+    report = RunReport()
+    reuse_before = {
+        name: engine.registered(name).reused_evaluations
+        for name in engine.query_names
+    }
+
+    def record(emissions: List[Emission], elapsed: float) -> None:
+        if not emissions:
+            return
+        share = elapsed / len(emissions)
+        # A single advance_to step may fire several evaluations per
+        # query; distribute the observed reuse-counter delta over them.
+        reuse_budget: Dict[str, int] = {}
+        for name in engine.query_names:
+            now = engine.registered(name).reused_evaluations
+            reuse_budget[name] = now - reuse_before.get(name, 0)
+            reuse_before[name] = now
+        for emission in emissions:
+            was_reused = reuse_budget.get(emission.query_name, 0) > 0
+            if was_reused:
+                reuse_budget[emission.query_name] -= 1
+            report.samples.append(
+                EvaluationSample(
+                    query_name=emission.query_name,
+                    instant=emission.instant,
+                    latency_seconds=share,
+                    rows_emitted=len(emission.table),
+                    reused=was_reused,
+                )
+            )
+
+    stream_name = stream if stream is not None else DEFAULT_STREAM
+    run_start = time.perf_counter()
+    last: Optional[TimeInstant] = None
+    for element in elements:
+        step_start = time.perf_counter()
+        emissions = engine.advance_to(element.instant - 1)
+        record(emissions, time.perf_counter() - step_start)
+        engine.ingest_element(element, stream_name)
+        report.ingested_elements += 1
+        last = element.instant
+    final = until if until is not None else last
+    if final is not None:
+        step_start = time.perf_counter()
+        emissions = engine.advance_to(final)
+        record(emissions, time.perf_counter() - step_start)
+    report.wall_seconds = time.perf_counter() - run_start
+    return report

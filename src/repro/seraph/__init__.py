@@ -1,0 +1,39 @@
+"""Seraph: the continuous query language and engine (the paper's core)."""
+
+from repro.seraph.ast import DEFAULT_STREAM, Emit, SeraphMatch, SeraphQuery
+from repro.seraph.construct import (
+    ConstructingSink,
+    GraphTemplate,
+    NodeSpec,
+    RelationshipSpec,
+)
+from repro.seraph.engine import RegisteredQuery, SeraphEngine
+from repro.seraph.explain import explain
+from repro.seraph.parser import SeraphParser, parse_seraph
+from repro.seraph.registry import QueryRegistry
+from repro.seraph.semantics import continuous_run, evaluate_at, execute_body
+from repro.seraph.sinks import CallbackSink, CollectingSink, Emission, PrintingSink
+
+__all__ = [
+    "CallbackSink",
+    "CollectingSink",
+    "ConstructingSink",
+    "DEFAULT_STREAM",
+    "Emission",
+    "Emit",
+    "GraphTemplate",
+    "NodeSpec",
+    "PrintingSink",
+    "QueryRegistry",
+    "RegisteredQuery",
+    "RelationshipSpec",
+    "SeraphEngine",
+    "SeraphMatch",
+    "SeraphParser",
+    "SeraphQuery",
+    "continuous_run",
+    "evaluate_at",
+    "execute_body",
+    "explain",
+    "parse_seraph",
+]

@@ -1,0 +1,137 @@
+"""Graph-to-graph transformations (the paper's future-work item iv).
+
+A :class:`GraphTemplate` maps each emitted record to nodes and
+relationships of an *output* property graph, so a continuous query's
+emissions become a property graph stream again — composable with further
+Seraph queries (GQL-style graph-to-graph pipelines).
+
+Example::
+
+    template = GraphTemplate(
+        nodes=(
+            NodeSpec(key="user_id", labels=("Suspect",),
+                     properties=("user_id",)),
+            NodeSpec(key="station_id", labels=("Station",),
+                     properties=("station_id",), id_offset=10_000),
+        ),
+        relationships=(
+            RelationshipSpec(src_key="user_id", trg_key="station_id",
+                             rel_type="FLAGGED_AT",
+                             properties=("val_time",),
+                             trg_offset=10_000),
+        ),
+    )
+    sink = ConstructingSink(template)
+    engine.register(QUERY, sink=sink)
+    ...
+    downstream.run_stream(sink.elements)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SeraphSemanticError
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.graph.values import NULL
+from repro.seraph.sinks import Emission, Sink
+from repro.stream.stream import StreamElement
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One output node per distinct value of ``key`` in a record.
+
+    The node id is ``int(record[key]) + id_offset`` — offsets keep node
+    id spaces of different specs disjoint.  ``properties`` lists record
+    fields copied onto the node.
+    """
+
+    key: str
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[str, ...] = ()
+    id_offset: int = 0
+
+
+@dataclass(frozen=True)
+class RelationshipSpec:
+    """One output relationship per record, between two spec'd nodes."""
+
+    src_key: str
+    trg_key: str
+    rel_type: str
+    properties: Tuple[str, ...] = ()
+    src_offset: int = 0
+    trg_offset: int = 0
+
+
+@dataclass(frozen=True)
+class GraphTemplate:
+    """How to turn one emission's records into an event graph."""
+
+    nodes: Tuple[NodeSpec, ...]
+    relationships: Tuple[RelationshipSpec, ...] = ()
+
+    def build(self, emission: Emission, rel_ids: "itertools.count") \
+            -> PropertyGraph:
+        builder = GraphBuilder()
+        for record in emission.table:
+            node_ids: Dict[Tuple[str, int], int] = {}
+            for spec in self.nodes:
+                value = record.get(spec.key)
+                if value is NULL:
+                    continue
+                node_id = int(value) + spec.id_offset
+                builder.add_node(
+                    labels=spec.labels,
+                    properties={
+                        name: record.get(name) for name in spec.properties
+                        if record.get(name) is not NULL
+                    },
+                    node_id=node_id,
+                )
+                node_ids[(spec.key, spec.id_offset)] = node_id
+            for spec in self.relationships:
+                src = node_ids.get((spec.src_key, spec.src_offset))
+                trg = node_ids.get((spec.trg_key, spec.trg_offset))
+                if src is None or trg is None:
+                    raise SeraphSemanticError(
+                        "relationship spec references node keys "
+                        f"({spec.src_key!r}, {spec.trg_key!r}) that no "
+                        "node spec produced for this record"
+                    )
+                builder.add_relationship(
+                    src, spec.rel_type, trg,
+                    properties={
+                        name: record.get(name) for name in spec.properties
+                        if record.get(name) is not NULL
+                    },
+                    rel_id=next(rel_ids),
+                )
+        return builder.build()
+
+
+class ConstructingSink(Sink):
+    """Sink that materializes emissions as an output graph stream.
+
+    Each non-empty emission becomes one :class:`StreamElement` whose
+    arrival instant is the evaluation instant — feeding it into another
+    engine closes the graph-to-graph loop.
+    """
+
+    def __init__(self, template: GraphTemplate, include_empty: bool = False):
+        self.template = template
+        self.include_empty = include_empty
+        self.elements: List[StreamElement] = []
+        self._rel_ids = itertools.count(1)
+
+    def receive(self, emission: Emission) -> None:
+        if emission.is_empty() and not self.include_empty:
+            return
+        graph = self.template.build(emission, self._rel_ids)
+        self.elements.append(
+            StreamElement(graph=graph, instant=emission.instant)
+        )

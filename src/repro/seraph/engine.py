@@ -1,0 +1,521 @@
+"""The continuous Graph Stream Processing engine (Figure 5, Section 6).
+
+:class:`SeraphEngine` is the runtime the paper sketches: it registers
+Seraph queries, ingests one or more property graph streams, fires
+evaluations at each query's ET instants, maintains per-window snapshot
+graphs incrementally, applies report policies, and delivers
+time-annotated tables to sinks.
+
+Beyond the paper's core it implements three of its stated future-work /
+optimization items:
+
+* **multiple streams** (future work i) — events are ingested into named
+  streams and each ``MATCH`` may read a different one (``FROM STREAM``);
+* **static graph integration** (future work iii) — a background graph
+  unioned into every snapshot;
+* **re-execution avoidance on equal window contents** (Section 6,
+  planned optimizations) — when no window's content changed since the
+  previous evaluation and the query does not reference the window
+  bounds, the previous result is reused instead of re-evaluated;
+* **shared window state across concurrent queries** (Section 6,
+  "optimizations regarding concurrent queries") — queries whose windows
+  agree on (stream, width, ω₀, slide) share one incrementally-maintained
+  snapshot instead of each maintaining its own.
+
+Correctness contract: for every query and instant, the engine's emission
+bag-equals the denotational :func:`repro.seraph.semantics.continuous_run`
+output (tested, including property-based tests over random streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import EngineError, QueryRegistryError
+from repro.graph.model import PropertyGraph
+from repro.graph.table import Table
+from repro.graph.temporal import TimeInstant
+from repro.seraph import semantics
+from repro.seraph.ast import DEFAULT_STREAM, SeraphMatch, SeraphQuery
+from repro.seraph.parser import parse_seraph
+from repro.seraph.sinks import CollectingSink, Emission, Sink
+from repro.stream.report import ReportState
+from repro.stream.snapshot import SnapshotMaintainer, snapshot_graph
+from repro.stream.stream import PropertyGraphStream, StreamElement
+from repro.stream.tvt import TimeAnnotatedTable, TimeVaryingTable
+from repro.stream.window import ActiveSubstreamPolicy, WindowConfig
+
+
+class _StreamState:
+    """One named input stream: recorded elements + eviction bookkeeping."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.stream = PropertyGraphStream()
+        self.elements: List[StreamElement] = []
+        self.base_seq = 0  # global sequence number of elements[0]
+
+    def append(self, element: StreamElement) -> None:
+        self.stream.append(element)
+        self.elements.append(element)
+
+    def evict(self, horizon: TimeInstant, min_seq: int) -> None:
+        drop = 0
+        for index, element in enumerate(self.elements):
+            seq = self.base_seq + index
+            if element.instant <= horizon and seq < min_seq:
+                drop = index + 1
+            else:
+                break
+        if drop:
+            del self.elements[:drop]
+            self.base_seq += drop
+            self.stream.evict_count(drop)
+
+
+class _WindowState:
+    """Incrementally maintained window content for one (stream, width)."""
+
+    def __init__(
+        self,
+        config: WindowConfig,
+        policy: ActiveSubstreamPolicy,
+        incremental: bool,
+        static_graph: Optional[PropertyGraph],
+    ):
+        self.config = config
+        self.policy = policy
+        self.incremental = incremental
+        self.static_graph = static_graph
+        self.maintainer = SnapshotMaintainer()
+        if incremental and static_graph is not None:
+            # The static graph is a permanent, never-evicted contribution.
+            self.maintainer.add(
+                StreamElement(graph=static_graph, instant=0)
+            )
+        self.content: List[StreamElement] = []
+        self.content_seqs: List[int] = []
+        self.next_seq = 0  # stream sequence number of the next element
+        self.last_advanced: Optional[TimeInstant] = None
+
+    def advance(self, source: _StreamState, instant: TimeInstant) -> None:
+        """Bring the window content up to the evaluation at ``instant``.
+
+        Idempotent for repeated calls at the same instant — that is what
+        lets concurrent queries with identical window configurations
+        share one state (they fire at the same ET instants, in lock-step).
+        """
+        if self.last_advanced is not None and instant == self.last_advanced:
+            return
+        self.last_advanced = instant
+        window = self.config.active_window(instant, self.policy)
+        if self.policy is ActiveSubstreamPolicy.TRAILING:
+            keep_after = instant - self.config.width     # keep arrival > this
+            add_until = instant                          # add arrival <= this
+        else:
+            if window is None:
+                keep_after = instant
+                add_until = instant - 1
+            else:
+                keep_after = window.start - 1
+                add_until = instant
+        # Evict from the front (arrivals are non-decreasing).
+        evict_count = 0
+        for element in self.content:
+            if element.instant <= keep_after:
+                evict_count += 1
+            else:
+                break
+        for element in self.content[:evict_count]:
+            if self.incremental:
+                self.maintainer.remove(element)
+        del self.content[:evict_count]
+        del self.content_seqs[:evict_count]
+        # Add newly arrived elements.  A state created after the stream
+        # already evicted history starts at the surviving prefix (its
+        # catch-up windows over evicted spans are empty by design).
+        if self.next_seq < source.base_seq:
+            self.next_seq = source.base_seq
+        index = self.next_seq - source.base_seq
+        while (
+            index < len(source.elements)
+            and source.elements[index].instant <= add_until
+        ):
+            element = source.elements[index]
+            if element.instant > keep_after:
+                self.content.append(element)
+                self.content_seqs.append(self.next_seq)
+                if self.incremental:
+                    self.maintainer.add(element)
+            index += 1
+            self.next_seq += 1
+
+    def fingerprint(self) -> Tuple[int, int]:
+        """Identifies the current window content (contiguous seq range)."""
+        if not self.content_seqs:
+            return (-1, -1)
+        return (self.content_seqs[0], self.content_seqs[-1])
+
+    def graph(self) -> PropertyGraph:
+        if self.incremental:
+            return self.maintainer.graph()
+        from repro.graph.union import union as graph_union
+
+        graph = snapshot_graph(self.content)
+        if self.static_graph is not None:
+            graph = graph_union(self.static_graph, graph)
+        return graph
+
+
+@dataclass
+class RegisteredQuery:
+    """Engine-side state of one registered continuous query."""
+
+    query: SeraphQuery
+    sink: Sink
+    windows: Dict[Tuple[str, int], _WindowState]
+    report: Optional[ReportState]
+    next_eval: TimeInstant
+    uses_window_bounds: bool = True
+    warnings: List = field(default_factory=list)
+    result: TimeVaryingTable = field(default_factory=TimeVaryingTable)
+    evaluations: int = 0
+    reused_evaluations: int = 0
+    done: bool = False
+    _last_fingerprint: Optional[Tuple] = None
+    _last_table: Optional[Table] = None
+
+    @property
+    def name(self) -> str:
+        return self.query.name
+
+
+class SeraphEngine:
+    """Registers Seraph queries and drives their continuous evaluation.
+
+    Parameters
+    ----------
+    policy:
+        Active-substream selection policy (DESIGN.md §3).  The default
+        TRAILING reproduces the paper's worked example.
+    incremental:
+        Maintain snapshot graphs incrementally (True, default) or
+        recompute the union per evaluation (False; the ablation baseline).
+    static_graph:
+        Optional background property graph unioned into every snapshot
+        (the paper's future-work item iii).
+    reuse_unchanged_windows:
+        Skip re-evaluation when no window content changed since the last
+        evaluation and the query does not reference win_start/win_end
+        (Section 6's "avoidable re-executions on equal window contents").
+        Semantically transparent; settable to False for the ablation.
+    """
+
+    def __init__(
+        self,
+        policy: ActiveSubstreamPolicy = ActiveSubstreamPolicy.TRAILING,
+        incremental: bool = True,
+        static_graph: Optional[PropertyGraph] = None,
+        reuse_unchanged_windows: bool = True,
+        share_windows: bool = True,
+    ):
+        self.policy = policy
+        self.incremental = incremental
+        self.static_graph = static_graph
+        self.reuse_unchanged_windows = reuse_unchanged_windows
+        self.share_windows = share_windows
+        self._streams: Dict[str, _StreamState] = {}
+        self._queries: Dict[str, RegisteredQuery] = {}
+        self._shared_windows: Dict[Tuple, _WindowState] = {}
+        self._watermark: Optional[TimeInstant] = None
+
+    # -- registry (REGISTER QUERY contract) ----------------------------------
+
+    def register(
+        self,
+        query: Union[str, SeraphQuery],
+        sink: Optional[Sink] = None,
+        replace: bool = False,
+        validate: bool = True,
+    ) -> RegisteredQuery:
+        """Register a continuous query; returns its engine-side handle.
+
+        ``REGISTER QUERY name`` names are unique; pass ``replace=True`` to
+        edit a previously registered query (the paper's editing contract).
+        Semantic validation (undefined variables, aggregates in WHERE —
+        :mod:`repro.seraph.validation`) runs by default and raises
+        :class:`~repro.errors.SeraphSemanticError` on errors; warnings are
+        recorded on the returned handle as ``handle.warnings``.
+        """
+        if isinstance(query, str):
+            query = parse_seraph(query)
+        warnings: List = []
+        if validate:
+            from repro.seraph.validation import validate as validate_query
+
+            warnings = validate_query(query)
+        if query.name in self._queries and not replace:
+            raise QueryRegistryError(
+                f"query {query.name!r} is already registered "
+                "(pass replace=True to edit it)"
+            )
+        windows = {}
+        for stream_name, width in query.window_keys():
+            self._stream_state(stream_name)  # ensure the stream exists
+            config = semantics.window_config(query, width)
+            share_key = (stream_name, width, config.start, config.slide)
+            shared = (
+                self._shared_windows.get(share_key)
+                if self.share_windows else None
+            )
+            if shared is not None and shared.last_advanced is None:
+                # Lock-step sharing is only safe from a clean state: a
+                # late registrant must not see an already-advanced window.
+                windows[(stream_name, width)] = shared
+                continue
+            state = _WindowState(
+                config, self.policy, self.incremental, self.static_graph
+            )
+            if self.share_windows and shared is None:
+                self._shared_windows[share_key] = state
+            windows[(stream_name, width)] = state
+        registered = RegisteredQuery(
+            query=query,
+            sink=sink if sink is not None else CollectingSink(),
+            windows=windows,
+            report=ReportState(query.emit.policy) if query.is_continuous else None,
+            next_eval=query.starting_at,
+            uses_window_bounds=query.references_window_bounds(),
+        )
+        registered.warnings = warnings
+        self._queries[query.name] = registered
+        return registered
+
+    def deregister(self, name: str) -> None:
+        if name not in self._queries:
+            raise QueryRegistryError(f"no registered query named {name!r}")
+        del self._queries[name]
+
+    def registered(self, name: str) -> RegisteredQuery:
+        if name not in self._queries:
+            raise QueryRegistryError(f"no registered query named {name!r}")
+        return self._queries[name]
+
+    def sink(self, name: str) -> Sink:
+        return self.registered(name).sink
+
+    @property
+    def query_names(self) -> List[str]:
+        return list(self._queries)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def _stream_state(self, name: str) -> _StreamState:
+        state = self._streams.get(name)
+        if state is None:
+            state = _StreamState(name)
+            self._streams[name] = state
+        return state
+
+    def ingest(
+        self,
+        graph: PropertyGraph,
+        instant: TimeInstant,
+        stream: str = DEFAULT_STREAM,
+    ) -> StreamElement:
+        """Ingest one stream pair (G, ω) into the named stream."""
+        element = StreamElement(graph=graph, instant=instant)
+        self.ingest_element(element, stream)
+        return element
+
+    def ingest_element(
+        self, element: StreamElement, stream: str = DEFAULT_STREAM
+    ) -> None:
+        self._stream_state(stream).append(element)
+        if self._watermark is None or element.instant > self._watermark:
+            self._watermark = element.instant
+
+    @property
+    def stream(self) -> PropertyGraphStream:
+        """The default input stream (single-stream convenience view)."""
+        return self._stream_state(DEFAULT_STREAM).stream
+
+    # -- evaluation loop -----------------------------------------------------------
+
+    def advance_to(self, instant: TimeInstant) -> List[Emission]:
+        """Fire every due evaluation with ET instant ≤ ``instant``.
+
+        Returns the emissions produced, in firing order.
+        """
+        emissions: List[Emission] = []
+        while True:
+            due = [
+                registered
+                for registered in self._queries.values()
+                if not registered.done and registered.next_eval <= instant
+            ]
+            if not due:
+                break
+            # Fire in global ET order for deterministic interleaving.
+            due.sort(key=lambda registered: registered.next_eval)
+            for registered in due:
+                if registered.next_eval > instant or registered.done:
+                    continue
+                emissions.append(self._evaluate(registered))
+        self._evict()
+        return emissions
+
+    def run_stream(
+        self,
+        elements: Iterable[StreamElement],
+        until: Optional[TimeInstant] = None,
+        stream: str = DEFAULT_STREAM,
+    ) -> List[Emission]:
+        """Ingest a whole (finite) stream, firing evaluations in arrival
+        order; then advance to ``until`` (default: the last arrival)."""
+        emissions: List[Emission] = []
+        last: Optional[TimeInstant] = None
+        for element in elements:
+            # Evaluations strictly before this arrival must not see it.
+            emissions.extend(self.advance_to(element.instant - 1))
+            self.ingest_element(element, stream)
+            last = element.instant
+        final = until if until is not None else last
+        if final is not None:
+            emissions.extend(self.advance_to(final))
+        return emissions
+
+    def run_streams(
+        self,
+        streams: Dict[str, Iterable[StreamElement]],
+        until: Optional[TimeInstant] = None,
+    ) -> List[Emission]:
+        """Multi-stream run: merge named streams by arrival instant and
+        fire evaluations along the way."""
+        tagged: List[Tuple[TimeInstant, int, str, StreamElement]] = []
+        for order, (name, elements) in enumerate(streams.items()):
+            for element in elements:
+                tagged.append((element.instant, order, name, element))
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        emissions: List[Emission] = []
+        last: Optional[TimeInstant] = None
+        for instant, _order, name, element in tagged:
+            emissions.extend(self.advance_to(instant - 1))
+            self.ingest_element(element, name)
+            last = instant
+        final = until if until is not None else last
+        if final is not None:
+            emissions.extend(self.advance_to(final))
+        return emissions
+
+    # -- internals -------------------------------------------------------------------
+
+    def _evaluate(self, registered: RegisteredQuery) -> Emission:
+        query = registered.query
+        instant = registered.next_eval
+        for (stream_name, _width), state in registered.windows.items():
+            state.advance(self._stream_state(stream_name), instant)
+
+        interval = semantics.reported_interval(query, instant, self.policy)
+        fingerprint = tuple(
+            (key, state.fingerprint())
+            for key, state in sorted(registered.windows.items())
+        )
+        reusable = (
+            self.reuse_unchanged_windows
+            and not registered.uses_window_bounds
+            and registered._last_table is not None
+            and fingerprint == registered._last_fingerprint
+        )
+        if reusable:
+            table = registered._last_table
+            registered.reused_evaluations += 1
+        else:
+            table = semantics.execute_body(
+                query, self._graph_provider(registered), interval
+            )
+        registered._last_fingerprint = fingerprint
+        registered._last_table = table
+
+        if registered.report is not None:
+            emitted = registered.report.apply(table)
+        else:
+            emitted = table
+        annotated = TimeAnnotatedTable(table=emitted, interval=interval)
+        registered.result.append(
+            TimeAnnotatedTable(table=table, interval=interval)
+        )
+        registered.evaluations += 1
+        if query.is_continuous:
+            registered.next_eval = instant + query.slide
+        else:
+            registered.done = True
+        emission = Emission(query_name=query.name, instant=instant, table=annotated)
+        registered.sink.receive(emission)
+        return emission
+
+    def _graph_provider(self, registered: RegisteredQuery):
+        def graph_for(stream_name: str, width: int) -> PropertyGraph:
+            state = registered.windows.get((stream_name, width))
+            if state is None:
+                raise EngineError(
+                    f"no window state for stream {stream_name!r} "
+                    f"width {width}"
+                )
+            return state.graph()
+
+        return graph_for
+
+    def _evict(self) -> None:
+        """Drop stream elements no future evaluation can reach."""
+        horizons: Dict[str, TimeInstant] = {}
+        min_seqs: Dict[str, int] = {}
+        for registered in self._queries.values():
+            if registered.done:
+                continue
+            for (stream_name, width), state in registered.windows.items():
+                horizon = registered.next_eval - width
+                if stream_name not in horizons:
+                    horizons[stream_name] = horizon
+                    min_seqs[stream_name] = state.next_seq
+                else:
+                    horizons[stream_name] = min(horizons[stream_name], horizon)
+                    min_seqs[stream_name] = min(
+                        min_seqs[stream_name], state.next_seq
+                    )
+        for stream_name, horizon in horizons.items():
+            self._stream_state(stream_name).evict(
+                horizon, min_seqs[stream_name]
+            )
+
+    @property
+    def retained_elements(self) -> int:
+        """How many stream elements the engine currently retains."""
+        return sum(len(state.elements) for state in self._streams.values())
+
+    def status(self) -> Dict[str, object]:
+        """Operational snapshot for monitoring dashboards/logs."""
+        return {
+            "queries": {
+                name: {
+                    "evaluations": registered.evaluations,
+                    "reused": registered.reused_evaluations,
+                    "next_eval": registered.next_eval,
+                    "done": registered.done,
+                    "warnings": [str(w) for w in registered.warnings],
+                }
+                for name, registered in self._queries.items()
+            },
+            "streams": {
+                name: {
+                    "retained": len(state.elements),
+                    "head": state.stream.head_instant,
+                }
+                for name, state in self._streams.items()
+            },
+            "watermark": self._watermark,
+            "policy": self.policy.value,
+            "incremental": self.incremental,
+            "shared_window_states": len(self._shared_windows),
+        }

@@ -1,0 +1,75 @@
+"""EXPLAIN-style introspection for registered Seraph queries.
+
+Produces a human-readable execution outline: windows (per stream/width),
+evaluation cadence, report policy, clause pipeline, and which engine
+optimizations apply — the kind of plan surface the paper's Section 6
+optimization work would need.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.cypher import ast as cypher_ast
+from repro.graph.temporal import format_datetime, format_duration
+from repro.seraph.ast import SeraphMatch, SeraphQuery
+from repro.seraph.parser import parse_seraph
+
+
+def explain(query: Union[str, SeraphQuery]) -> str:
+    """Render an execution outline for a Seraph query."""
+    if isinstance(query, str):
+        query = parse_seraph(query)
+    lines: List[str] = []
+    lines.append(f"ContinuousQuery {query.name}")
+    lines.append(f"  starting at : {format_datetime(query.starting_at)}")
+    if query.is_continuous:
+        lines.append(
+            f"  cadence     : every {format_duration(query.slide)} "
+            f"(ET = ω0 + i·β)"
+        )
+        lines.append(f"  report      : {query.emit.policy.value}")
+    else:
+        lines.append("  cadence     : one-shot (RETURN terminal)")
+    lines.append("  windows     :")
+    for stream_name, width in query.window_keys():
+        lines.append(
+            f"    - stream {stream_name!r}: width {format_duration(width)}"
+        )
+    lines.append(
+        "  win bounds  : "
+        + ("referenced (reuse optimization off)"
+           if query.references_window_bounds()
+           else "not referenced (unchanged-window reuse applies)")
+    )
+    lines.append("  pipeline    :")
+    step = 0
+    for clause in query.body:
+        step += 1
+        if isinstance(clause, SeraphMatch):
+            kind = "OptionalMatch" if clause.match.optional else "Match"
+            detail = clause.match.pattern.render()
+            lines.append(
+                f"    {step}. {kind}[{clause.stream_name}/"
+                f"{format_duration(clause.within)}] {detail}"
+            )
+            if clause.match.where is not None:
+                step += 1
+                lines.append(
+                    f"    {step}. Filter {clause.match.where.render()}"
+                )
+        elif isinstance(clause, cypher_ast.With):
+            lines.append(f"    {step}. Project {clause.render()[5:]}")
+        elif isinstance(clause, cypher_ast.Unwind):
+            lines.append(f"    {step}. Unwind {clause.render()[7:]}")
+        else:
+            lines.append(f"    {step}. {clause.render()}")
+    step += 1
+    if query.emit is not None:
+        items = ", ".join(item.render() for item in query.emit.items)
+        if query.emit.star:
+            items = "*" + (", " + items if items else "")
+        lines.append(f"    {step}. Emit {items}")
+    else:
+        lines.append(f"    {step}. {query.final_return.render()}")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Parser for the Seraph grammar (Figure 6).
+
+Extends :class:`repro.cypher.parser.CypherParser` with the green-keyword
+constructs: ``REGISTER QUERY``, ``STARTING AT``, per-MATCH ``WITHIN``,
+``EMIT … ON ENTERING/ON EXITING/SNAPSHOT … EVERY …``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cypher import ast as cypher_ast
+from repro.cypher.parser import CypherParser
+from repro.cypher.tokens import TokenKind
+from repro.errors import SeraphSyntaxError, TemporalError
+from repro.graph.temporal import parse_datetime, parse_duration
+from repro.seraph.ast import Emit, SeraphMatch, SeraphQuery
+from repro.stream.report import ReportPolicy
+
+
+class SeraphParser(CypherParser):
+    """Parses one ``REGISTER QUERY`` statement."""
+
+    def parse_seraph_query(self) -> SeraphQuery:
+        self._expect_keyword("REGISTER")
+        self._expect_keyword("QUERY")
+        name = self._name_token("as the query name")
+        self._expect_keyword("STARTING")
+        self._expect_keyword("AT")
+        starting_at = self._parse_datetime_literal()
+        self._expect(TokenKind.LBRACE, "to open the query body")
+        body, emit, final_return = self._parse_body()
+        self._expect(TokenKind.RBRACE, "to close the query body")
+        self._match(TokenKind.SEMICOLON)
+        if not self._check(TokenKind.EOF):
+            raise self._seraph_error(
+                f"unexpected trailing input {self._peek().text!r}"
+            )
+        return SeraphQuery(
+            name=name,
+            starting_at=starting_at,
+            body=tuple(body),
+            emit=emit,
+            final_return=final_return,
+        )
+
+    # -- pieces -----------------------------------------------------------------
+
+    def _seraph_error(self, message: str) -> SeraphSyntaxError:
+        token = self._peek()
+        return SeraphSyntaxError(message, token.line, token.column)
+
+    def _parse_datetime_literal(self) -> int:
+        token = self._peek()
+        if token.kind in (TokenKind.DATETIME, TokenKind.STRING):
+            self._advance()
+            try:
+                return parse_datetime(token.value)
+            except TemporalError as exc:
+                raise self._seraph_error(str(exc)) from exc
+        raise self._seraph_error(
+            f"expected an ISO-8601 datetime after STARTING AT, got {token.text!r}"
+        )
+
+    def _parse_duration_literal(self, context: str) -> int:
+        token = self._peek()
+        if token.kind in (TokenKind.IDENT, TokenKind.STRING):
+            self._advance()
+            try:
+                return parse_duration(token.value)
+            except TemporalError as exc:
+                raise self._seraph_error(str(exc)) from exc
+        raise self._seraph_error(
+            f"expected an ISO-8601 duration {context}, got {token.text!r}"
+        )
+
+    def _parse_body(
+        self,
+    ) -> Tuple[List[object], Optional[Emit], Optional[cypher_ast.Return]]:
+        clauses: List[object] = []
+        while True:
+            token = self._peek()
+            if token.is_keyword("MATCH") or token.is_keyword("OPTIONAL"):
+                clauses.append(self._parse_seraph_match())
+            elif token.is_keyword("UNWIND"):
+                clauses.append(self.parse_unwind())
+            elif token.is_keyword("WITH"):
+                clauses.append(self.parse_with())
+            elif token.is_keyword("WHERE"):
+                # Figure 6 allows a standalone WHERE between WITH-less
+                # clause boundaries (Listing 5 puts WHERE after WITH on
+                # its own line); attach it to the previous clause.
+                self._advance()
+                predicate = self.parse_expression()
+                clauses.append(self._attach_where(clauses, predicate))
+            elif token.is_keyword("EMIT"):
+                emit = self._parse_emit()
+                return clauses, emit, None
+            elif token.is_keyword("RETURN"):
+                final_return = self.parse_return()
+                return clauses, None, final_return
+            else:
+                raise self._seraph_error(
+                    "expected a clause (MATCH/UNWIND/WITH/EMIT/RETURN), got "
+                    f"{token.text or token.kind.value!r}"
+                )
+
+    def _attach_where(
+        self, clauses: List[object], predicate: cypher_ast.Expression
+    ) -> object:
+        """Fold a standalone WHERE into the preceding clause."""
+        if not clauses:
+            raise self._seraph_error("WHERE must follow MATCH or WITH")
+        previous = clauses.pop()
+        if isinstance(previous, SeraphMatch):
+            if previous.match.where is not None:
+                predicate = cypher_ast.And(left=previous.match.where,
+                                           right=predicate)
+            return SeraphMatch(
+                match=cypher_ast.Match(
+                    pattern=previous.match.pattern,
+                    optional=previous.match.optional,
+                    where=predicate,
+                ),
+                within=previous.within,
+                stream=previous.stream,
+            )
+        if isinstance(previous, cypher_ast.With):
+            if previous.where is not None:
+                predicate = cypher_ast.And(left=previous.where, right=predicate)
+            return cypher_ast.With(
+                items=previous.items,
+                distinct=previous.distinct,
+                star=previous.star,
+                order_by=previous.order_by,
+                skip=previous.skip,
+                limit=previous.limit,
+                where=predicate,
+            )
+        raise self._seraph_error("WHERE must follow MATCH or WITH")
+
+    def _parse_seraph_match(self) -> SeraphMatch:
+        optional = self._match_keyword("OPTIONAL") is not None
+        self._expect_keyword("MATCH")
+        pattern = self.parse_pattern()
+        stream = None
+        if self._match_keyword("FROM"):
+            self._expect_keyword("STREAM")
+            stream = self._name_token("as the stream name")
+        if not self._match_keyword("WITHIN"):
+            raise self._seraph_error(
+                "every Seraph MATCH requires a WITHIN window width (Figure 6)"
+            )
+        within = self._parse_duration_literal("after WITHIN")
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.parse_expression()
+        return SeraphMatch(
+            match=cypher_ast.Match(pattern=pattern, optional=optional, where=where),
+            within=within,
+            stream=stream,
+        )
+
+    def _parse_emit(self) -> Emit:
+        self._expect_keyword("EMIT")
+        star = False
+        items: List[cypher_ast.ProjectionItem] = []
+        if self._check(TokenKind.STAR):
+            self._advance()
+            star = True
+            while self._match(TokenKind.COMMA):
+                items.append(self._parse_projection_item())
+        else:
+            items.append(self._parse_projection_item())
+            while self._match(TokenKind.COMMA):
+                items.append(self._parse_projection_item())
+        policy = ReportPolicy.SNAPSHOT
+        if self._match_keyword("ON"):
+            if self._match_keyword("ENTERING"):
+                policy = ReportPolicy.ON_ENTERING
+            elif self._match_keyword("EXITING"):
+                policy = ReportPolicy.ON_EXITING
+            else:
+                raise self._seraph_error("expected ENTERING or EXITING after ON")
+        else:
+            self._match_keyword("SNAPSHOT")
+        self._expect_keyword("EVERY")
+        every = self._parse_duration_literal("after EVERY")
+        return Emit(items=tuple(items), star=star, policy=policy, every=every)
+
+
+def parse_seraph(text: str) -> SeraphQuery:
+    """Parse a ``REGISTER QUERY`` statement into a :class:`SeraphQuery`."""
+    return SeraphParser(text).parse_seraph_query()

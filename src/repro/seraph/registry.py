@@ -1,0 +1,52 @@
+"""Standalone named-query registry.
+
+:class:`SeraphEngine` embeds registration directly; this module offers the
+same ``REGISTER QUERY`` contract (unique names, editing, deleting) as a
+separate component for tooling that manages query texts without running
+an engine — e.g. validating a catalog of continuous queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import QueryRegistryError
+from repro.seraph.ast import SeraphQuery
+from repro.seraph.parser import parse_seraph
+
+
+class QueryRegistry:
+    """Holds parsed Seraph queries by their registered name."""
+
+    def __init__(self):
+        self._queries: Dict[str, SeraphQuery] = {}
+
+    def register(self, query: Union[str, SeraphQuery],
+                 replace: bool = False) -> SeraphQuery:
+        if isinstance(query, str):
+            query = parse_seraph(query)
+        if query.name in self._queries and not replace:
+            raise QueryRegistryError(
+                f"query {query.name!r} is already registered"
+            )
+        self._queries[query.name] = query
+        return query
+
+    def get(self, name: str) -> SeraphQuery:
+        if name not in self._queries:
+            raise QueryRegistryError(f"no registered query named {name!r}")
+        return self._queries[name]
+
+    def delete(self, name: str) -> SeraphQuery:
+        if name not in self._queries:
+            raise QueryRegistryError(f"no registered query named {name!r}")
+        return self._queries.pop(name)
+
+    def names(self) -> List[str]:
+        return list(self._queries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._queries
+
+    def __len__(self) -> int:
+        return len(self._queries)

@@ -1,0 +1,148 @@
+"""Result sinks for the continuous engine.
+
+Every evaluation of a registered query produces an :class:`Emission`; the
+query's sink decides what to do with it (collect, call back, print).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TextIO
+
+from repro.graph.temporal import TimeInstant, format_hhmm
+from repro.stream.tvt import TimeAnnotatedTable
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One reported result of one evaluation of one registered query."""
+
+    query_name: str
+    instant: TimeInstant
+    table: TimeAnnotatedTable
+
+    def is_empty(self) -> bool:
+        return len(self.table) == 0
+
+    def render(self, columns: Optional[List[str]] = None) -> str:
+        header = f"== {self.query_name} @ {format_hhmm(self.instant)} =="
+        return header + "\n" + self.table.render(columns)
+
+
+class Sink:
+    """Base class: receives every emission of its query."""
+
+    def receive(self, emission: Emission) -> None:
+        raise NotImplementedError
+
+
+class CollectingSink(Sink):
+    """Stores all emissions; the default sink."""
+
+    def __init__(self):
+        self.emissions: List[Emission] = []
+
+    def receive(self, emission: Emission) -> None:
+        self.emissions.append(emission)
+
+    def non_empty(self) -> List[Emission]:
+        return [emission for emission in self.emissions if not emission.is_empty()]
+
+    def at(self, instant: TimeInstant) -> Optional[Emission]:
+        for emission in self.emissions:
+            if emission.instant == instant:
+                return emission
+        return None
+
+    def __len__(self) -> int:
+        return len(self.emissions)
+
+
+class CallbackSink(Sink):
+    """Invokes a user callback per emission."""
+
+    def __init__(self, callback: Callable[[Emission], None],
+                 skip_empty: bool = True):
+        self._callback = callback
+        self._skip_empty = skip_empty
+
+    def receive(self, emission: Emission) -> None:
+        if self._skip_empty and emission.is_empty():
+            return
+        self._callback(emission)
+
+
+class JsonlSink(Sink):
+    """Serializes emissions as JSON lines (one object per emission).
+
+    The format is replayable tooling-side: query name, evaluation
+    instant, window bounds, and the rows (graph entities reduced to their
+    ids).  Pass a path or any writable text stream.
+    """
+
+    def __init__(self, target, skip_empty: bool = True):
+        self._owns_handle = isinstance(target, str)
+        self._handle = open(target, "w", encoding="utf-8") \
+            if self._owns_handle else target
+        self._skip_empty = skip_empty
+
+    def receive(self, emission: Emission) -> None:
+        import json
+
+        if self._skip_empty and emission.is_empty():
+            return
+        document = {
+            "query": emission.query_name,
+            "instant": emission.instant,
+            "win_start": emission.table.win_start,
+            "win_end": emission.table.win_end,
+            "rows": [
+                {name: _plain_value(record[name]) for name in record}
+                for record in emission.table
+            ],
+        }
+        self._handle.write(json.dumps(document, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _plain_value(value):
+    """Reduce graph entities to JSON-serializable shapes."""
+    from repro.graph.model import Node, Path, Relationship
+
+    if isinstance(value, Node):
+        return {"node": value.id}
+    if isinstance(value, Relationship):
+        return {"relationship": value.id}
+    if isinstance(value, Path):
+        return {"path": [rel.id for rel in value.relationships]}
+    if isinstance(value, list):
+        return [_plain_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _plain_value(item) for key, item in value.items()}
+    return value
+
+
+class PrintingSink(Sink):
+    """Renders emissions in the paper's table style to a text stream."""
+
+    def __init__(self, out: Optional[TextIO] = None, skip_empty: bool = True,
+                 columns: Optional[List[str]] = None):
+        import sys
+
+        self._out = out or sys.stdout
+        self._skip_empty = skip_empty
+        self._columns = columns
+
+    def receive(self, emission: Emission) -> None:
+        if self._skip_empty and emission.is_empty():
+            return
+        print(emission.render(self._columns), file=self._out)

@@ -1,0 +1,248 @@
+"""Registration-time semantic validation of Seraph queries.
+
+The paper motivates formal semantics with "avoid underlying ambiguities
+and incorrect behavior of the queries"; this module adds the static
+checks an implementation wants *before* a query starts running forever:
+
+* **errors** (raise :class:`SeraphSemanticError` via :func:`validate`):
+  - an expression references a name no clause ever binds,
+  - an aggregate call appears in a WHERE predicate;
+* **warnings** (returned, never raised):
+  - a name is used after a WITH projection dropped it,
+  - EVERY exceeds a WITHIN width (evaluations can miss events entirely
+    under gapped windows),
+  - a RETURN-terminal query carries no window-relevant clauses.
+
+``SeraphEngine.register`` runs :func:`validate` by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+from repro.cypher import ast as cypher_ast
+from repro.cypher.expressions import contains_aggregate
+from repro.errors import SeraphSemanticError
+from repro.graph.temporal import format_duration
+from repro.seraph.ast import SeraphMatch, SeraphQuery
+from repro.stream.tvt import WIN_END, WIN_START
+
+#: Names implicitly in scope in every Seraph expression (Definition 5.6).
+IMPLICIT_NAMES = frozenset({WIN_START, WIN_END})
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str  # 'error' | 'warning'
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.message}"
+
+
+def expression_variables(expression: cypher_ast.Expression,
+                         local: frozenset = frozenset()) -> Iterator[str]:
+    """Free variable names of an expression (comprehension/quantifier
+    binders are local and excluded)."""
+    if isinstance(expression, cypher_ast.Variable):
+        if expression.name not in local:
+            yield expression.name
+        return
+    if isinstance(expression, cypher_ast.ListComprehension):
+        yield from expression_variables(expression.source, local)
+        inner = local | {expression.variable}
+        if expression.predicate is not None:
+            yield from expression_variables(expression.predicate, inner)
+        if expression.projection is not None:
+            yield from expression_variables(expression.projection, inner)
+        return
+    if isinstance(expression, cypher_ast.Quantifier):
+        yield from expression_variables(expression.source, local)
+        inner = local | {expression.variable}
+        yield from expression_variables(expression.predicate, inner)
+        return
+    if isinstance(expression, cypher_ast.PatternPredicate):
+        # Unbound names inside a pattern predicate are existential.
+        for node in expression.pattern.nodes:
+            for _key, value in node.properties:
+                yield from expression_variables(value, local)
+        for rel in expression.pattern.relationships:
+            for _key, value in rel.properties:
+                yield from expression_variables(value, local)
+        return
+    for child in _children(expression):
+        yield from expression_variables(child, local)
+
+
+def _children(expression: cypher_ast.Expression) \
+        -> Iterator[cypher_ast.Expression]:
+    if isinstance(expression, cypher_ast.PropertyAccess):
+        yield expression.subject
+    elif isinstance(expression, (cypher_ast.And, cypher_ast.Or,
+                                 cypher_ast.Xor)):
+        yield expression.left
+        yield expression.right
+    elif isinstance(expression, cypher_ast.Not):
+        yield expression.operand
+    elif isinstance(expression, cypher_ast.UnaryOp):
+        yield expression.operand
+    elif isinstance(expression, cypher_ast.BinaryOp):
+        yield expression.left
+        yield expression.right
+    elif isinstance(expression, cypher_ast.Comparison):
+        yield expression.first
+        for _op, operand in expression.rest:
+            yield operand
+    elif isinstance(expression, cypher_ast.IsNull):
+        yield expression.operand
+    elif isinstance(expression, cypher_ast.InList):
+        yield expression.item
+        yield expression.container
+    elif isinstance(expression, cypher_ast.StringPredicate):
+        yield expression.left
+        yield expression.right
+    elif isinstance(expression, cypher_ast.FunctionCall):
+        yield from expression.args
+    elif isinstance(expression, cypher_ast.ListLiteral):
+        yield from expression.items
+    elif isinstance(expression, cypher_ast.MapLiteral):
+        for _key, value in expression.entries:
+            yield value
+    elif isinstance(expression, cypher_ast.Index):
+        yield expression.subject
+        yield expression.index
+    elif isinstance(expression, cypher_ast.Slice):
+        yield expression.subject
+        if expression.lower is not None:
+            yield expression.lower
+        if expression.upper is not None:
+            yield expression.upper
+    elif isinstance(expression, cypher_ast.CaseExpression):
+        if expression.operand is not None:
+            yield expression.operand
+        for when, then in expression.alternatives:
+            yield when
+            yield then
+        if expression.default is not None:
+            yield expression.default
+
+
+def _pattern_expression_variables(pattern: cypher_ast.Pattern) \
+        -> Iterator[str]:
+    for path in pattern.paths:
+        for node in path.nodes:
+            for _key, value in node.properties:
+                yield from expression_variables(value)
+        for rel in path.relationships:
+            for _key, value in rel.properties:
+                yield from expression_variables(value)
+
+
+def check(query: SeraphQuery) -> List[Issue]:
+    """Run all validations; returns findings (possibly empty)."""
+    issues: List[Issue] = []
+    scope: Set[str] = set(IMPLICIT_NAMES)
+    ever_bound: Set[str] = set(IMPLICIT_NAMES)
+
+    def check_expression(expression: cypher_ast.Expression,
+                         context: str) -> None:
+        for name in expression_variables(expression):
+            if name in scope:
+                continue
+            if name in ever_bound:
+                issues.append(Issue(
+                    "warning",
+                    f"{context} references {name!r}, which an earlier WITH "
+                    "projected away",
+                ))
+            else:
+                issues.append(Issue(
+                    "error",
+                    f"{context} references undefined variable {name!r}",
+                ))
+
+    def check_where(where: Optional[cypher_ast.Expression],
+                    context: str) -> None:
+        if where is None:
+            return
+        if contains_aggregate(where):
+            issues.append(Issue(
+                "error", f"aggregate call inside {context} WHERE"
+            ))
+        check_expression(where, f"{context} WHERE")
+
+    for clause in query.body:
+        if isinstance(clause, SeraphMatch):
+            for name in _pattern_expression_variables(clause.match.pattern):
+                if name not in scope and name not in ever_bound:
+                    issues.append(Issue(
+                        "error",
+                        "MATCH pattern property references undefined "
+                        f"variable {name!r}",
+                    ))
+            scope.update(clause.match.pattern.free_variables())
+            ever_bound.update(scope)
+            check_where(clause.match.where, "MATCH")
+        elif isinstance(clause, cypher_ast.Unwind):
+            check_expression(clause.source, "UNWIND")
+            scope.add(clause.alias)
+            ever_bound.add(clause.alias)
+        elif isinstance(clause, cypher_ast.With):
+            for item in clause.items:
+                check_expression(item.expression, "WITH item")
+            for order in clause.order_by:
+                check_expression(order.expression, "ORDER BY")
+            new_scope = set(IMPLICIT_NAMES)
+            if clause.star:
+                new_scope |= scope
+            for item in clause.items:
+                new_scope.add(item.output_name())
+            scope = new_scope
+            ever_bound.update(scope)
+            check_where(clause.where, "WITH")
+        else:  # pragma: no cover — parser restricts body clause types
+            issues.append(Issue(
+                "error",
+                f"unsupported clause {type(clause).__name__} in a "
+                "Seraph body",
+            ))
+
+    terminal_items: Tuple[cypher_ast.ProjectionItem, ...]
+    if query.emit is not None:
+        terminal_items = query.emit.items
+        context = "EMIT"
+    else:
+        terminal_items = query.final_return.items
+        context = "RETURN"
+    for item in terminal_items:
+        check_expression(item.expression, f"{context} item")
+
+    if query.is_continuous:
+        for stream_name, width in query.window_keys():
+            if query.slide > width:
+                issues.append(Issue(
+                    "warning",
+                    f"EVERY {format_duration(query.slide)} exceeds the "
+                    f"WITHIN {format_duration(width)} window on stream "
+                    f"{stream_name!r}: events arriving between windows "
+                    "are never evaluated",
+                ))
+    return issues
+
+
+def validate(query: Union[SeraphQuery, str]) -> List[Issue]:
+    """Raise on errors; return the warnings."""
+    if isinstance(query, str):
+        from repro.seraph.parser import parse_seraph
+
+        query = parse_seraph(query)
+    issues = check(query)
+    errors = [issue for issue in issues if issue.severity == "error"]
+    if errors:
+        raise SeraphSemanticError(
+            "; ".join(issue.message for issue in errors)
+        )
+    return [issue for issue in issues if issue.severity == "warning"]

@@ -1,0 +1,59 @@
+"""Graph stream substrate: time, streams, snapshots, windows, reports."""
+
+from repro.stream.partition import (
+    by_property,
+    by_relationship_type,
+    partition_elements,
+    partition_stream,
+    split_element,
+)
+from repro.stream.advanced_windows import CountWindow, SessionWindow
+from repro.stream.replay import FakeClock, ReplayDriver
+from repro.stream.report import ReportPolicy, ReportState
+from repro.stream.snapshot import SnapshotMaintainer, snapshot_graph
+from repro.stream.source import (
+    GeneratorSource,
+    ListSource,
+    SimulatedEventQueue,
+    constant_rate_source,
+)
+from repro.stream.stream import PropertyGraphStream, StreamElement
+from repro.stream.timeline import TimeInterval
+from repro.stream.tvt import (
+    RESERVED_FIELDS,
+    WIN_END,
+    WIN_START,
+    TimeAnnotatedTable,
+    TimeVaryingTable,
+)
+from repro.stream.window import ActiveSubstreamPolicy, WindowConfig
+
+__all__ = [
+    "ActiveSubstreamPolicy",
+    "CountWindow",
+    "FakeClock",
+    "ReplayDriver",
+    "SessionWindow",
+    "GeneratorSource",
+    "ListSource",
+    "PropertyGraphStream",
+    "RESERVED_FIELDS",
+    "ReportPolicy",
+    "ReportState",
+    "SimulatedEventQueue",
+    "SnapshotMaintainer",
+    "StreamElement",
+    "TimeAnnotatedTable",
+    "TimeInterval",
+    "TimeVaryingTable",
+    "WIN_END",
+    "WIN_START",
+    "WindowConfig",
+    "by_property",
+    "by_relationship_type",
+    "constant_rate_source",
+    "partition_elements",
+    "partition_stream",
+    "snapshot_graph",
+    "split_element",
+]

@@ -1,0 +1,118 @@
+"""Advanced window types (Section 6: "advanced windowing" exploration).
+
+Seraph's surface syntax (Figure 6) is time-based only; the paper plans to
+explore richer window families from the windowing survey it cites.  This
+module provides two of them as API-level operators over recorded streams,
+usable with the denotational executor
+(:func:`repro.seraph.semantics.execute_body`) or standalone:
+
+* :class:`CountWindow` — the last *n* stream elements at each evaluation
+  (count-based sliding window);
+* :class:`SessionWindow` — the maximal run of elements ending at the
+  evaluation instant in which consecutive arrivals are separated by less
+  than a ``gap`` (session window; an idle gap closes the session).
+
+Both expose the same ``active_substream(stream, instant)`` shape as the
+time-based :class:`~repro.stream.window.WindowConfig`, so snapshot-graph
+construction and query evaluation compose unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WindowError
+from repro.graph.temporal import TimeInstant
+from repro.stream.stream import PropertyGraphStream, StreamElement
+from repro.stream.timeline import TimeInterval
+
+
+@dataclass(frozen=True)
+class CountWindow:
+    """The most recent ``size`` elements with arrival ≤ ω."""
+
+    size: int
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise WindowError("count window size must be positive")
+
+    def active_substream(
+        self, stream: PropertyGraphStream, instant: TimeInstant
+    ) -> List[StreamElement]:
+        arrived = [
+            element for element in stream.elements
+            if element.instant <= instant
+        ]
+        return arrived[-self.size:]
+
+    def reported_interval(
+        self, stream: PropertyGraphStream, instant: TimeInstant
+    ) -> TimeInterval:
+        """Annotation bounds: from the oldest retained arrival to ω."""
+        content = self.active_substream(stream, instant)
+        if not content:
+            return TimeInterval(instant, instant)
+        return TimeInterval(content[0].instant, instant + 1)
+
+
+@dataclass(frozen=True)
+class SessionWindow:
+    """The session (gap-delimited run) active at ω.
+
+    An element extends the current session when it arrives strictly less
+    than ``gap`` after the previous one; an idle period of ≥ ``gap``
+    starts a new session.  At evaluation instant ω the active session is
+    the one containing the latest arrival ≤ ω — unless that session has
+    already *expired* (ω is ≥ gap past its last arrival), in which case
+    the window is empty.
+    """
+
+    gap: int
+
+    def __post_init__(self):
+        if self.gap <= 0:
+            raise WindowError("session gap must be positive")
+
+    def active_substream(
+        self, stream: PropertyGraphStream, instant: TimeInstant
+    ) -> List[StreamElement]:
+        arrived = [
+            element for element in stream.elements
+            if element.instant <= instant
+        ]
+        if not arrived:
+            return []
+        if instant - arrived[-1].instant >= self.gap:
+            return []  # the last session already timed out
+        session: List[StreamElement] = [arrived[-1]]
+        for element in reversed(arrived[:-1]):
+            if session[0].instant - element.instant < self.gap:
+                session.insert(0, element)
+            else:
+                break
+        return session
+
+    def reported_interval(
+        self, stream: PropertyGraphStream, instant: TimeInstant
+    ) -> TimeInterval:
+        content = self.active_substream(stream, instant)
+        if not content:
+            return TimeInterval(instant, instant)
+        return TimeInterval(content[0].instant, instant + 1)
+
+
+def sessions_of(
+    stream: PropertyGraphStream, gap: int
+) -> List[List[StreamElement]]:
+    """Split a whole recorded stream into its gap-delimited sessions."""
+    if gap <= 0:
+        raise WindowError("session gap must be positive")
+    sessions: List[List[StreamElement]] = []
+    for element in stream.elements:
+        if sessions and element.instant - sessions[-1][-1].instant < gap:
+            sessions[-1].append(element)
+        else:
+            sessions.append([element])
+    return sessions

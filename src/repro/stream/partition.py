@@ -1,0 +1,134 @@
+"""Logical sub-stream partitioning (the paper's future-work item ii).
+
+Splits one property graph stream into named logical sub-streams, either
+per *element* (routing whole events) or per *content* (splitting each
+event graph into sub-graphs by a relationship classifier — nodes follow
+the relationships that reference them).
+
+The resulting name→elements mapping feeds
+:meth:`repro.seraph.SeraphEngine.run_streams` directly, so a partitioned
+stream can be queried with per-partition ``FROM STREAM`` windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.graph.model import PropertyGraph, Relationship
+from repro.stream.stream import StreamElement
+
+
+def partition_elements(
+    elements: Iterable[StreamElement],
+    classify: Callable[[StreamElement], str],
+) -> Dict[str, List[StreamElement]]:
+    """Route whole events into named sub-streams.
+
+    Every element lands in exactly one partition; arrival order (and
+    therefore non-decreasing timestamps) is preserved within each.
+    """
+    partitions: Dict[str, List[StreamElement]] = {}
+    for element in elements:
+        partitions.setdefault(classify(element), []).append(element)
+    return partitions
+
+
+def split_element(
+    element: StreamElement,
+    classify: Callable[[Relationship], Optional[str]],
+    keep_isolated_nodes_in: Optional[str] = None,
+) -> Dict[str, StreamElement]:
+    """Split one event graph into per-partition sub-graphs.
+
+    Each relationship is routed by ``classify`` (returning ``None`` drops
+    it); a partition's sub-graph contains the routed relationships plus
+    their endpoint nodes.  Nodes not referenced by any routed
+    relationship are dropped unless ``keep_isolated_nodes_in`` names the
+    partition that should receive them.
+    """
+    buckets: Dict[str, Dict[str, dict]] = {}
+    referenced = set()
+    for rel in element.graph.relationships.values():
+        partition = classify(rel)
+        if partition is None:
+            continue
+        bucket = buckets.setdefault(partition, {"nodes": {}, "rels": {}})
+        bucket["rels"][rel.id] = rel
+        for node_id in (rel.src, rel.trg):
+            bucket["nodes"][node_id] = element.graph.node(node_id)
+            referenced.add(node_id)
+    if keep_isolated_nodes_in is not None:
+        bucket = buckets.setdefault(
+            keep_isolated_nodes_in, {"nodes": {}, "rels": {}}
+        )
+        for node_id, node in element.graph.nodes.items():
+            if node_id not in referenced:
+                bucket["nodes"][node_id] = node
+    return {
+        partition: StreamElement(
+            graph=PropertyGraph.of(
+                bucket["nodes"].values(), bucket["rels"].values()
+            ),
+            instant=element.instant,
+        )
+        for partition, bucket in buckets.items()
+    }
+
+
+def partition_stream(
+    elements: Iterable[StreamElement],
+    classify: Callable[[Relationship], Optional[str]],
+    keep_isolated_nodes_in: Optional[str] = None,
+    include_empty: bool = False,
+    partitions: Optional[Iterable[str]] = None,
+) -> Dict[str, List[StreamElement]]:
+    """Split a whole stream content-wise into named sub-streams.
+
+    By default a partition only receives the events that contributed to
+    it.  With ``include_empty=True`` every partition named in
+    ``partitions`` (required in that mode) receives one element per
+    source event, empty when nothing was routed to it — preserving the
+    source's event grid in each sub-stream.
+    """
+    if include_empty and partitions is None:
+        raise ValueError(
+            "include_empty=True requires the partition names up front"
+        )
+    out: Dict[str, List[StreamElement]] = {
+        name: [] for name in (partitions or ())
+    }
+    for element in elements:
+        pieces = split_element(element, classify, keep_isolated_nodes_in)
+        if include_empty:
+            for name in out:
+                piece = pieces.get(
+                    name,
+                    StreamElement(graph=PropertyGraph.empty(),
+                                  instant=element.instant),
+                )
+                out[name].append(piece)
+        else:
+            for name, piece in pieces.items():
+                if piece.graph.is_empty():
+                    continue
+                out.setdefault(name, []).append(piece)
+    return out
+
+
+def by_relationship_type() -> Callable[[Relationship], str]:
+    """Classifier: one logical sub-stream per relationship type."""
+    return lambda rel: rel.type
+
+
+def by_property(
+    key: str, default: Optional[str] = None
+) -> Callable[[Relationship], Optional[str]]:
+    """Classifier: route by a relationship property's string value."""
+
+    def classify(rel: Relationship) -> Optional[str]:
+        value = rel.property(key)
+        if value is None:
+            return default
+        return str(value)
+
+    return classify

@@ -1,0 +1,127 @@
+"""Wall-clock replay of recorded streams (the "reactive" deployment mode).
+
+A recorded stream carries logical instants; :class:`ReplayDriver` plays
+it against an engine in real time (optionally accelerated), firing
+evaluations exactly when their ET instants pass — the shape of the
+paper's deployment, where results must be out "before the data becomes
+stale".
+
+The clock and sleep functions are injectable so tests run instantly with
+a fake clock; production use passes nothing and gets ``time``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+from repro.errors import StreamError
+from repro.graph.temporal import TimeInstant
+from repro.stream.stream import StreamElement
+
+if TYPE_CHECKING:  # imported lazily to avoid a package cycle
+    from repro.seraph.engine import SeraphEngine
+    from repro.seraph.sinks import Emission
+
+
+class ReplayDriver:
+    """Plays a recorded stream through an engine on a wall clock.
+
+    ``speedup`` scales logical time to wall time (3600 ⇒ one logical hour
+    per wall second).  The driver sleeps until each element's due time,
+    ingests it, and advances the engine; between elements it also wakes
+    for intermediate ET instants so evaluations fire on schedule rather
+    than in bursts at the next arrival.
+    """
+
+    def __init__(
+        self,
+        engine: "SeraphEngine",
+        speedup: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        max_wake_interval: Optional[float] = None,
+    ):
+        if speedup <= 0:
+            raise StreamError("speedup must be positive")
+        self.engine = engine
+        self.speedup = speedup
+        self._clock = clock
+        self._sleep = sleep
+        self._max_wake_interval = max_wake_interval
+
+    def replay(
+        self,
+        elements: Iterable[StreamElement],
+        until: Optional[TimeInstant] = None,
+        stream: Optional[str] = None,
+    ) -> List["Emission"]:
+        """Run the whole replay; returns all emissions in firing order."""
+        from repro.seraph.ast import DEFAULT_STREAM
+
+        stream_name = stream if stream is not None else DEFAULT_STREAM
+        ordered = list(elements)
+        if not ordered:
+            return []
+        origin_logical = ordered[0].instant
+        origin_wall = self._clock()
+        emissions: List["Emission"] = []
+
+        def wall_for(instant: TimeInstant) -> float:
+            return origin_wall + (instant - origin_logical) / self.speedup
+
+        def advance_clocked(target: TimeInstant) -> None:
+            """Sleep-and-fire up to the logical target instant."""
+            pending = self._next_due_eval()
+            while pending is not None and pending <= target:
+                self._sleep_until(wall_for(pending))
+                emissions.extend(self.engine.advance_to(pending))
+                pending = self._next_due_eval()
+
+        for element in ordered:
+            advance_clocked(element.instant - 1)
+            self._sleep_until(wall_for(element.instant))
+            self.engine.ingest_element(element, stream_name)
+        final = until if until is not None else ordered[-1].instant
+        advance_clocked(final)
+        emissions.extend(self.engine.advance_to(final))
+        return emissions
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_due_eval(self) -> Optional[TimeInstant]:
+        candidates = [
+            registered.next_eval
+            for registered in self.engine._queries.values()
+            if not registered.done
+        ]
+        return min(candidates) if candidates else None
+
+    def _sleep_until(self, wall_deadline: float) -> None:
+        while True:
+            now = self._clock()
+            remaining = wall_deadline - now
+            if remaining <= 0:
+                return
+            if self._max_wake_interval is not None:
+                remaining = min(remaining, self._max_wake_interval)
+            self._sleep(remaining)
+
+
+class FakeClock:
+    """Deterministic clock/sleep pair for testing replay schedules.
+
+    ``sleep`` advances the clock instantly and logs the requested
+    durations, so tests can assert the wake schedule without waiting.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+        self.sleeps: List[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds

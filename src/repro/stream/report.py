@@ -1,0 +1,61 @@
+"""Result report policies (requirement R3).
+
+Seraph's ``EMIT`` clause controls *what* is part of each emission:
+
+* ``SNAPSHOT`` — every evaluation emits all current result tuples,
+  regardless of earlier emissions (Listing 2).
+* ``ON ENTERING`` — only tuples that were not part of the previous
+  evaluation's result are emitted (Listing 5); realized as the bag
+  difference current ∖ previous.
+* ``ON EXITING`` — the dual: tuples of the previous evaluation that left
+  the result.  Not exercised by the paper's listings but the natural
+  completion of the family (CQL's DStream analog); included for the
+  language's forward-compatibility and tested.
+
+Policies are stateful per registered query: :class:`ReportState` keeps the
+previous evaluation's table.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.graph.table import Table
+
+
+class ReportPolicy(enum.Enum):
+    SNAPSHOT = "SNAPSHOT"
+    ON_ENTERING = "ON ENTERING"
+    ON_EXITING = "ON EXITING"
+
+    @staticmethod
+    def parse(text: str) -> "ReportPolicy":
+        cleaned = " ".join(text.upper().split())
+        for policy in ReportPolicy:
+            if policy.value == cleaned:
+                return policy
+        raise ValueError(f"unknown report policy {text!r}")
+
+
+class ReportState:
+    """Tracks the previous evaluation's result for one query."""
+
+    def __init__(self, policy: ReportPolicy):
+        self.policy = policy
+        self._previous: Optional[Table] = None
+
+    def apply(self, current: Table) -> Table:
+        """Produce the emission for this evaluation and advance state."""
+        previous = self._previous
+        self._previous = current
+        if self.policy is ReportPolicy.SNAPSHOT:
+            return current
+        if previous is None:
+            previous = Table.empty(current.fields)
+        if self.policy is ReportPolicy.ON_ENTERING:
+            return current.bag_difference(previous)
+        return previous.bag_difference(current)
+
+    def reset(self) -> None:
+        self._previous = None

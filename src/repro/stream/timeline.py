@@ -1,0 +1,69 @@
+"""Time instants and intervals (Definition 5.1).
+
+Ω is an infinite sequence of instants with constant unit; we realize
+instants as integers (seconds, see :mod:`repro.graph.temporal`) and
+intervals as left-closed right-open ``[start, end)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import TemporalError
+from repro.graph.temporal import TimeInstant, format_hhmm
+
+
+@dataclass(frozen=True, order=True)
+class TimeInterval:
+    """A left-closed right-open interval τ = [start, end)."""
+
+    start: TimeInstant
+    end: TimeInstant
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise TemporalError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+
+    def __contains__(self, instant: object) -> bool:
+        if not isinstance(instant, int):
+            return False
+        return self.start <= instant < self.end
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def is_empty(self) -> bool:
+        return self.end == self.start
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end <= start:
+            return None
+        return TimeInterval(start, end)
+
+    def covers(self, other: "TimeInterval") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def shifted(self, delta: int) -> "TimeInterval":
+        return TimeInterval(self.start + delta, self.end + delta)
+
+    def instants(self, unit: int = 1) -> Iterator[TimeInstant]:
+        """Enumerate the instants of the interval at the given unit."""
+        if unit <= 0:
+            raise TemporalError("time unit must be positive")
+        return iter(range(self.start, self.end, unit))
+
+    def __repr__(self) -> str:
+        return f"[{self.start}, {self.end})"
+
+    def render_hhmm(self) -> str:
+        """Paper-style rendering, e.g. ``[14:40, 15:40)``."""
+        return f"[{format_hhmm(self.start)}, {format_hhmm(self.end)})"

@@ -1,0 +1,187 @@
+"""Time-based windows, evaluation instants, active substreams
+(Definitions 5.9, 5.10, 5.11).
+
+A window configuration is the triple ``(ω₀, α, β)``: first-window start,
+window width, and slide.  The window operator identifies the infinite set
+``W = { [ω₀ + iβ, ω₀ + iβ + α) : i ∈ ℕ }``; evaluation fires at every
+instant of ``ET = { ω : (ω − ω₀) mod β = 0 }``.
+
+DESIGN.md §3 documents an inconsistency between Definition 5.11 and the
+paper's own worked example (Tables 5/6); :class:`ActiveSubstreamPolicy`
+exposes both readings:
+
+* ``EARLIEST_CONTAINING`` — the formal Definition 5.11: among the windows
+  of ``W`` that contain ω (close-open membership), pick the one with the
+  earliest opening bound.
+* ``TRAILING`` — the worked-example semantics: the active window at ω is
+  ``(ω − α, ω]`` over arrival instants, reported as
+  ``win_start = ω − α, win_end = ω``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import WindowError
+from repro.graph.temporal import TimeInstant, format_duration, parse_duration
+from repro.stream.stream import PropertyGraphStream, StreamElement
+from repro.stream.timeline import TimeInterval
+
+
+class ActiveSubstreamPolicy(enum.Enum):
+    """How the active substream at an evaluation instant is selected."""
+
+    EARLIEST_CONTAINING = "earliest-containing"
+    TRAILING = "trailing"
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """The triple (ω₀, α, β) of Definition 5.9.
+
+    ``width`` (α) and ``slide`` (β) are second counts; ``start`` is ω₀.
+    A *tumbling* (hopping) window is the α = β special case.
+    """
+
+    start: TimeInstant
+    width: int
+    slide: int
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise WindowError(f"window width must be positive, got {self.width}")
+        if self.slide <= 0:
+            raise WindowError(f"window slide must be positive, got {self.slide}")
+
+    @staticmethod
+    def of(start: TimeInstant, width: str | int, slide: str | int) -> "WindowConfig":
+        """Build from ISO-8601 duration strings or second counts."""
+        if isinstance(width, str):
+            width = parse_duration(width)
+        if isinstance(slide, str):
+            slide = parse_duration(slide)
+        return WindowConfig(start=start, width=width, slide=slide)
+
+    @property
+    def is_tumbling(self) -> bool:
+        return self.width == self.slide
+
+    @property
+    def is_sliding(self) -> bool:
+        return self.slide < self.width
+
+    def window(self, index: int) -> TimeInterval:
+        """w_i = [ω₀ + iβ, ω₀ + iβ + α)."""
+        if index < 0:
+            raise WindowError("window index must be non-negative")
+        opening = self.start + index * self.slide
+        return TimeInterval(opening, opening + self.width)
+
+    def windows_until(self, limit: TimeInstant) -> Iterator[TimeInterval]:
+        """All windows whose opening bound is ≤ limit."""
+        index = 0
+        while True:
+            window = self.window(index)
+            if window.start > limit:
+                return
+            yield window
+            index += 1
+
+    def windows_containing(self, instant: TimeInstant) -> List[TimeInterval]:
+        """The windows of W(ω₀, α, β) that contain ``instant``.
+
+        Close-open membership, i ∈ ℕ — there are at most ⌈α/β⌉ of them.
+        """
+        if instant < self.start:
+            return []
+        # Smallest i with ω₀ + iβ + α > instant, clamped at 0.
+        first = max(0, (instant - self.start - self.width) // self.slide + 1)
+        windows = []
+        index = first
+        while True:
+            window = self.window(index)
+            if window.start > instant:
+                break
+            if instant in window:
+                windows.append(window)
+            index += 1
+        return windows
+
+    # -- evaluation instants (Definition 5.10) --------------------------------
+
+    def evaluation_instants(
+        self, until: TimeInstant, from_instant: Optional[TimeInstant] = None
+    ) -> Iterator[TimeInstant]:
+        """ET ∩ [from_instant, until]: instants ω ≥ ω₀ with (ω−ω₀) mod β = 0."""
+        current = self.start
+        if from_instant is not None and from_instant > current:
+            steps = (from_instant - self.start + self.slide - 1) // self.slide
+            current = self.start + steps * self.slide
+        while current <= until:
+            yield current
+            current += self.slide
+
+    def is_evaluation_instant(self, instant: TimeInstant) -> bool:
+        return instant >= self.start and (instant - self.start) % self.slide == 0
+
+    def next_evaluation_at_or_after(self, instant: TimeInstant) -> TimeInstant:
+        if instant <= self.start:
+            return self.start
+        steps = (instant - self.start + self.slide - 1) // self.slide
+        return self.start + steps * self.slide
+
+    # -- active windows/substreams (Definition 5.11 + TRAILING) ----------------
+
+    def active_window(
+        self,
+        instant: TimeInstant,
+        policy: ActiveSubstreamPolicy = ActiveSubstreamPolicy.TRAILING,
+    ) -> Optional[TimeInterval]:
+        """The reported window bounds for an evaluation at ``instant``.
+
+        Under TRAILING this is ``[instant − α, instant)`` — the bounds the
+        paper's Tables 5/6 print; membership of events is (start, end],
+        see :meth:`active_substream`.  Under EARLIEST_CONTAINING it is the
+        Definition 5.11 window, or None when no window contains the
+        instant (i.e. instant < ω₀).
+        """
+        if policy is ActiveSubstreamPolicy.TRAILING:
+            return TimeInterval(instant - self.width, instant)
+        candidates = self.windows_containing(instant)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda window: window.start)
+
+    def active_substream(
+        self,
+        stream: PropertyGraphStream,
+        instant: TimeInstant,
+        policy: ActiveSubstreamPolicy = ActiveSubstreamPolicy.TRAILING,
+    ) -> List[StreamElement]:
+        """The stream elements feeding the evaluation at ``instant``.
+
+        Under EARLIEST_CONTAINING the window may extend past ω (windows
+        are close-open intervals *containing* the evaluation instant);
+        only elements that have actually arrived (instant' ≤ ω) can feed
+        the evaluation, so the window is clipped at ω.
+        """
+        if policy is ActiveSubstreamPolicy.TRAILING:
+            return stream.substream_closed(instant - self.width, instant)
+        window = self.active_window(instant, policy)
+        if window is None:
+            return []
+        return stream.substream(TimeInterval(window.start, instant + 1))
+
+    def eviction_horizon(self, instant: TimeInstant) -> TimeInstant:
+        """Earliest arrival instant any evaluation at ≥ instant can still
+        reach; elements before it are safe to evict under both policies."""
+        return instant - self.width
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowConfig(start={self.start}, "
+            f"width={format_duration(self.width)}, "
+            f"slide={format_duration(self.slide)})"
+        )

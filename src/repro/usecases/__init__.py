@@ -1,0 +1,31 @@
+"""Industrial use-case workloads: micromobility, network, POLE."""
+
+from repro.usecases.micromobility import (
+    LISTING1_CYPHER,
+    LISTING5_SERAPH,
+    RentalStreamConfig,
+    RentalStreamGenerator,
+    figure1_stream,
+    figure2_graph,
+)
+from repro.usecases.network import (
+    NetworkConfig,
+    NetworkStreamGenerator,
+    anomalous_routes_query,
+)
+from repro.usecases.pole import PoleConfig, PoleStreamGenerator, crime_suspects_query
+
+__all__ = [
+    "LISTING1_CYPHER",
+    "LISTING5_SERAPH",
+    "NetworkConfig",
+    "NetworkStreamGenerator",
+    "PoleConfig",
+    "PoleStreamGenerator",
+    "RentalStreamConfig",
+    "RentalStreamGenerator",
+    "anomalous_routes_query",
+    "crime_suspects_query",
+    "figure1_stream",
+    "figure2_graph",
+]

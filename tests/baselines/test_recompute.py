@@ -1,0 +1,43 @@
+"""Unit tests for the snapshot-maintenance baseline arms (ablation P2)."""
+
+import pytest
+
+from repro.baselines.recompute import (
+    incremental_engine,
+    naive_executor,
+    recompute_engine,
+)
+from repro.seraph import CollectingSink
+from repro.usecases.micromobility import LISTING5_SERAPH, _t
+
+
+def run_engine(engine, rental_stream):
+    sink = CollectingSink()
+    engine.register(LISTING5_SERAPH, sink=sink)
+    engine.run_stream(rental_stream, until=_t("15:40"))
+    return sink.emissions
+
+
+class TestThreeArmsAgree:
+    def test_incremental_equals_recompute(self, rental_stream):
+        fast = run_engine(incremental_engine(), rental_stream)
+        slow = run_engine(recompute_engine(), rental_stream)
+        assert len(fast) == len(slow)
+        for left, right in zip(fast, slow):
+            assert left.table.bag_equals(right.table)
+
+    def test_naive_executor_matches_engines(self, rental_stream):
+        naive = naive_executor(LISTING5_SERAPH, rental_stream, _t("15:40"))
+        engine_emissions = run_engine(incremental_engine(), rental_stream)
+        assert len(naive) == len(engine_emissions)
+        for left, right in zip(naive, engine_emissions):
+            assert left.instant == right.instant
+            assert left.table.bag_equals(right.table)
+
+    def test_naive_executor_accepts_parsed_query(self, rental_stream):
+        from repro.seraph.parser import parse_seraph
+
+        emissions = naive_executor(
+            parse_seraph(LISTING5_SERAPH), rental_stream, _t("15:40")
+        )
+        assert len(emissions) == 12

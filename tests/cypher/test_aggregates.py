@@ -1,0 +1,124 @@
+"""Unit tests for aggregation functions and their null semantics."""
+
+import math
+
+import pytest
+
+from repro.cypher.aggregates import compute_aggregate
+from repro.errors import CypherEvaluationError, CypherTypeError
+from repro.graph.values import NULL
+
+
+class TestCount:
+    def test_skips_nulls(self):
+        assert compute_aggregate("count", [1, NULL, 2, NULL]) == 2
+
+    def test_empty(self):
+        assert compute_aggregate("count", []) == 0
+
+    def test_distinct(self):
+        assert compute_aggregate("count", [1, 1.0, 2, NULL], distinct=True) == 2
+
+
+class TestSumAvg:
+    def test_sum(self):
+        assert compute_aggregate("sum", [1, 2, NULL, 3]) == 6
+
+    def test_sum_empty_is_zero(self):
+        assert compute_aggregate("sum", []) == 0
+        assert compute_aggregate("sum", [NULL]) == 0
+
+    def test_sum_stays_integer(self):
+        assert compute_aggregate("sum", [1, 2]) == 3
+        assert isinstance(compute_aggregate("sum", [1, 2]), int)
+        assert isinstance(compute_aggregate("sum", [1, 2.5]), float)
+
+    def test_avg(self):
+        assert compute_aggregate("avg", [1, 2, 3]) == 2.0
+        assert compute_aggregate("avg", [1, NULL, 3]) == 2.0
+
+    def test_avg_empty_is_null(self):
+        assert compute_aggregate("avg", []) is NULL
+        assert compute_aggregate("avg", [NULL]) is NULL
+
+    def test_type_error(self):
+        with pytest.raises(CypherTypeError):
+            compute_aggregate("sum", ["a"])
+
+
+class TestMinMax:
+    def test_numbers(self):
+        assert compute_aggregate("min", [3, 1, NULL, 2]) == 1
+        assert compute_aggregate("max", [3, 1, NULL, 2]) == 3
+
+    def test_strings(self):
+        assert compute_aggregate("min", ["b", "a"]) == "a"
+        assert compute_aggregate("max", ["b", "a"]) == "b"
+
+    def test_empty_is_null(self):
+        assert compute_aggregate("min", []) is NULL
+        assert compute_aggregate("max", [NULL]) is NULL
+
+
+class TestCollect:
+    def test_skips_nulls(self):
+        assert compute_aggregate("collect", [1, NULL, 2]) == [1, 2]
+
+    def test_empty_is_list(self):
+        assert compute_aggregate("collect", []) == []
+
+    def test_distinct(self):
+        assert compute_aggregate("collect", [1, 1, 2], distinct=True) == [1, 2]
+
+
+class TestStdev:
+    def test_sample_stdev(self):
+        result = compute_aggregate("stdev", [2, 4, 4, 4, 5, 5, 7, 9])
+        assert result == pytest.approx(math.sqrt(32 / 7))
+
+    def test_population_stdev(self):
+        result = compute_aggregate("stdevp", [2, 4, 4, 4, 5, 5, 7, 9])
+        assert result == pytest.approx(2.0)
+
+    def test_fewer_than_two_is_zero(self):
+        assert compute_aggregate("stdev", []) == 0.0
+        assert compute_aggregate("stdev", [5]) == 0.0
+        assert compute_aggregate("stdevp", []) == 0.0
+
+
+class TestPercentiles:
+    def test_cont_interpolates(self):
+        assert compute_aggregate(
+            "percentilecont", [10, 20, 30], parameter=0.5
+        ) == 20.0
+        assert compute_aggregate(
+            "percentilecont", [10, 20], parameter=0.5
+        ) == 15.0
+
+    def test_disc_nearest_rank(self):
+        assert compute_aggregate(
+            "percentiledisc", [10, 20, 30], parameter=0.5
+        ) == 20
+        assert compute_aggregate(
+            "percentiledisc", [10, 20, 30, 40], parameter=0.25
+        ) == 10
+
+    def test_bounds(self):
+        assert compute_aggregate("percentilecont", [1, 2, 3], parameter=0.0) == 1.0
+        assert compute_aggregate("percentilecont", [1, 2, 3], parameter=1.0) == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CypherEvaluationError):
+            compute_aggregate("percentilecont", [1], parameter=1.5)
+
+    def test_missing_parameter_rejected(self):
+        with pytest.raises(CypherEvaluationError):
+            compute_aggregate("percentilecont", [1])
+
+    def test_empty_is_null(self):
+        assert compute_aggregate("percentilecont", [], parameter=0.5) is NULL
+
+
+def test_unknown_aggregate():
+    with pytest.raises(CypherEvaluationError):
+        compute_aggregate("median", [1])

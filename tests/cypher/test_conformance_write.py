@@ -1,0 +1,128 @@
+"""Write-clause conformance corpus (ingestion subset).
+
+Table-driven like the read corpus: each case runs a sequence of update
+statements against a fresh store and asserts the final state via a read
+query.
+"""
+
+import pytest
+
+from repro.cypher import run_cypher
+from repro.cypher.updating import run_update
+from repro.graph.store import GraphStore
+
+#: (case id, [update statements], verification query, expected rows)
+CASES = [
+    (
+        "create-node",
+        ["CREATE (:P {x: 1})"],
+        "MATCH (n:P) RETURN n.x AS x",
+        [{"x": 1}],
+    ),
+    (
+        "create-computed-property",
+        ["UNWIND [1, 2] AS i CREATE (:P {x: i * i})"],
+        "MATCH (n:P) RETURN n.x AS x ORDER BY x",
+        [{"x": 1}, {"x": 4}],
+    ),
+    (
+        "create-relationship-properties",
+        ["CREATE (:A {id: 1})-[:R {w: 7}]->(:B {id: 2})"],
+        "MATCH (a)-[r:R]->(b) RETURN a.id AS a, r.w AS w, b.id AS b",
+        [{"a": 1, "w": 7, "b": 2}],
+    ),
+    (
+        "merge-deduplicates",
+        ["MERGE (:P {k: 1})", "MERGE (:P {k: 1})", "MERGE (:P {k: 2})"],
+        "MATCH (n:P) RETURN count(*) AS n",
+        [{"n": 2}],
+    ),
+    (
+        "merge-on-create-flags",
+        ["MERGE (p:P {k: 1}) ON CREATE SET p.fresh = true",
+         "MERGE (p:P {k: 1}) ON MATCH SET p.seen = true"],
+        "MATCH (p:P) RETURN p.fresh AS f, p.seen AS s",
+        [{"f": True, "s": True}],
+    ),
+    (
+        "merge-relationship-idempotent",
+        ["CREATE (:A {id: 1}) CREATE (:B {id: 2})",
+         "MATCH (a:A), (b:B) MERGE (a)-[:LINK]->(b)",
+         "MATCH (a:A), (b:B) MERGE (a)-[:LINK]->(b)"],
+        "MATCH ()-[r:LINK]->() RETURN count(r) AS n",
+        [{"n": 1}],
+    ),
+    (
+        "set-property-expression",
+        ["CREATE (:P {x: 10})", "MATCH (p:P) SET p.y = p.x * 2"],
+        "MATCH (p:P) RETURN p.y AS y",
+        [{"y": 20}],
+    ),
+    (
+        "set-label",
+        ["CREATE (:P)", "MATCH (p:P) SET p:Q"],
+        "MATCH (p:P:Q) RETURN count(*) AS n",
+        [{"n": 1}],
+    ),
+    (
+        "set-additive-map",
+        ["CREATE (:P {a: 1})", "MATCH (p:P) SET p += {b: 2}"],
+        "MATCH (p:P) RETURN p.a AS a, p.b AS b",
+        [{"a": 1, "b": 2}],
+    ),
+    (
+        "set-replace-map",
+        ["CREATE (:P {a: 1})", "MATCH (p:P) SET p = {b: 2}"],
+        "MATCH (p:P) RETURN p.a IS NULL AS gone, p.b AS b",
+        [{"gone": True, "b": 2}],
+    ),
+    (
+        "remove-property-and-label",
+        ["CREATE (:P:Tmp {a: 1, b: 2})",
+         "MATCH (p:P) REMOVE p.a, p:Tmp"],
+        "MATCH (p:P) RETURN p.a IS NULL AS gone, p.b AS b, labels(p) AS ls",
+        [{"gone": True, "b": 2, "ls": ["P"]}],
+    ),
+    (
+        "delete-relationship-only",
+        ["CREATE (:A)-[:R]->(:B)", "MATCH ()-[r:R]->() DELETE r"],
+        "MATCH (n) OPTIONAL MATCH (n)-[r]-() "
+        "RETURN count(n) AS nodes, count(r) AS rels",
+        [{"nodes": 2, "rels": 0}],
+    ),
+    (
+        "detach-delete-node",
+        ["CREATE (:A)-[:R]->(:B)", "MATCH (a:A) DETACH DELETE a"],
+        "MATCH (n) RETURN count(*) AS n",
+        [{"n": 1}],
+    ),
+    (
+        "conditional-update",
+        ["UNWIND [1, 2, 3] AS i CREATE (:P {x: i})",
+         "MATCH (p:P) WHERE p.x > 1 SET p.big = true"],
+        "MATCH (p:P) WHERE p.big = true RETURN count(*) AS n",
+        [{"n": 2}],
+    ),
+    (
+        "create-after-aggregation",
+        ["UNWIND [1, 2, 3] AS i CREATE (:Src {x: i})",
+         "MATCH (s:Src) WITH sum(s.x) AS total "
+         "CREATE (:Summary {total: total})"],
+        "MATCH (s:Summary) RETURN s.total AS total",
+        [{"total": 6}],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "case_id,updates,verify,expected", CASES, ids=[c[0] for c in CASES]
+)
+def test_write_conformance(case_id, updates, verify, expected):
+    store = GraphStore()
+    for statement in updates:
+        run_update(statement, store)
+    result = run_cypher(verify, store.graph())
+    actual = [dict(record) for record in result]
+    assert len(actual) == len(expected), f"{case_id}: {actual}"
+    for row in expected:
+        assert row in actual, f"{case_id}: missing {row} in {actual}"

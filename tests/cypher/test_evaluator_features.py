@@ -1,0 +1,248 @@
+"""Broader query-level feature coverage for the Cypher engine.
+
+Each test exercises a distinct language feature end-to-end through
+``run_cypher`` (parser → matcher → evaluator), complementing the
+per-module unit tests.
+"""
+
+import pytest
+
+from repro.cypher import run_cypher
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.graph.values import NULL
+
+
+def rows(table):
+    return [dict(record) for record in table]
+
+
+@pytest.fixture
+def movie_graph():
+    """Small movies graph exercising multiple labels/types/properties."""
+    builder = GraphBuilder()
+    keanu = builder.add_node(["Person", "Actor"],
+                             {"name": "Keanu", "born": 1964}, node_id=1)
+    carrie = builder.add_node(["Person", "Actor"],
+                              {"name": "Carrie", "born": 1967}, node_id=2)
+    lana = builder.add_node(["Person", "Director"],
+                            {"name": "Lana", "born": 1965}, node_id=3)
+    matrix = builder.add_node(["Movie"],
+                              {"title": "The Matrix", "year": 1999},
+                              node_id=4)
+    speed = builder.add_node(["Movie"], {"title": "Speed", "year": 1994},
+                             node_id=5)
+    builder.add_relationship(keanu, "ACTED_IN", matrix,
+                             {"role": "Neo"}, rel_id=1)
+    builder.add_relationship(carrie, "ACTED_IN", matrix,
+                             {"role": "Trinity"}, rel_id=2)
+    builder.add_relationship(lana, "DIRECTED", matrix, rel_id=3)
+    builder.add_relationship(keanu, "ACTED_IN", speed,
+                             {"role": "Jack"}, rel_id=4)
+    return builder.build()
+
+
+class TestMultiLabelMatching:
+    def test_conjunctive_labels(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p:Person:Actor) RETURN count(*) AS actors", movie_graph
+        )
+        assert rows(table) == [{"actors": 2}]
+
+    def test_labels_function_in_projection(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p {name: 'Lana'}) RETURN labels(p) AS ls", movie_graph
+        )
+        assert rows(table) == [{"ls": ["Director", "Person"]}]
+
+
+class TestCaseExpressionsInQueries:
+    def test_searched_case_classification(self, movie_graph):
+        table = run_cypher(
+            "MATCH (m:Movie) RETURN m.title AS title, "
+            "CASE WHEN m.year >= 1999 THEN 'modern' ELSE 'classic' END AS era "
+            "ORDER BY title",
+            movie_graph,
+        )
+        assert rows(table) == [
+            {"title": "Speed", "era": "classic"},
+            {"title": "The Matrix", "era": "modern"},
+        ]
+
+    def test_simple_case_on_type(self, movie_graph):
+        table = run_cypher(
+            "MATCH ()-[r]->(:Movie) RETURN DISTINCT "
+            "CASE type(r) WHEN 'DIRECTED' THEN 'crew' ELSE 'cast' END AS kind "
+            "ORDER BY kind",
+            movie_graph,
+        )
+        assert [record["kind"] for record in table] == ["cast", "crew"]
+
+
+class TestStringFeatures:
+    def test_string_predicates_in_where(self, movie_graph):
+        table = run_cypher(
+            "MATCH (m:Movie) WHERE m.title STARTS WITH 'The' "
+            "RETURN m.title AS t",
+            movie_graph,
+        )
+        assert rows(table) == [{"t": "The Matrix"}]
+
+    def test_regex_match(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p:Person) WHERE p.name =~ '.*a.*a.*' "
+            "RETURN p.name AS name ORDER BY name",
+            movie_graph,
+        )
+        assert [record["name"] for record in table] == ["Lana"]
+
+    def test_string_functions_in_projection(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p {name: 'Keanu'}) RETURN toUpper(p.name) AS up, "
+            "substring(p.name, 0, 3) AS prefix, size(p.name) AS n",
+            movie_graph,
+        )
+        assert rows(table) == [{"up": "KEANU", "prefix": "Kea", "n": 5}]
+
+    def test_concatenation_and_tostring(self, movie_graph):
+        table = run_cypher(
+            "MATCH (m:Movie {title: 'Speed'}) "
+            "RETURN m.title + ' (' + toString(m.year) + ')' AS label",
+            movie_graph,
+        )
+        assert rows(table) == [{"label": "Speed (1994)"}]
+
+
+class TestAggregationFeatures:
+    def test_percentiles_in_query(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p:Person) RETURN percentileCont(p.born, 0.5) AS median",
+            movie_graph,
+        )
+        assert rows(table) == [{"median": 1965.0}]
+
+    def test_stdev_in_query(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p:Person) RETURN stDevP(p.born) > 0 AS spread",
+            movie_graph,
+        )
+        assert rows(table) == [{"spread": True}]
+
+    def test_collect_distinct_ordered_pipeline(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p:Actor)-[:ACTED_IN]->(m) WITH m.title AS title "
+            "ORDER BY title RETURN collect(DISTINCT title) AS titles",
+            movie_graph,
+        )
+        assert rows(table) == [{"titles": ["Speed", "The Matrix"]}]
+
+    def test_grouping_by_expression(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p:Person) RETURN p.born % 2 = 0 AS even, count(*) AS n "
+            "ORDER BY even",
+            movie_graph,
+        )
+        assert rows(table) == [
+            {"even": False, "n": 2},
+            {"even": True, "n": 1},
+        ]
+
+
+class TestPatternPredicates:
+    def test_where_pattern_positive_and_negated(self, movie_graph):
+        table = run_cypher(
+            "MATCH (p:Person) WHERE (p)-[:DIRECTED]->() "
+            "RETURN p.name AS name",
+            movie_graph,
+        )
+        assert rows(table) == [{"name": "Lana"}]
+        table = run_cypher(
+            "MATCH (p:Actor) WHERE NOT (p)-[:ACTED_IN]->({title: 'Speed'}) "
+            "RETURN p.name AS name",
+            movie_graph,
+        )
+        assert rows(table) == [{"name": "Carrie"}]
+
+    def test_exists_property(self, movie_graph):
+        table = run_cypher(
+            "MATCH ()-[r:ACTED_IN]->() WHERE exists(r.role) "
+            "RETURN count(*) AS with_role",
+            movie_graph,
+        )
+        assert rows(table) == [{"with_role": 3}]
+
+
+class TestNullPropagationThroughQueries:
+    def test_missing_property_projection(self, movie_graph):
+        table = run_cypher(
+            "MATCH (m:Movie) RETURN m.title AS t, m.rating AS r ORDER BY t",
+            movie_graph,
+        )
+        assert all(record["r"] is NULL for record in table)
+
+    def test_coalesce_fallback(self, movie_graph):
+        table = run_cypher(
+            "MATCH (m:Movie {title: 'Speed'}) "
+            "RETURN coalesce(m.rating, 'unrated') AS rating",
+            movie_graph,
+        )
+        assert rows(table) == [{"rating": "unrated"}]
+
+
+class TestStructuralFeatures:
+    def test_undirected_match_counts_both_ways(self, movie_graph):
+        directed = run_cypher(
+            "MATCH (:Person)-[r:ACTED_IN]->(:Movie) RETURN count(r) AS n",
+            movie_graph,
+        ).records[0]["n"]
+        undirected = run_cypher(
+            "MATCH (:Person)-[r:ACTED_IN]-(:Movie) RETURN count(r) AS n",
+            movie_graph,
+        ).records[0]["n"]
+        assert directed == undirected == 3
+
+    def test_startnode_endnode(self, movie_graph):
+        table = run_cypher(
+            "MATCH ()-[r:DIRECTED]->() "
+            "RETURN startNode(r).name AS src, endNode(r).title AS dst",
+            movie_graph,
+        )
+        assert rows(table) == [{"src": "Lana", "dst": "The Matrix"}]
+
+    def test_co_actor_join(self, movie_graph):
+        table = run_cypher(
+            "MATCH (a:Actor)-[:ACTED_IN]->(m)<-[:ACTED_IN]-(b:Actor) "
+            "WHERE a.name < b.name RETURN a.name AS a, b.name AS b",
+            movie_graph,
+        )
+        assert rows(table) == [{"a": "Carrie", "b": "Keanu"}]
+
+    def test_unwind_collected_paths(self, movie_graph):
+        table = run_cypher(
+            "MATCH (a {name: 'Keanu'}) "
+            "MATCH p = (a)-[:ACTED_IN]->(m) "
+            "WITH collect(p) AS paths UNWIND paths AS q "
+            "RETURN length(q) AS l, nodes(q)[1].title AS title ORDER BY title",
+            movie_graph,
+        )
+        assert rows(table) == [
+            {"l": 1, "title": "Speed"},
+            {"l": 1, "title": "The Matrix"},
+        ]
+
+    def test_index_into_node_property(self, movie_graph):
+        table = run_cypher(
+            "MATCH (m:Movie {year: 1999}) RETURN m['title'] AS t",
+            movie_graph,
+        )
+        assert rows(table) == [{"t": "The Matrix"}]
+
+
+class TestEmptyGraphBehaviour:
+    def test_queries_over_empty_graph(self):
+        graph = PropertyGraph.empty()
+        assert len(run_cypher("MATCH (n) RETURN n", graph)) == 0
+        assert rows(run_cypher("MATCH (n) RETURN count(n) AS n", graph)) == [
+            {"n": 0}
+        ]
+        assert rows(run_cypher("RETURN 1 + 1 AS two", graph)) == [{"two": 2}]

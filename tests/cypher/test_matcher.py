@@ -1,0 +1,206 @@
+"""Unit tests for pattern matching semantics (Section 3.2)."""
+
+import pytest
+
+from repro.cypher.expressions import ExpressionEvaluator
+from repro.cypher.matcher import PatternMatcher
+from repro.cypher.parser import CypherParser
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Path
+
+
+def pattern_of(text):
+    return CypherParser(text).parse_pattern()
+
+
+def matcher_for(graph):
+    return PatternMatcher(graph, ExpressionEvaluator(graph))
+
+
+def matches(graph, text, scope=None):
+    return list(matcher_for(graph).match_pattern(pattern_of(text), scope or {}))
+
+
+@pytest.fixture
+def triangle():
+    """a -R-> b -R-> c -R-> a, plus a -S-> b."""
+    builder = GraphBuilder()
+    a = builder.add_node(["N"], {"name": "a"}, node_id=1)
+    b = builder.add_node(["N"], {"name": "b"}, node_id=2)
+    c = builder.add_node(["N"], {"name": "c"}, node_id=3)
+    builder.add_relationship(a, "R", b, rel_id=1)
+    builder.add_relationship(b, "R", c, rel_id=2)
+    builder.add_relationship(c, "R", a, rel_id=3)
+    builder.add_relationship(a, "S", b, rel_id=4)
+    return builder.build()
+
+
+class TestNodeMatching:
+    def test_all_nodes(self, triangle):
+        assert len(matches(triangle, "(n)")) == 3
+
+    def test_label_filter(self, social_graph):
+        assert len(matches(social_graph, "(n:Person)")) == 3
+        assert len(matches(social_graph, "(n:City)")) == 2
+        assert len(matches(social_graph, "(n:Nope)")) == 0
+
+    def test_property_filter(self, social_graph):
+        found = matches(social_graph, "(n {name: 'Alice'})")
+        assert len(found) == 1 and found[0]["n"].id == 1
+
+    def test_bound_variable_restricts(self, social_graph):
+        alice = social_graph.node(1)
+        found = matches(social_graph, "(n:Person)", scope={"n": alice})
+        assert found == [{}]  # no new bindings; just a consistency check
+
+    def test_bound_variable_label_mismatch(self, social_graph):
+        leipzig = social_graph.node(4)
+        assert matches(social_graph, "(n:Person)", scope={"n": leipzig}) == []
+
+
+class TestRelationshipMatching:
+    def test_directed_out(self, triangle):
+        found = matches(triangle, "(a {name:'a'})-[r:R]->(b)")
+        assert [m["b"].property("name") for m in found] == ["b"]
+
+    def test_directed_in(self, triangle):
+        found = matches(triangle, "(a {name:'a'})<-[r:R]-(b)")
+        assert [m["b"].property("name") for m in found] == ["c"]
+
+    def test_undirected(self, triangle):
+        found = matches(triangle, "(a {name:'a'})-[r:R]-(b)")
+        assert sorted(m["b"].property("name") for m in found) == ["b", "c"]
+
+    def test_type_filter(self, triangle):
+        assert len(matches(triangle, "(a)-[r:S]->(b)")) == 1
+        assert len(matches(triangle, "(a)-[r:R|S]->(b)")) == 4
+
+    def test_relationship_property_filter(self, social_graph):
+        found = matches(social_graph, "()-[r:KNOWS {since: 2015}]->()")
+        assert len(found) == 1 and found[0]["r"].id == 1
+
+    def test_anonymous_relationship(self, triangle):
+        assert len(matches(triangle, "(a)-->(b)")) == 4
+
+    def test_bag_semantics_duplicate_embeddings(self, triangle):
+        # Two parallel edges a->b (R and S) give two rows for (a)-->(b).
+        rows = matches(triangle, "(x {name:'a'})-->(y {name:'b'})")
+        assert len(rows) == 2
+
+
+class TestRelationshipUniqueness:
+    def test_same_rel_not_reused_within_pattern(self, triangle):
+        # (a)-[r1]->(b)-[r2]->(c): r1 and r2 must differ; the triangle has
+        # 3 R-R chains + S-R chain(s).
+        rows = matches(triangle, "(a)-[r1:R]->(b)-[r2:R]->(c)")
+        assert len(rows) == 3
+        for row in rows:
+            assert row["r1"].id != row["r2"].id
+
+    def test_across_comma_separated_paths(self, triangle):
+        rows = matches(triangle, "(a {name:'a'})-[r1:S]->(b), (a)-[r2:S]->(b)")
+        assert rows == []  # only one S edge exists; uniqueness forbids reuse
+
+    def test_node_repetition_allowed(self, triangle):
+        # Cycles revisit nodes: a->b->c->a is a valid 3-hop chain.
+        rows = matches(triangle, "(a {name:'a'})-[:R]->()-[:R]->()-[:R]->(z)")
+        assert len(rows) == 1
+        assert rows[0]["z"].property("name") == "a"
+
+
+class TestVarLength:
+    def test_bounds(self, triangle):
+        assert len(matches(triangle, "(a {name:'a'})-[:R*1..1]->(b)")) == 1
+        assert len(matches(triangle, "(a {name:'a'})-[:R*1..2]->(b)")) == 2
+        assert len(matches(triangle, "(a {name:'a'})-[:R*3..3]->(b)")) == 1
+
+    def test_unbounded_finite_due_to_uniqueness(self, triangle):
+        rows = matches(triangle, "(a {name:'a'})-[:R*]->(b)")
+        assert len(rows) == 3  # lengths 1, 2, 3 — then edges exhausted
+
+    def test_zero_length(self, triangle):
+        rows = matches(triangle, "(a {name:'a'})-[:R*0..1]->(b)")
+        # zero-length (b = a itself) + one-length (b = 'b')
+        names = sorted(row["b"].property("name") for row in rows)
+        assert names == ["a", "b"]
+
+    def test_variable_binds_relationship_list(self, triangle):
+        rows = matches(triangle, "(a {name:'a'})-[rs:R*2..2]->(b)")
+        assert len(rows) == 1
+        assert [rel.id for rel in rows[0]["rs"]] == [1, 2]
+
+    def test_exact_length_syntax(self, triangle):
+        assert len(matches(triangle, "(a {name:'a'})-[:R*2]->(b)")) == 1
+
+    def test_undirected_var_length(self, social_graph):
+        rows = matches(social_graph, "(a {name:'Bob'})-[:KNOWS*2..2]-(z)")
+        # Bob-Alice-Carol and Bob-Carol-Alice.
+        names = sorted(row["z"].property("name") for row in rows)
+        assert names == ["Alice", "Carol"]
+
+
+class TestPathBinding:
+    def test_path_variable(self, triangle):
+        rows = matches(triangle, "p = (a {name:'a'})-[:R*2..2]->(b)")
+        assert len(rows) == 1
+        path = rows[0]["p"]
+        assert isinstance(path, Path)
+        assert path.length == 2
+        assert [node.id for node in path.nodes] == [1, 2, 3]
+
+    def test_path_contains_intermediate_nodes(self, triangle):
+        rows = matches(triangle, "p = (a {name:'a'})-[:R*3..3]->(b)")
+        assert [node.id for node in rows[0]["p"].nodes] == [1, 2, 3, 1]
+
+
+class TestShortestPath:
+    def test_shortest_path_basic(self, social_graph):
+        rows = matches(
+            social_graph,
+            "p = shortestPath((a {name:'Alice'})-[:KNOWS*..5]->(c {name:'Carol'}))",
+        )
+        assert len(rows) == 1
+        assert rows[0]["p"].length == 1  # the direct Alice->Carol edge
+
+    def test_all_shortest_paths(self):
+        # Diamond: s -> m1 -> t and s -> m2 -> t: two shortest paths.
+        builder = GraphBuilder()
+        s = builder.add_node(["X"], {"name": "s"}, node_id=1)
+        m1 = builder.add_node([], {}, node_id=2)
+        m2 = builder.add_node([], {}, node_id=3)
+        t = builder.add_node(["X"], {"name": "t"}, node_id=4)
+        builder.add_relationship(s, "R", m1, rel_id=1)
+        builder.add_relationship(s, "R", m2, rel_id=2)
+        builder.add_relationship(m1, "R", t, rel_id=3)
+        builder.add_relationship(m2, "R", t, rel_id=4)
+        graph = builder.build()
+        rows = matches(
+            graph,
+            "p = allShortestPaths((a {name:'s'})-[:R*]->(b {name:'t'}))",
+        )
+        assert len(rows) == 2
+        assert all(row["p"].length == 2 for row in rows)
+
+    def test_no_path(self, social_graph):
+        rows = matches(
+            social_graph,
+            "p = shortestPath((a {name:'Carol'})-[:KNOWS*..5]->(b {name:'Alice'}))",
+        )
+        assert rows == []  # KNOWS edges all point away from Carol
+
+    def test_respects_max_bound(self, triangle):
+        rows = matches(
+            triangle,
+            "p = shortestPath((a {name:'a'})-[:R*..1]->(c {name:'c'}))",
+        )
+        assert rows == []  # c is 2 hops away
+
+
+class TestHasMatch:
+    def test_pattern_predicate_existence(self, social_graph):
+        matcher = matcher_for(social_graph)
+        path = pattern_of("(a)-[:LIVES_IN]->()").paths[0]
+        alice = social_graph.node(1)
+        bob = social_graph.node(2)
+        assert matcher.has_match(path, {"a": alice})
+        assert not matcher.has_match(path, {"a": bob})

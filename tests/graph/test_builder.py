@@ -1,0 +1,67 @@
+"""Unit tests for the fluent graph builder."""
+
+import pytest
+
+from repro.errors import GraphConsistencyError
+from repro.graph.builder import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_auto_ids_are_sequential(self):
+        builder = GraphBuilder()
+        first = builder.add_node()
+        second = builder.add_node()
+        assert second == first + 1
+
+    def test_explicit_ids_respected(self):
+        builder = GraphBuilder()
+        assert builder.add_node(node_id=42) == 42
+        graph = builder.build()
+        assert 42 in graph.nodes
+
+    def test_auto_id_skips_taken_ids(self):
+        builder = GraphBuilder()
+        builder.add_node(node_id=1)
+        assert builder.add_node() == 2
+
+    def test_idempotent_re_add(self):
+        builder = GraphBuilder()
+        builder.add_node(["A"], {"x": 1}, node_id=1)
+        builder.add_node(["A"], {"x": 1}, node_id=1)
+        assert builder.build().order == 1
+
+    def test_conflicting_re_add_raises(self):
+        builder = GraphBuilder()
+        builder.add_node(["A"], {"x": 1}, node_id=1)
+        with pytest.raises(GraphConsistencyError):
+            builder.add_node(["B"], {"x": 1}, node_id=1)
+
+    def test_relationship_requires_known_endpoints(self):
+        builder = GraphBuilder()
+        node = builder.add_node()
+        with pytest.raises(GraphConsistencyError):
+            builder.add_relationship(node, "R", 999)
+        with pytest.raises(GraphConsistencyError):
+            builder.add_relationship(999, "R", node)
+
+    def test_relationship_conflicting_redefinition(self):
+        builder = GraphBuilder()
+        a = builder.add_node()
+        b = builder.add_node()
+        builder.add_relationship(a, "R", b, rel_id=1)
+        with pytest.raises(GraphConsistencyError):
+            builder.add_relationship(b, "R", a, rel_id=1)
+
+    def test_id_offset(self):
+        builder = GraphBuilder(id_offset=100)
+        assert builder.add_node() == 101
+
+    def test_build_round_trip(self):
+        builder = GraphBuilder()
+        a = builder.add_node(["Person"], {"name": "Ann"})
+        b = builder.add_node(["Person"], {"name": "Ben"})
+        rel = builder.add_relationship(a, "KNOWS", b, {"since": 2020})
+        graph = builder.build()
+        assert graph.node(a).property("name") == "Ann"
+        assert graph.relationship(rel).property("since") == 2020
+        assert graph.relationship(rel).src == a

@@ -1,0 +1,69 @@
+"""Unit tests for the seeded random graph/stream generators."""
+
+import random
+
+from repro.graph.generators import random_graph, random_stream
+from repro.graph.model import PropertyGraph
+
+
+class TestRandomGraph:
+    def test_sizes(self):
+        graph = random_graph(random.Random(1), num_nodes=12, num_relationships=20)
+        assert graph.order == 12
+        assert graph.size == 20
+
+    def test_deterministic_for_seed(self):
+        g1 = random_graph(random.Random(42), 10, 15)
+        g2 = random_graph(random.Random(42), 10, 15)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = random_graph(random.Random(1), 10, 15)
+        g2 = random_graph(random.Random(2), 10, 15)
+        assert g1 != g2
+
+    def test_zero_nodes(self):
+        assert random_graph(random.Random(1), 0, 0).is_empty()
+
+    def test_endpoints_valid(self):
+        graph = random_graph(random.Random(7), 8, 30)
+        for rel in graph.relationships.values():
+            assert rel.src in graph.nodes and rel.trg in graph.nodes
+
+
+class TestRandomStream:
+    def test_event_count_and_timestamps(self):
+        elements = random_stream(random.Random(2), num_events=10, period=60,
+                                 start=100)
+        assert len(elements) == 10
+        assert [element.instant for element in elements] == [
+            100 + index * 60 for index in range(10)
+        ]
+
+    def test_timestamps_non_decreasing(self):
+        elements = random_stream(random.Random(3), 20)
+        instants = [element.instant for element in elements]
+        assert instants == sorted(instants)
+
+    def test_shared_pool_reuses_node_ids(self):
+        elements = random_stream(random.Random(4), 10, shared_node_pool=5)
+        all_ids = set()
+        for element in elements:
+            all_ids.update(element.graph.nodes)
+        assert all_ids <= set(range(1, 6))
+
+    def test_shared_pool_graphs_are_union_consistent(self):
+        from repro.graph.union import union_all
+
+        elements = random_stream(random.Random(5), 10, shared_node_pool=6)
+        merged = union_all(element.graph for element in elements)
+        assert isinstance(merged, PropertyGraph)
+        assert merged.order <= 6
+
+    def test_relationship_ids_unique_across_events(self):
+        elements = random_stream(random.Random(6), 8)
+        seen = set()
+        for element in elements:
+            for rel_id in element.graph.relationships:
+                assert rel_id not in seen
+                seen.add(rel_id)

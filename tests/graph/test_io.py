@@ -1,0 +1,80 @@
+"""Unit tests for JSON (de)serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import random_graph, random_stream
+from repro.graph.io import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    stream_from_jsonl,
+    stream_to_jsonl,
+)
+from repro.graph.model import PropertyGraph
+from repro.usecases.micromobility import figure2_graph
+
+
+class TestGraphJson:
+    def test_round_trip_small(self):
+        graph = figure2_graph()
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+    def test_round_trip_random(self):
+        graph = random_graph(random.Random(5), 15, 25)
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+    def test_round_trip_empty(self):
+        assert graph_from_json(graph_to_json(PropertyGraph.empty())).is_empty()
+
+    def test_json_is_deterministic(self):
+        graph = figure2_graph()
+        assert graph_to_json(graph) == graph_to_json(graph)
+
+    def test_dict_shape(self):
+        data = graph_to_dict(figure2_graph())
+        assert set(data) == {"nodes", "relationships"}
+        assert all({"id", "labels", "properties"} <= set(n) for n in data["nodes"])
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"nodes": [{"labels": []}]})  # missing id
+
+    def test_dangling_relationship_rejected(self):
+        data = {
+            "nodes": [{"id": 1, "labels": [], "properties": {}}],
+            "relationships": [
+                {"id": 1, "type": "R", "src": 1, "trg": 99, "properties": {}}
+            ],
+        }
+        with pytest.raises(Exception):
+            graph_from_dict(data)
+
+
+class TestStreamJsonl:
+    def test_round_trip(self):
+        elements = random_stream(random.Random(3), 6, shared_node_pool=4)
+        text = stream_to_jsonl(elements)
+        restored = stream_from_jsonl(text)
+        assert len(restored) == len(elements)
+        for original, copy in zip(elements, restored):
+            assert copy.instant == original.instant
+            assert copy.graph == original.graph
+
+    def test_one_line_per_element(self):
+        elements = random_stream(random.Random(3), 4)
+        assert len(stream_to_jsonl(elements).splitlines()) == 4
+
+    def test_blank_lines_ignored(self):
+        elements = random_stream(random.Random(3), 2)
+        text = stream_to_jsonl(elements) + "\n\n"
+        assert len(stream_from_jsonl(text)) == 2
+
+    def test_lines_are_valid_json(self):
+        elements = random_stream(random.Random(3), 2)
+        for line in stream_to_jsonl(elements).splitlines():
+            json.loads(line)

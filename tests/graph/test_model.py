@@ -1,0 +1,155 @@
+"""Unit tests for the property graph model (Definition 3.1)."""
+
+import pytest
+
+from repro.errors import GraphConsistencyError
+from repro.graph.model import Node, Path, PropertyGraph, Relationship
+from repro.graph.values import NULL
+
+
+def _pair():
+    a = Node(id=1, labels=frozenset({"Person"}), properties={"name": "Alice"})
+    b = Node(id=2, labels=frozenset({"Person"}))
+    rel = Relationship(id=1, type="KNOWS", src=1, trg=2, properties={"w": 3})
+    return a, b, rel
+
+
+class TestNode:
+    def test_property_access_missing_is_null(self):
+        node = Node(id=1, properties={"x": 1})
+        assert node.property("x") == 1
+        assert node.property("missing") is NULL
+
+    def test_labels_frozen(self):
+        node = Node(id=1, labels=["A", "B"])
+        assert node.labels == frozenset({"A", "B"})
+        assert node.has_label("A")
+        assert not node.has_label("C")
+
+    def test_identity_equality(self):
+        # Nodes compare by identifier (UNA): same id, same entity.
+        assert Node(id=1, properties={"x": 1}) == Node(id=1, properties={"x": 2})
+        assert Node(id=1) != Node(id=2)
+
+    def test_hashable(self):
+        assert len({Node(id=1), Node(id=1), Node(id=2)}) == 2
+
+
+class TestRelationship:
+    def test_other_end(self):
+        _, _, rel = _pair()
+        assert rel.other_end(1) == 2
+        assert rel.other_end(2) == 1
+
+    def test_other_end_rejects_non_endpoint(self):
+        _, _, rel = _pair()
+        with pytest.raises(GraphConsistencyError):
+            rel.other_end(99)
+
+    def test_property_access(self):
+        _, _, rel = _pair()
+        assert rel.property("w") == 3
+        assert rel.property("nope") is NULL
+
+
+class TestPropertyGraph:
+    def test_of_builds_adjacency(self):
+        a, b, rel = _pair()
+        graph = PropertyGraph.of([a, b], [rel])
+        assert [r.id for r in graph.outgoing(1)] == [1]
+        assert [r.id for r in graph.incoming(2)] == [1]
+        assert list(graph.outgoing(2)) == []
+        assert graph.order == 2 and graph.size == 1
+
+    def test_dangling_endpoint_rejected(self):
+        a, _, rel = _pair()
+        with pytest.raises(GraphConsistencyError):
+            PropertyGraph.of([a], [rel])
+
+    def test_duplicate_node_id_rejected(self):
+        conflicting = Node(id=1, labels=["X"])
+        a, b, _rel = _pair()
+        with pytest.raises(GraphConsistencyError):
+            PropertyGraph.of([a, conflicting, b], [])
+
+    def test_duplicate_relationship_id_rejected(self):
+        a, b, rel = _pair()
+        rel2 = Relationship(id=1, type="OTHER", src=2, trg=1)
+        with pytest.raises(GraphConsistencyError):
+            PropertyGraph.of([a, b], [rel, rel2])
+
+    def test_incident_covers_both_directions(self):
+        a, b, rel = _pair()
+        back = Relationship(id=2, type="KNOWS", src=2, trg=1)
+        graph = PropertyGraph.of([a, b], [rel, back])
+        assert {r.id for r in graph.incident(1)} == {1, 2}
+        assert graph.degree(1) == 2
+
+    def test_incident_self_loop_once(self):
+        node = Node(id=1)
+        loop = Relationship(id=1, type="SELF", src=1, trg=1)
+        graph = PropertyGraph.of([node], [loop])
+        assert [r.id for r in graph.incident(1)] == [1]
+
+    def test_nodes_with_labels(self):
+        a = Node(id=1, labels={"A", "B"})
+        b = Node(id=2, labels={"A"})
+        graph = PropertyGraph.of([a, b], [])
+        assert {n.id for n in graph.nodes_with_labels(["A"])} == {1, 2}
+        assert {n.id for n in graph.nodes_with_labels(["A", "B"])} == {1}
+        assert list(graph.nodes_with_labels(["C"])) == []
+
+    def test_contains(self):
+        a, b, rel = _pair()
+        graph = PropertyGraph.of([a, b], [rel])
+        assert a in graph and rel in graph
+        assert Node(id=99) not in graph
+
+    def test_empty_graph_singleton_behaviour(self):
+        assert PropertyGraph.empty().is_empty()
+        assert PropertyGraph.empty() == PropertyGraph.of()
+
+    def test_equality_is_structural(self):
+        a, b, rel = _pair()
+        g1 = PropertyGraph.of([a, b], [rel])
+        g2 = PropertyGraph.of([b, a], [rel])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+
+
+class TestPath:
+    def test_length_and_endpoints(self):
+        a, b, rel = _pair()
+        path = Path((a, b), (rel,))
+        assert path.length == 1
+        assert path.start == a and path.end == b
+
+    def test_zero_length_path(self):
+        a = Node(id=1)
+        path = Path((a,), ())
+        assert path.length == 0
+        assert path.start == path.end == a
+
+    def test_shape_validation(self):
+        a, b, rel = _pair()
+        with pytest.raises(GraphConsistencyError):
+            Path((a,), (rel,))
+
+    def test_step_must_follow_relationship(self):
+        a, b, rel = _pair()
+        c = Node(id=3)
+        with pytest.raises(GraphConsistencyError):
+            Path((a, c), (rel,))
+
+    def test_reversed(self):
+        a, b, rel = _pair()
+        path = Path((a, b), (rel,))
+        rev = path.reversed()
+        assert rev.start == b and rev.end == a
+        assert rev.reversed() == path
+
+    def test_undirected_traversal_allowed(self):
+        # A path may traverse a relationship against its direction.
+        a, b, rel = _pair()
+        path = Path((b, a), (rel,))
+        assert path.length == 1

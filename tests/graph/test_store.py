@@ -1,0 +1,140 @@
+"""Unit tests for the mutable graph store."""
+
+import pytest
+
+from repro.errors import GraphConsistencyError
+from repro.graph.model import Node, PropertyGraph
+from repro.graph.store import GraphStore
+from repro.graph.values import NULL
+from repro.usecases.micromobility import figure2_graph
+
+
+class TestCreation:
+    def test_create_node(self):
+        store = GraphStore()
+        node = store.create_node(["Person"], {"name": "Ann"})
+        assert store.has_node(node.id)
+        assert store.graph().node(node.id).property("name") == "Ann"
+
+    def test_create_relationship(self):
+        store = GraphStore()
+        a = store.create_node()
+        b = store.create_node()
+        rel = store.create_relationship(a.id, "R", b.id, {"w": 1})
+        assert store.graph().relationship(rel.id).type == "R"
+
+    def test_create_relationship_requires_endpoints(self):
+        store = GraphStore()
+        a = store.create_node()
+        with pytest.raises(GraphConsistencyError):
+            store.create_relationship(a.id, "R", 999)
+
+    def test_null_properties_dropped(self):
+        store = GraphStore()
+        node = store.create_node([], {"x": NULL, "y": 1})
+        assert dict(store.graph().node(node.id).properties) == {"y": 1}
+
+    def test_ids_monotone(self):
+        store = GraphStore()
+        first = store.create_node()
+        second = store.create_node()
+        assert second.id == first.id + 1
+
+
+class TestLoading:
+    def test_load_preserves_ids(self):
+        store = GraphStore(figure2_graph())
+        assert store.order == 8 and store.size == 8
+        assert store.graph() == figure2_graph()
+
+    def test_new_ids_after_load_do_not_collide(self):
+        store = GraphStore(figure2_graph())
+        node = store.create_node()
+        assert node.id not in figure2_graph().nodes
+
+
+class TestUpdates:
+    def test_set_property(self):
+        store = GraphStore()
+        node = store.create_node()
+        store.set_property(node, "x", 5)
+        assert store.graph().node(node.id).property("x") == 5
+
+    def test_set_property_null_removes(self):
+        store = GraphStore()
+        node = store.create_node([], {"x": 1})
+        store.set_property(node, "x", NULL)
+        assert store.graph().node(node.id).property("x") is NULL
+
+    def test_set_from_map_replace_and_additive(self):
+        store = GraphStore()
+        node = store.create_node([], {"a": 1, "b": 2})
+        store.set_properties_from_map(node, {"b": 9, "c": 3}, replace=False)
+        assert dict(store.graph().node(node.id).properties) == {
+            "a": 1, "b": 9, "c": 3,
+        }
+        store.set_properties_from_map(node, {"z": 1}, replace=True)
+        assert dict(store.graph().node(node.id).properties) == {"z": 1}
+
+    def test_labels(self):
+        store = GraphStore()
+        node = store.create_node(["A"])
+        store.add_labels(node, ["B"])
+        assert store.graph().node(node.id).labels == frozenset({"A", "B"})
+        store.remove_labels(node, ["A"])
+        assert store.graph().node(node.id).labels == frozenset({"B"})
+
+    def test_set_on_unknown_entity_raises(self):
+        store = GraphStore()
+        with pytest.raises(GraphConsistencyError):
+            store.set_property(Node(id=77), "x", 1)
+
+    def test_set_on_non_entity_raises(self):
+        store = GraphStore()
+        with pytest.raises(GraphConsistencyError):
+            store.set_property("nope", "x", 1)
+
+
+class TestDeletion:
+    def test_delete_relationship(self):
+        store = GraphStore()
+        a = store.create_node()
+        b = store.create_node()
+        rel = store.create_relationship(a.id, "R", b.id)
+        store.delete_relationship(rel.id)
+        assert store.size == 0
+
+    def test_delete_node_with_relationships_requires_detach(self):
+        store = GraphStore()
+        a = store.create_node()
+        b = store.create_node()
+        store.create_relationship(a.id, "R", b.id)
+        with pytest.raises(GraphConsistencyError):
+            store.delete_node(a.id)
+        store.delete_node(a.id, detach=True)
+        assert store.order == 1 and store.size == 0
+
+    def test_delete_is_idempotent(self):
+        store = GraphStore()
+        node = store.create_node()
+        store.delete_node(node.id)
+        store.delete_node(node.id)  # no-op
+        store.delete_relationship(123)  # no-op
+
+
+class TestSnapshotCaching:
+    def test_graph_cached_until_mutation(self):
+        store = GraphStore()
+        store.create_node()
+        first = store.graph()
+        assert store.graph() is first
+        store.create_node()
+        assert store.graph() is not first
+
+    def test_graph_is_immutable_snapshot(self):
+        store = GraphStore()
+        node = store.create_node([], {"x": 1})
+        snapshot = store.graph()
+        store.set_property(node, "x", 2)
+        assert snapshot.node(node.id).property("x") == 1
+        assert store.graph().node(node.id).property("x") == 2

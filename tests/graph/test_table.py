@@ -1,0 +1,134 @@
+"""Unit tests for records and bag-semantics tables (Definition 3.2)."""
+
+import pytest
+
+from repro.errors import SchemaMismatchError
+from repro.graph.table import EMPTY_RECORD, Record, Table
+from repro.graph.values import NULL
+
+
+class TestRecord:
+    def test_domain(self):
+        record = Record({"a": 1, "b": "x"})
+        assert record.domain == frozenset({"a", "b"})
+        assert EMPTY_RECORD.domain == frozenset()
+
+    def test_field_order_irrelevant(self):
+        assert Record({"a": 1, "b": 2}) == Record({"b": 2, "a": 1})
+        assert hash(Record({"a": 1, "b": 2})) == hash(Record({"b": 2, "a": 1}))
+
+    def test_get_missing_is_null(self):
+        assert Record({"a": 1}).get("zzz") is NULL
+
+    def test_merged_disjoint(self):
+        merged = Record({"a": 1}).merged(Record({"b": 2}))
+        assert merged == Record({"a": 1, "b": 2})
+
+    def test_merged_agreeing_overlap(self):
+        merged = Record({"a": 1}).merged(Record({"a": 1, "b": 2}))
+        assert merged["b"] == 2
+
+    def test_merged_conflicting_overlap_raises(self):
+        with pytest.raises(SchemaMismatchError):
+            Record({"a": 1}).merged(Record({"a": 2}))
+
+    def test_project_fills_nulls(self):
+        projected = Record({"a": 1}).project(["a", "b"])
+        assert projected["a"] == 1 and projected["b"] is NULL
+
+    def test_without(self):
+        assert Record({"a": 1, "b": 2}).without(["b"]) == Record({"a": 1})
+
+    def test_with_field(self):
+        assert Record({"a": 1}).with_field("b", 2) == Record({"a": 1, "b": 2})
+
+    def test_numeric_unification_in_equality(self):
+        assert Record({"a": 1}) == Record({"a": 1.0})
+
+    def test_mapping_protocol(self):
+        record = Record({"a": 1, "b": 2})
+        assert len(record) == 2
+        assert set(record) == {"a", "b"}
+        assert record["a"] == 1
+
+
+class TestTable:
+    def test_unit_table(self):
+        unit = Table.unit()
+        assert len(unit) == 1
+        assert unit.records[0] == EMPTY_RECORD
+        assert unit.fields == frozenset()
+
+    def test_schema_enforced(self):
+        with pytest.raises(SchemaMismatchError):
+            Table([Record({"a": 1}), Record({"b": 2})])
+
+    def test_explicit_fields_enforced(self):
+        with pytest.raises(SchemaMismatchError):
+            Table([Record({"a": 1})], fields=["a", "b"])
+
+    def test_bag_union_additive(self):
+        t1 = Table([Record({"x": 1})])
+        t2 = Table([Record({"x": 1}), Record({"x": 2})])
+        merged = t1.bag_union(t2)
+        assert len(merged) == 3
+        assert merged.counter()[Record({"x": 1}).key()] == 2
+
+    def test_bag_union_incompatible_fields(self):
+        with pytest.raises(SchemaMismatchError):
+            Table([Record({"x": 1})]).bag_union(Table([Record({"y": 1})]))
+
+    def test_bag_difference_respects_multiplicity(self):
+        t1 = Table([Record({"x": 1}), Record({"x": 1}), Record({"x": 2})])
+        t2 = Table([Record({"x": 1})])
+        diff = t1.bag_difference(t2)
+        assert sorted(record["x"] for record in diff) == [1, 2]
+
+    def test_bag_difference_floors_at_zero(self):
+        t1 = Table([Record({"x": 1})])
+        t2 = Table([Record({"x": 1}), Record({"x": 1})])
+        assert len(t1.bag_difference(t2)) == 0
+
+    def test_bag_difference_with_empty(self):
+        t1 = Table([Record({"x": 1})])
+        assert t1.bag_difference(Table.empty(["x"])) == t1
+
+    def test_distinct_preserves_first_order(self):
+        table = Table([Record({"x": 2}), Record({"x": 1}), Record({"x": 2})])
+        assert [record["x"] for record in table.distinct()] == [2, 1]
+
+    def test_project(self):
+        table = Table([Record({"a": 1, "b": 2})])
+        assert table.project(["a"]).fields == frozenset({"a"})
+
+    def test_filter(self):
+        table = Table([Record({"x": 1}), Record({"x": 2})])
+        assert len(table.filter(lambda record: record["x"] > 1)) == 1
+
+    def test_sorted_by(self):
+        table = Table([Record({"x": 2}), Record({"x": 1})])
+        assert [r["x"] for r in table.sorted_by(lambda record: record["x"])] == [1, 2]
+
+    def test_bag_equality_order_insensitive(self):
+        t1 = Table([Record({"x": 1}), Record({"x": 2})])
+        t2 = Table([Record({"x": 2}), Record({"x": 1})])
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_bag_equality_multiplicity_sensitive(self):
+        t1 = Table([Record({"x": 1})])
+        t2 = Table([Record({"x": 1}), Record({"x": 1})])
+        assert t1 != t2
+
+    def test_render_contains_header_and_rows(self):
+        table = Table([Record({"user": 1234, "hops": [2, 3]})])
+        rendered = table.render(["user", "hops"])
+        assert "user" in rendered and "1234" in rendered and "[2,3]" in rendered
+
+    def test_render_null(self):
+        rendered = Table([Record({"x": NULL})]).render()
+        assert "null" in rendered
+
+    def test_empty_table_boolean(self):
+        assert not Table.empty(["x"])
+        assert Table([Record({"x": 1})])

@@ -1,0 +1,121 @@
+"""Unit tests for ISO-8601 parsing and time instants."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.graph.temporal import (
+    DAY,
+    HOUR,
+    MINUTE,
+    format_datetime,
+    format_duration,
+    format_hhmm,
+    hhmm,
+    parse_datetime,
+    parse_duration,
+)
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("PT1H", HOUR),
+            ("PT5M", 5 * MINUTE),
+            ("PT30S", 30),
+            ("PT1M", MINUTE),
+            ("P1D", DAY),
+            ("P1DT2H30M", DAY + 2 * HOUR + 30 * MINUTE),
+            ("PT10M", 10 * MINUTE),
+            ("P1W", 7 * DAY),
+            ("pt1h", HOUR),  # case-insensitive
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_duration(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "P", "PT", "1H", "PT1X", "hello", "P-1D"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(TemporalError):
+            parse_duration(bad)
+
+    def test_parse_rejects_non_string(self):
+        with pytest.raises(TemporalError):
+            parse_duration(3600)
+
+    def test_parse_rejects_subsecond(self):
+        with pytest.raises(TemporalError):
+            parse_duration("PT0.5S")
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (HOUR, "PT1H"),
+            (5 * MINUTE, "PT5M"),
+            (0, "PT0S"),
+            (DAY + 2 * HOUR + 30 * MINUTE, "P1DT2H30M"),
+            (90, "PT1M30S"),
+        ],
+    )
+    def test_format(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(TemporalError):
+            format_duration(-1)
+
+    @pytest.mark.parametrize("seconds", [1, 59, 60, 3600, 86400, 90061])
+    def test_round_trip(self, seconds):
+        assert parse_duration(format_duration(seconds)) == seconds
+
+
+class TestDatetimes:
+    def test_parse_basic(self):
+        instant = parse_datetime("2022-08-01T14:45")
+        assert format_datetime(instant) == "2022-08-01T14:45:00"
+
+    def test_trailing_h_suffix(self):
+        # The paper writes 'STARTING AT 2022-10-14T14:45h'.
+        assert parse_datetime("2022-10-14T14:45h") == parse_datetime(
+            "2022-10-14T14:45"
+        )
+
+    def test_with_seconds(self):
+        assert parse_datetime("2022-08-01T14:45:30") == (
+            parse_datetime("2022-08-01T14:45") + 30
+        )
+
+    def test_date_only(self):
+        assert parse_datetime("2022-08-01") == parse_datetime("2022-08-01T00:00")
+
+    @pytest.mark.parametrize("bad", ["", "not-a-date", "2022-13-01T00:00",
+                                     "14:45"])
+    def test_rejects(self, bad):
+        with pytest.raises(TemporalError):
+            parse_datetime(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TemporalError):
+            parse_datetime(12345)
+
+
+class TestHhmm:
+    def test_round_trip(self):
+        assert format_hhmm(hhmm("14:45")) == "14:45"
+        assert format_hhmm(hhmm("09:05")) == "09:05"
+
+    def test_anchored_on_given_day(self):
+        assert hhmm("14:45", day="2022-08-01") == parse_datetime(
+            "2022-08-01T14:45"
+        )
+
+    def test_accepts_trailing_h(self):
+        assert hhmm("14:45h") == hhmm("14:45")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TemporalError):
+            hhmm("14.45")
+
+    def test_difference_in_minutes(self):
+        assert hhmm("15:40") - hhmm("14:40") == HOUR
+        assert hhmm("14:45") - hhmm("14:40") == 5 * MINUTE

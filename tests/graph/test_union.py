@@ -1,0 +1,115 @@
+"""Unit tests for graph union under UNA (Definition 5.4)."""
+
+import pytest
+
+from repro.errors import GraphUnionError
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.graph.union import consistent, merge, union, union_all
+
+
+def _graph(nodes, rels=()):
+    builder = GraphBuilder()
+    for node_id, labels, props in nodes:
+        builder.add_node(labels, props, node_id=node_id)
+    for rel_id, src, rel_type, trg, props in rels:
+        builder.add_relationship(src, rel_type, trg, props, rel_id=rel_id)
+    return builder.build()
+
+
+G1 = _graph([(1, ["A"], {"x": 1}), (2, ["B"], {})],
+            [(1, 1, "R", 2, {"w": 1})])
+G2 = _graph([(2, ["B"], {}), (3, ["C"], {})],
+            [(2, 2, "R", 3, {})])
+
+
+class TestUnion:
+    def test_disjoint_union(self):
+        result = union(G1, G2)
+        assert result.order == 3 and result.size == 2
+
+    def test_shared_node_unifies(self):
+        result = union(G1, G2)
+        assert result.node(2).labels == frozenset({"B"})
+
+    def test_property_merge_when_consistent(self):
+        left = _graph([(1, ["A"], {"x": 1})])
+        right = _graph([(1, ["A"], {"y": 2})])
+        result = union(left, right)
+        assert dict(result.node(1).properties) == {"x": 1, "y": 2}
+
+    def test_conflicting_node_property_raises(self):
+        left = _graph([(1, ["A"], {"x": 1})])
+        right = _graph([(1, ["A"], {"x": 2})])
+        with pytest.raises(GraphUnionError):
+            union(left, right)
+
+    def test_conflicting_labels_raise(self):
+        left = _graph([(1, ["A"], {})])
+        right = _graph([(1, ["B"], {})])
+        with pytest.raises(GraphUnionError):
+            union(left, right)
+
+    def test_conflicting_relationship_endpoints_raise(self):
+        left = _graph([(1, [], {}), (2, [], {})], [(1, 1, "R", 2, {})])
+        right = _graph([(1, [], {}), (2, [], {})], [(1, 2, "R", 1, {})])
+        with pytest.raises(GraphUnionError):
+            union(left, right)
+
+    def test_conflicting_relationship_type_raises(self):
+        left = _graph([(1, [], {}), (2, [], {})], [(1, 1, "R", 2, {})])
+        right = _graph([(1, [], {}), (2, [], {})], [(1, 1, "S", 2, {})])
+        with pytest.raises(GraphUnionError):
+            union(left, right)
+
+    def test_conflicting_relationship_property_raises(self):
+        left = _graph([(1, [], {}), (2, [], {})], [(1, 1, "R", 2, {"w": 1})])
+        right = _graph([(1, [], {}), (2, [], {})], [(1, 1, "R", 2, {"w": 2})])
+        with pytest.raises(GraphUnionError):
+            union(left, right)
+
+    def test_identity(self):
+        assert union(G1, PropertyGraph.empty()) == G1
+        assert union(PropertyGraph.empty(), G1) == G1
+
+    def test_idempotent(self):
+        assert union(G1, G1) == G1
+
+    def test_commutative(self):
+        assert union(G1, G2) == union(G2, G1)
+
+    def test_associative(self):
+        g3 = _graph([(4, ["D"], {})])
+        assert union(union(G1, G2), g3) == union(G1, union(G2, g3))
+
+
+class TestMerge:
+    def test_last_writer_wins_on_properties(self):
+        left = _graph([(1, ["A"], {"x": 1})])
+        right = _graph([(1, ["A"], {"x": 2})])
+        assert merge(left, right).node(1).property("x") == 2
+
+    def test_labels_union(self):
+        left = _graph([(1, ["A"], {})])
+        right = _graph([(1, ["B"], {})])
+        assert merge(left, right).node(1).labels == frozenset({"A", "B"})
+
+    def test_endpoint_conflict_still_raises(self):
+        left = _graph([(1, [], {}), (2, [], {})], [(1, 1, "R", 2, {})])
+        right = _graph([(1, [], {}), (2, [], {})], [(1, 2, "R", 1, {})])
+        with pytest.raises(GraphUnionError):
+            merge(left, right)
+
+
+class TestUnionAllAndConsistent:
+    def test_union_all_folds(self):
+        result = union_all([G1, G2, PropertyGraph.empty()])
+        assert result == union(G1, G2)
+
+    def test_union_all_empty_iterable(self):
+        assert union_all([]).is_empty()
+
+    def test_consistent_predicate(self):
+        assert consistent(G1, G2)
+        bad = _graph([(1, ["Z"], {})])
+        assert not consistent(G1, bad)

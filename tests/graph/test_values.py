@@ -1,0 +1,161 @@
+"""Unit tests for Cypher values and three-valued logic."""
+
+import math
+
+import pytest
+
+from repro.errors import CypherTypeError
+from repro.graph.values import (
+    NULL,
+    Ternary,
+    and3,
+    cypher_compare,
+    cypher_equals,
+    hashable,
+    is_numeric,
+    not3,
+    or3,
+    order_key,
+    values_distinct,
+    xor3,
+)
+
+T, F, U = Ternary.TRUE, Ternary.FALSE, Ternary.UNKNOWN
+
+
+class TestTernary:
+    def test_of_booleans(self):
+        assert Ternary.of(True) is T
+        assert Ternary.of(False) is F
+        assert Ternary.of(NULL) is U
+
+    def test_of_rejects_non_boolean(self):
+        with pytest.raises(CypherTypeError):
+            Ternary.of(1)
+        with pytest.raises(CypherTypeError):
+            Ternary.of("true")
+
+    def test_to_value_round_trip(self):
+        assert T.to_value() is True
+        assert F.to_value() is False
+        assert U.to_value() is NULL
+
+    def test_is_true(self):
+        assert T.is_true
+        assert not F.is_true
+        assert not U.is_true
+
+
+class TestConnectives:
+    def test_and_truth_table(self):
+        assert and3(T, T) is T
+        assert and3(T, F) is F
+        assert and3(F, U) is F  # false dominates
+        assert and3(U, F) is F
+        assert and3(T, U) is U
+        assert and3(U, U) is U
+
+    def test_or_truth_table(self):
+        assert or3(F, F) is F
+        assert or3(T, U) is T  # true dominates
+        assert or3(U, T) is T
+        assert or3(F, U) is U
+        assert or3(U, U) is U
+
+    def test_not_truth_table(self):
+        assert not3(T) is F
+        assert not3(F) is T
+        assert not3(U) is U
+
+    def test_xor_truth_table(self):
+        assert xor3(T, F) is T
+        assert xor3(T, T) is F
+        assert xor3(F, F) is F
+        assert xor3(U, T) is U
+        assert xor3(F, U) is U
+
+
+class TestEquality:
+    def test_null_propagates(self):
+        assert cypher_equals(NULL, 1) is U
+        assert cypher_equals(NULL, NULL) is U
+
+    def test_numbers_cross_type(self):
+        assert cypher_equals(1, 1.0) is T
+        assert cypher_equals(1, 2) is F
+
+    def test_booleans_are_not_numbers(self):
+        assert cypher_equals(True, 1) is F
+        assert cypher_equals(True, True) is T
+
+    def test_strings(self):
+        assert cypher_equals("a", "a") is T
+        assert cypher_equals("a", "b") is F
+        assert cypher_equals("a", 1) is F
+
+    def test_lists_elementwise(self):
+        assert cypher_equals([1, 2], [1, 2]) is T
+        assert cypher_equals([1, 2], [1, 3]) is F
+        assert cypher_equals([1, 2], [1]) is F
+
+    def test_list_with_null_is_unknown_unless_structurally_false(self):
+        assert cypher_equals([1, NULL], [1, 2]) is U
+        assert cypher_equals([1, NULL], [2, NULL]) is F
+        assert cypher_equals([NULL], [NULL, NULL]) is F  # length differs
+
+    def test_maps(self):
+        assert cypher_equals({"a": 1}, {"a": 1}) is T
+        assert cypher_equals({"a": 1}, {"a": 2}) is F
+        assert cypher_equals({"a": 1}, {"b": 1}) is F
+        assert cypher_equals({"a": NULL}, {"a": 1}) is U
+
+
+class TestComparison:
+    def test_numbers(self):
+        assert cypher_compare(1, 2) < 0
+        assert cypher_compare(2, 1) > 0
+        assert cypher_compare(2, 2) == 0
+        assert cypher_compare(1, 1.5) < 0
+
+    def test_strings(self):
+        assert cypher_compare("a", "b") < 0
+        assert cypher_compare("b", "a") > 0
+
+    def test_null_incomparable(self):
+        assert cypher_compare(NULL, 1) is None
+        assert cypher_compare(1, NULL) is None
+
+    def test_cross_type_incomparable(self):
+        assert cypher_compare(1, "a") is None
+        assert cypher_compare(True, 1) is None
+
+    def test_nan_incomparable(self):
+        assert cypher_compare(math.nan, 1.0) is None
+
+    def test_lists_lexicographic(self):
+        assert cypher_compare([1, 2], [1, 3]) < 0
+        assert cypher_compare([1, 2], [1, 2]) == 0
+        assert cypher_compare([1, 2], [1, 2, 3]) < 0
+
+
+class TestOrderKeyAndHashing:
+    def test_null_sorts_last(self):
+        values = [3, NULL, 1]
+        ordered = sorted(values, key=order_key)
+        assert ordered == [1, 3, NULL]
+
+    def test_hashable_numbers_unify(self):
+        assert hashable(1) == hashable(1.0)
+        assert hashable(True) != hashable(1)
+
+    def test_hashable_nested(self):
+        assert hashable([1, {"a": NULL}]) == hashable([1.0, {"a": NULL}])
+        assert hashable([1]) != hashable([2])
+
+    def test_values_distinct(self):
+        assert values_distinct([1, 1.0, 2, NULL, NULL, "x"]) == [1, 2, NULL, "x"]
+
+    def test_is_numeric(self):
+        assert is_numeric(1) and is_numeric(1.5)
+        assert not is_numeric(True)
+        assert not is_numeric("1")

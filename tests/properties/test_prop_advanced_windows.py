@@ -1,0 +1,105 @@
+"""Property-based tests: count/session window laws."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.model import PropertyGraph
+from repro.stream.advanced_windows import CountWindow, SessionWindow, sessions_of
+from repro.stream.stream import PropertyGraphStream, StreamElement
+
+
+@st.composite
+def streams_and_instants(draw):
+    deltas = draw(st.lists(st.integers(min_value=1, max_value=100),
+                           min_size=1, max_size=20))
+    instants = []
+    current = 0
+    for delta in deltas:
+        current += delta
+        instants.append(current)
+    stream = PropertyGraphStream(
+        [StreamElement(graph=PropertyGraph.empty(), instant=t)
+         for t in instants]
+    )
+    probe = draw(st.integers(min_value=0, max_value=current + 100))
+    return stream, probe
+
+
+class TestCountWindowLaws:
+    @given(data=streams_and_instants(),
+           size=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_size_bound(self, data, size):
+        stream, probe = data
+        content = CountWindow(size).active_substream(stream, probe)
+        assert len(content) <= size
+
+    @given(data=streams_and_instants(),
+           size=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_content_is_latest_suffix(self, data, size):
+        stream, probe = data
+        content = CountWindow(size).active_substream(stream, probe)
+        arrived = [e for e in stream.elements if e.instant <= probe]
+        assert content == arrived[-size:]
+
+    @given(data=streams_and_instants())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_size(self, data):
+        stream, probe = data
+        small = CountWindow(2).active_substream(stream, probe)
+        large = CountWindow(5).active_substream(stream, probe)
+        assert small == large[-len(small):] if small else True
+
+
+class TestSessionWindowLaws:
+    @given(data=streams_and_instants(),
+           gap=st.integers(min_value=1, max_value=120))
+    @settings(max_examples=60, deadline=None)
+    def test_session_gaps_respected(self, data, gap):
+        stream, probe = data
+        content = SessionWindow(gap).active_substream(stream, probe)
+        for left, right in zip(content, content[1:]):
+            assert right.instant - left.instant < gap
+
+    @given(data=streams_and_instants(),
+           gap=st.integers(min_value=1, max_value=120))
+    @settings(max_examples=60, deadline=None)
+    def test_active_session_is_a_sessions_of_entry(self, data, gap):
+        stream, probe = data
+        content = SessionWindow(gap).active_substream(stream, probe)
+        if not content:
+            return
+        sessions = sessions_of(stream, gap)
+        # The active session is a prefix-closed member: it must be the
+        # *full* session containing its elements, truncated at probe.
+        containing = next(
+            session for session in sessions
+            if session[0].instant == content[0].instant
+        )
+        truncated = [e for e in containing if e.instant <= probe]
+        assert content == truncated
+
+    @given(data=streams_and_instants(),
+           gap=st.integers(min_value=1, max_value=120))
+    @settings(max_examples=60, deadline=None)
+    def test_sessions_partition_the_stream(self, data, gap):
+        stream, _ = data
+        sessions = sessions_of(stream, gap)
+        flattened = [e for session in sessions for e in session]
+        assert flattened == list(stream.elements)
+
+    @given(data=streams_and_instants(),
+           gap=st.integers(min_value=1, max_value=120))
+    @settings(max_examples=60, deadline=None)
+    def test_expired_session_is_empty(self, data, gap):
+        stream, _ = data
+        last = stream.elements[-1].instant
+        assert SessionWindow(gap).active_substream(
+            stream, last + gap
+        ) == []
+        assert SessionWindow(gap).active_substream(
+            stream, last + gap - 1
+        ) != []

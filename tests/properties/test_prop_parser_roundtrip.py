@@ -1,0 +1,168 @@
+"""Property-based tests: parse ∘ render is the identity on ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_cypher, parse_cypher_expression
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True).filter(
+    # Avoid colliding with (case-insensitive) keywords.
+    lambda name: name.upper() not in __import__(
+        "repro.cypher.tokens", fromlist=["KEYWORDS"]
+    ).KEYWORDS
+)
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(ast.Literal),
+    st.booleans().map(ast.Literal),
+    st.just(ast.Literal(None)),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                               whitelist_characters=" _"),
+        max_size=6,
+    ).map(ast.Literal),
+)
+
+simple_expressions = st.one_of(
+    literals,
+    identifiers.map(ast.Variable),
+    st.builds(
+        ast.PropertyAccess, subject=identifiers.map(ast.Variable),
+        key=identifiers,
+    ),
+)
+
+expressions = st.recursive(
+    simple_expressions,
+    lambda children: st.one_of(
+        st.builds(ast.And, left=children, right=children),
+        st.builds(ast.Or, left=children, right=children),
+        st.builds(ast.Not, operand=children),
+        st.builds(ast.IsNull, operand=children, negated=st.booleans()),
+        st.builds(
+            ast.Comparison,
+            first=children,
+            rest=st.lists(
+                st.tuples(st.sampled_from(["=", "<>", "<", ">", "<=", ">="]),
+                          children),
+                min_size=1, max_size=2,
+            ).map(tuple),
+        ),
+        st.builds(
+            ast.BinaryOp,
+            op=st.sampled_from(["+", "-", "*", "/", "%"]),
+            left=children,
+            right=children,
+        ),
+        st.builds(
+            ast.FunctionCall,
+            name=st.sampled_from(["size", "head", "coalesce", "abs"]),
+            args=st.lists(children, min_size=1, max_size=2).map(tuple),
+        ),
+        st.lists(children, max_size=3).map(
+            lambda items: ast.ListLiteral(tuple(items))
+        ),
+        st.builds(
+            ast.ListComprehension,
+            variable=identifiers,
+            source=children,
+            predicate=st.one_of(st.none(), children),
+            projection=st.one_of(st.none(), children),
+        ),
+        st.builds(
+            ast.Quantifier,
+            kind=st.sampled_from(["ALL", "ANY", "NONE", "SINGLE"]),
+            variable=identifiers,
+            source=children,
+            predicate=children,
+        ),
+    ),
+    max_leaves=12,
+)
+
+node_patterns = st.builds(
+    ast.NodePattern,
+    variable=st.one_of(st.none(), identifiers),
+    labels=st.lists(
+        st.from_regex(r"[A-Z][a-z]{0,4}", fullmatch=True), max_size=2
+    ).map(tuple),
+    properties=st.lists(
+        st.tuples(identifiers, literals), max_size=2
+    ).map(tuple),
+)
+
+relationship_patterns = st.builds(
+    ast.RelationshipPattern,
+    variable=st.one_of(st.none(), identifiers),
+    types=st.lists(
+        st.from_regex(r"[A-Z]{1,4}", fullmatch=True), max_size=2
+    ).map(tuple),
+    direction=st.sampled_from(list(ast.Direction)),
+    var_length=st.one_of(
+        st.none(),
+        st.tuples(
+            st.one_of(st.none(), st.integers(0, 5)),
+            st.one_of(st.none(), st.integers(5, 9)),
+        ),
+    ),
+    properties=st.lists(st.tuples(identifiers, literals), max_size=1).map(tuple),
+)
+
+
+@st.composite
+def path_patterns(draw):
+    length = draw(st.integers(min_value=0, max_value=2))
+    nodes = tuple(draw(node_patterns) for _ in range(length + 1))
+    rels = tuple(draw(relationship_patterns) for _ in range(length))
+    variable = draw(st.one_of(st.none(), identifiers))
+    return ast.PathPattern(nodes=nodes, relationships=rels, variable=variable)
+
+
+class TestExpressionRoundTrip:
+    @given(expression=expressions)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_render_identity(self, expression):
+        rendered = expression.render()
+        reparsed = parse_cypher_expression(rendered)
+        assert reparsed.render() == rendered
+
+
+class TestPatternRoundTrip:
+    @given(path=path_patterns())
+    @settings(max_examples=200, deadline=None)
+    def test_pattern_round_trip_through_match(self, path):
+        text = f"MATCH {path.render()} RETURN 1 AS one"
+        query = parse_cypher(text)
+        reparsed_path = query.parts[0].clauses[0].pattern.paths[0]
+        assert reparsed_path.render() == path.render()
+
+
+class TestQueryRoundTrip:
+    @given(
+        paths=st.lists(path_patterns(), min_size=1, max_size=2),
+        distinct=st.booleans(),
+        items=st.lists(
+            st.tuples(expressions, identifiers), min_size=1, max_size=3
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_full_query_round_trip(self, paths, distinct, items):
+        query = ast.Query(
+            parts=(
+                ast.SingleQuery(
+                    clauses=(
+                        ast.Match(pattern=ast.Pattern(paths=tuple(paths))),
+                        ast.Return(
+                            items=tuple(
+                                ast.ProjectionItem(expression=expr, alias=alias)
+                                for expr, alias in items
+                            ),
+                            distinct=distinct,
+                        ),
+                    )
+                ),
+            ),
+        )
+        rendered = query.render()
+        assert parse_cypher(rendered).render() == rendered

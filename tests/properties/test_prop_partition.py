@@ -1,0 +1,92 @@
+"""Property-based tests: partitioning conserves stream content."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import random_stream
+from repro.stream.partition import (
+    by_relationship_type,
+    partition_elements,
+    partition_stream,
+    split_element,
+)
+
+
+@st.composite
+def streams(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    events = draw(st.integers(min_value=1, max_value=10))
+    return random_stream(
+        random.Random(seed), num_events=events, shared_node_pool=6,
+        nodes_per_event=3, relationships_per_event=4,
+    )
+
+
+class TestElementRouting:
+    @given(elements=streams(), modulus=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_routing_is_a_partition(self, elements, modulus):
+        partitions = partition_elements(
+            elements, lambda element: f"p{element.instant % modulus}"
+        )
+        total = sum(len(part) for part in partitions.values())
+        assert total == len(elements)
+        for part in partitions.values():
+            instants = [element.instant for element in part]
+            assert instants == sorted(instants)
+
+
+class TestContentSplitting:
+    @given(elements=streams())
+    @settings(max_examples=40, deadline=None)
+    def test_relationships_conserved(self, elements):
+        """Every relationship lands in exactly one partition."""
+        partitions = partition_stream(elements, by_relationship_type())
+        split_rel_ids = [
+            rel_id
+            for part in partitions.values()
+            for element in part
+            for rel_id in element.graph.relationships
+        ]
+        original_rel_ids = [
+            rel_id
+            for element in elements
+            for rel_id in element.graph.relationships
+        ]
+        assert sorted(split_rel_ids) == sorted(original_rel_ids)
+
+    @given(elements=streams())
+    @settings(max_examples=40, deadline=None)
+    def test_partition_graphs_are_subgraphs(self, elements):
+        for element in elements:
+            pieces = split_element(element, by_relationship_type())
+            for piece in pieces.values():
+                for node in piece.graph.nodes.values():
+                    assert element.graph.nodes[node.id] == node
+                for rel in piece.graph.relationships.values():
+                    original = element.graph.relationships[rel.id]
+                    assert (rel.type, rel.src, rel.trg) == (
+                        original.type, original.src, original.trg
+                    )
+
+    @given(elements=streams())
+    @settings(max_examples=40, deadline=None)
+    def test_endpoints_always_present(self, elements):
+        partitions = partition_stream(elements, by_relationship_type())
+        for part in partitions.values():
+            for element in part:
+                for rel in element.graph.relationships.values():
+                    assert rel.src in element.graph.nodes
+                    assert rel.trg in element.graph.nodes
+
+    @given(elements=streams())
+    @settings(max_examples=40, deadline=None)
+    def test_timestamps_preserved_and_ordered(self, elements):
+        partitions = partition_stream(elements, by_relationship_type())
+        source_instants = {element.instant for element in elements}
+        for part in partitions.values():
+            instants = [element.instant for element in part]
+            assert instants == sorted(instants)
+            assert set(instants) <= source_instants

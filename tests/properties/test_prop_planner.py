@@ -1,0 +1,54 @@
+"""Property-based test: the pattern planner never changes results."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import run_cypher
+from repro.graph.generators import random_graph
+
+QUERY_TEMPLATES = [
+    "MATCH (a:{l1})-[:{t1}]->(b) RETURN count(*) AS n",
+    "MATCH (a:{l1})-[r:{t1}]->(b:{l2}) RETURN id(a) AS a, id(b) AS b "
+    "ORDER BY a, b",
+    "MATCH (a)-[:{t1}]->(b), (c:{l1})-[:{t2}]->(b) "
+    "RETURN count(*) AS joined",
+    "MATCH p = (a:{l1})-[:{t1}*1..2]->(b) "
+    "RETURN count(p) AS paths",
+    "MATCH (a:{l1})-->(b)<--(c:{l2}) WHERE id(a) <> id(c) "
+    "RETURN count(*) AS vee",
+    "MATCH q = (a:{l1})-[rs:{t1}*1..2]-(b:{l2}) "
+    "RETURN [n IN nodes(q) | id(n)] AS trail ORDER BY trail LIMIT 5",
+]
+
+LABELS = ("Person", "Station", "Device", "Account")
+TYPES = ("KNOWS", "SENT", "AT", "OWNS")
+
+
+@st.composite
+def scenarios(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    graph = random_graph(
+        random.Random(seed),
+        num_nodes=draw(st.integers(min_value=2, max_value=25)),
+        num_relationships=draw(st.integers(min_value=0, max_value=40)),
+    )
+    template = draw(st.sampled_from(QUERY_TEMPLATES))
+    query = template.format(
+        l1=draw(st.sampled_from(LABELS)),
+        l2=draw(st.sampled_from(LABELS)),
+        t1=draw(st.sampled_from(TYPES)),
+        t2=draw(st.sampled_from(TYPES)),
+    )
+    return graph, query
+
+
+class TestPlannerTransparency:
+    @given(scenario=scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_optimized_equals_unoptimized(self, scenario):
+        graph, query = scenario
+        fast = run_cypher(query, graph, optimize=True)
+        slow = run_cypher(query, graph, optimize=False)
+        assert fast.bag_equals(slow)

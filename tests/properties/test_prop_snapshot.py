@@ -1,0 +1,68 @@
+"""Property-based tests: incremental snapshot maintenance ≡ recompute."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import random_stream
+from repro.stream.snapshot import SnapshotMaintainer, snapshot_graph
+
+
+@st.composite
+def stream_and_ops(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    num_events = draw(st.integers(min_value=1, max_value=15))
+    pool = draw(st.integers(min_value=2, max_value=8))
+    elements = random_stream(
+        random.Random(seed),
+        num_events=num_events,
+        shared_node_pool=pool,
+        nodes_per_event=min(3, pool),
+        relationships_per_event=3,
+    )
+    window = draw(st.integers(min_value=1, max_value=num_events))
+    return elements, window
+
+
+class TestMaintainerAgreesWithDefinition:
+    @given(data=stream_and_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_sliding_window_equivalence(self, data):
+        elements, window = data
+        maintainer = SnapshotMaintainer()
+        for index, element in enumerate(elements):
+            maintainer.add(element)
+            if index >= window:
+                maintainer.remove(elements[index - window])
+            live = elements[max(0, index - window + 1): index + 1]
+            assert maintainer.graph() == snapshot_graph(live)
+
+    @given(data=stream_and_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_add_remove_round_trip_is_empty(self, data):
+        elements, _ = data
+        maintainer = SnapshotMaintainer()
+        for element in elements:
+            maintainer.add(element)
+        for element in elements:
+            maintainer.remove(element)
+        assert maintainer.is_empty()
+        assert maintainer.graph().is_empty()
+
+    @given(data=stream_and_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_removal_order_does_not_matter(self, data):
+        elements, _ = data
+        forward = SnapshotMaintainer()
+        backward = SnapshotMaintainer()
+        for element in elements:
+            forward.add(element)
+            backward.add(element)
+        keep = len(elements) // 2
+        for element in elements[keep:]:
+            forward.remove(element)
+        for element in reversed(elements[keep:]):
+            backward.remove(element)
+        assert forward.graph() == backward.graph()
+        assert forward.graph() == snapshot_graph(elements[:keep])

@@ -1,0 +1,74 @@
+"""Property-based tests: bag-algebra laws for tables (Definition 3.2)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.table import Record, Table
+
+records = st.builds(
+    lambda x, y: Record({"x": x, "y": y}),
+    x=st.integers(min_value=0, max_value=5),
+    y=st.sampled_from(["a", "b", None]),
+)
+
+tables = st.lists(records, max_size=8).map(
+    lambda rows: Table(rows, fields={"x", "y"})
+)
+
+
+class TestBagLaws:
+    @given(a=tables, b=tables)
+    def test_union_commutative_as_bags(self, a, b):
+        assert a.bag_union(b).bag_equals(b.bag_union(a))
+
+    @given(a=tables, b=tables, c=tables)
+    def test_union_associative(self, a, b, c):
+        assert a.bag_union(b).bag_union(c).bag_equals(
+            a.bag_union(b.bag_union(c))
+        )
+
+    @given(a=tables)
+    def test_difference_with_self_is_empty(self, a):
+        assert len(a.bag_difference(a)) == 0
+
+    @given(a=tables, b=tables)
+    def test_difference_size(self, a, b):
+        diff = a.bag_difference(b)
+        assert len(diff) >= len(a) - len(b)
+        assert len(diff) <= len(a)
+
+    @given(a=tables, b=tables)
+    def test_difference_counter_semantics(self, a, b):
+        expected = a.counter() - b.counter()  # Counter subtraction floors at 0
+        assert a.bag_difference(b).counter() == expected
+
+    @given(a=tables, b=tables)
+    def test_union_then_difference_recovers(self, a, b):
+        assert a.bag_union(b).bag_difference(b).bag_equals(a)
+
+    @given(a=tables)
+    def test_distinct_idempotent(self, a):
+        once = a.distinct()
+        assert once.distinct().bag_equals(once)
+        assert set(once.counter().values()) <= {1}
+
+    @given(a=tables)
+    def test_distinct_preserves_support(self, a):
+        assert set(a.distinct().counter()) == set(a.counter())
+
+
+class TestOnEnteringExitingDuality:
+    """current = previous − exited + entered, as bags."""
+
+    @given(previous=tables, current=tables)
+    def test_policy_duality(self, previous, current):
+        entered = current.bag_difference(previous)
+        exited = previous.bag_difference(current)
+        lhs = Counter(current.counter())
+        rhs = Counter(previous.counter())
+        rhs.subtract(exited.counter())
+        rhs.update(entered.counter())
+        rhs = +rhs  # drop zero entries
+        assert lhs == +lhs == rhs

@@ -1,0 +1,115 @@
+"""Property-based tests: graph union laws under UNA (Definition 5.4)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphUnionError
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.graph.union import consistent, union, union_all
+
+
+@st.composite
+def una_graphs(draw):
+    """Graphs drawing node/relationship descriptions from a shared pool,
+    so same-id elements are always consistent (the UNA setting)."""
+    pool_size = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    node_pool = {
+        node_id: (
+            frozenset(rng.sample(["A", "B", "C"], k=rng.randint(0, 2))),
+            {"w": rng.randint(0, 9)},
+        )
+        for node_id in range(1, pool_size + 1)
+    }
+    rel_pool = {}
+    for rel_id in range(1, pool_size + 2):
+        rel_pool[rel_id] = (
+            rng.choice(["R", "S"]),
+            rng.randint(1, pool_size),
+            rng.randint(1, pool_size),
+            {"ts": rng.randint(0, 99)},
+        )
+
+    def build(chosen_nodes, chosen_rels):
+        builder = GraphBuilder()
+        needed = set(chosen_nodes)
+        for rel_id in chosen_rels:
+            _, src, trg, _ = rel_pool[rel_id]
+            needed.update((src, trg))
+        for node_id in sorted(needed):
+            labels, props = node_pool[node_id]
+            builder.add_node(labels, props, node_id=node_id)
+        for rel_id in chosen_rels:
+            rel_type, src, trg, props = rel_pool[rel_id]
+            builder.add_relationship(src, rel_type, trg, props, rel_id=rel_id)
+        return builder.build()
+
+    count = draw(st.integers(min_value=1, max_value=3))
+    graphs = []
+    for _ in range(count):
+        nodes = draw(st.sets(st.integers(1, pool_size), max_size=pool_size))
+        rels = draw(st.sets(st.integers(1, pool_size + 1), max_size=4))
+        graphs.append(build(nodes, rels))
+    return graphs
+
+
+class TestUnionLaws:
+    @given(graphs=una_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_commutative(self, graphs):
+        left = graphs[0]
+        right = graphs[-1]
+        assert union(left, right) == union(right, left)
+
+    @given(graphs=una_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_associative(self, graphs):
+        while len(graphs) < 3:
+            graphs = graphs + [PropertyGraph.empty()]
+        a, b, c = graphs[:3]
+        assert union(union(a, b), c) == union(a, union(b, c))
+
+    @given(graphs=una_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, graphs):
+        graph = graphs[0]
+        assert union(graph, graph) == graph
+
+    @given(graphs=una_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_empty_is_identity(self, graphs):
+        graph = graphs[0]
+        assert union(graph, PropertyGraph.empty()) == graph
+        assert union(PropertyGraph.empty(), graph) == graph
+
+    @given(graphs=una_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_union_is_upper_bound(self, graphs):
+        merged = union_all(graphs)
+        for graph in graphs:
+            assert set(graph.nodes) <= set(merged.nodes)
+            assert set(graph.relationships) <= set(merged.relationships)
+
+    @given(graphs=una_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_pool_graphs_always_consistent(self, graphs):
+        assert consistent(graphs[0], graphs[-1])
+
+
+class TestInconsistentUnion:
+    @given(label=st.sampled_from(["X", "Y"]))
+    def test_conflicting_descriptions_rejected(self, label):
+        builder_a = GraphBuilder()
+        builder_a.add_node(["A"], {}, node_id=1)
+        builder_b = GraphBuilder()
+        builder_b.add_node([label], {}, node_id=1)
+        graph_a = builder_a.build()
+        graph_b = builder_b.build()
+        if label == "A":
+            assert consistent(graph_a, graph_b)
+        else:
+            assert not consistent(graph_a, graph_b)

@@ -1,0 +1,127 @@
+"""Property-based tests for the write subset and the ingestion pipeline."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import run_cypher
+from repro.cypher.updating import run_update
+from repro.graph.store import GraphStore
+from repro.graph.temporal import MINUTE
+from repro.usecases.ingestion import IngestionPipeline, RentalMessage
+
+messages = st.lists(
+    st.builds(
+        RentalMessage,
+        kind=st.sampled_from(["rental", "return"]),
+        vehicle=st.integers(min_value=1, max_value=8),
+        station=st.integers(min_value=1, max_value=5),
+        user=st.integers(min_value=1, max_value=10),
+        time=st.integers(min_value=0, max_value=3600),
+        duration=st.one_of(st.none(), st.integers(min_value=1, max_value=60)),
+        ebike=st.booleans(),
+    ),
+    max_size=15,
+)
+
+
+class TestMergeIdempotence:
+    @given(
+        vehicle_ids=st.lists(st.integers(min_value=1, max_value=5),
+                             min_size=1, max_size=20)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_entity_merge_is_idempotent(self, vehicle_ids):
+        store = GraphStore()
+        for vehicle in vehicle_ids:
+            run_update("MERGE (b:Bike {id: $v})", store,
+                       parameters={"v": vehicle})
+        assert store.order == len(set(vehicle_ids))
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=3),
+                      st.integers(min_value=1, max_value=3)),
+            min_size=1, max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_path_merge_is_idempotent(self, pairs):
+        store = GraphStore()
+        for left, right in pairs:
+            run_update(
+                "MERGE (a:L {id: $l}) MERGE (b:R {id: $r}) "
+                "MERGE (a)-[:LINK]->(b)",
+                store,
+                parameters={"l": left, "r": right},
+            )
+        assert store.size == len(set(pairs))
+
+    @given(data=messages)
+    @settings(max_examples=40, deadline=None)
+    def test_ingestion_entity_counts(self, data):
+        pipeline = IngestionPipeline(period=5 * MINUTE, start=0)
+        for message in data:
+            pipeline.feed(message)
+        pipeline.seal_until(3600 + 5 * MINUTE)
+        graph = pipeline.store.graph()
+        expected_bikes = len({message.vehicle for message in data})
+        expected_stations = len({message.station for message in data})
+        bikes = len(list(graph.nodes_with_labels(["Bike"])))
+        stations = len(list(graph.nodes_with_labels(["Station"])))
+        assert bikes == expected_bikes
+        assert stations == expected_stations
+        # One relationship per raw message (CREATE, not MERGE).
+        assert graph.size == len(data)
+
+
+class TestDeltasPartitionTheStore:
+    @given(data=messages)
+    @settings(max_examples=40, deadline=None)
+    def test_sealed_deltas_cover_all_relationships(self, data):
+        pipeline = IngestionPipeline(period=5 * MINUTE, start=0)
+        for message in data:
+            pipeline.feed(message)
+        elements = pipeline.seal_until(3600 + 5 * MINUTE)
+        delta_rels = [
+            rel_id
+            for element in elements
+            for rel_id in element.graph.relationships
+        ]
+        assert sorted(delta_rels) == sorted(
+            pipeline.store.graph().relationships
+        )
+        # Deltas never repeat a relationship.
+        assert len(delta_rels) == len(set(delta_rels))
+
+
+class TestWriteReadRoundTrip:
+    @given(
+        values=st.lists(st.integers(min_value=-100, max_value=100),
+                        min_size=1, max_size=10)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_created_data_is_queryable(self, values):
+        store = GraphStore()
+        for value in values:
+            run_update("CREATE (:Num {v: $v})", store,
+                       parameters={"v": value})
+        table = run_cypher(
+            "MATCH (n:Num) RETURN sum(n.v) AS s, count(*) AS c",
+            store.graph(),
+        )
+        assert table.records[0]["s"] == sum(values)
+        assert table.records[0]["c"] == len(values)
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_set_then_remove_restores(self, seed):
+        rng = random.Random(seed)
+        store = GraphStore()
+        run_update("CREATE (:T {keep: 1})", store)
+        key = f"k{rng.randint(0, 9)}"
+        run_update(f"MATCH (t:T) SET t.{key} = 42", store)
+        run_update(f"MATCH (t:T) REMOVE t.{key}", store)
+        node = next(iter(store.graph().nodes.values()))
+        assert dict(node.properties) == {"keep": 1}

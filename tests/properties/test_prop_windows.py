@@ -1,0 +1,98 @@
+"""Property-based tests: window-set laws (Definitions 5.9–5.11)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.window import ActiveSubstreamPolicy, WindowConfig
+
+configs = st.builds(
+    WindowConfig,
+    start=st.integers(min_value=0, max_value=1000),
+    width=st.integers(min_value=1, max_value=200),
+    slide=st.integers(min_value=1, max_value=200),
+)
+
+instants = st.integers(min_value=0, max_value=5000)
+
+
+class TestWindowSetLaws:
+    @given(config=configs, index=st.integers(min_value=0, max_value=50))
+    def test_window_shape(self, config, index):
+        window = config.window(index)
+        assert window.duration == config.width
+        assert window.start == config.start + index * config.slide
+
+    @given(config=configs, instant=instants)
+    def test_containing_windows_really_contain(self, config, instant):
+        for window in config.windows_containing(instant):
+            assert instant in window
+
+    @given(config=configs, instant=instants)
+    def test_containing_count_bounded(self, config, instant):
+        count = len(config.windows_containing(instant))
+        upper = -(-config.width // config.slide)  # ceil
+        assert count <= upper
+
+    @given(config=configs, instant=instants)
+    def test_coverage_after_start(self, config, instant):
+        # With slide ≤ width (sliding/tumbling, no gaps) every instant
+        # ≥ ω₀ is covered by at least one window; with slide > width the
+        # window set legitimately leaves gaps.
+        if instant >= config.start and config.slide <= config.width:
+            assert config.windows_containing(instant)
+
+    @given(config=configs, instant=instants)
+    def test_earliest_containing_is_minimal(self, config, instant):
+        containing = config.windows_containing(instant)
+        active = config.active_window(
+            instant, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        )
+        if containing:
+            assert active == min(containing, key=lambda window: window.start)
+        else:
+            assert active is None
+
+
+class TestEvaluationInstantLaws:
+    @given(config=configs, until=instants)
+    def test_et_spacing(self, config, until):
+        instants_list = list(config.evaluation_instants(until))
+        assert all(
+            b - a == config.slide
+            for a, b in zip(instants_list, instants_list[1:])
+        )
+        for instant in instants_list:
+            assert config.is_evaluation_instant(instant)
+
+    @given(config=configs, instant=instants)
+    def test_next_evaluation_is_evaluation_instant(self, config, instant):
+        nxt = config.next_evaluation_at_or_after(instant)
+        assert nxt >= instant
+        assert config.is_evaluation_instant(nxt)
+        # And it is the smallest such instant.
+        if nxt - config.slide >= config.start:
+            assert nxt - config.slide < instant
+
+
+class TestTrailingPolicyLaws:
+    @given(config=configs, instant=instants)
+    def test_trailing_window_ends_at_instant(self, config, instant):
+        window = config.active_window(instant, ActiveSubstreamPolicy.TRAILING)
+        assert window.end == instant
+        assert window.duration == config.width
+
+    @given(config=configs, instant=instants)
+    def test_eviction_horizon_safe(self, config, instant):
+        # Nothing at or before the horizon can be in any future window
+        # under either policy.
+        horizon = config.eviction_horizon(instant)
+        for future in (instant, instant + config.slide):
+            trailing = config.active_window(
+                future, ActiveSubstreamPolicy.TRAILING
+            )
+            assert horizon <= trailing.start
+            formal = config.active_window(
+                future, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+            )
+            if formal is not None:
+                assert horizon <= formal.start

@@ -1,0 +1,85 @@
+"""Unit tests for the Seraph AST helpers."""
+
+import pytest
+
+from repro.cypher import ast as cypher_ast
+from repro.cypher.parser import parse_cypher
+from repro.graph.temporal import HOUR, MINUTE
+from repro.seraph.ast import Emit, SeraphMatch, SeraphQuery
+from repro.seraph.parser import parse_seraph
+from repro.stream.report import ReportPolicy
+
+
+def minimal_query(**overrides):
+    match = parse_cypher("MATCH (n:X) RETURN n").parts[0].clauses[0]
+    fields = dict(
+        name="q",
+        starting_at=0,
+        body=(SeraphMatch(match=match, within=HOUR),),
+        emit=Emit(
+            items=(cypher_ast.ProjectionItem(
+                expression=cypher_ast.Variable("n"), alias=None),),
+            every=5 * MINUTE,
+        ),
+    )
+    fields.update(overrides)
+    return SeraphQuery(**fields)
+
+
+class TestSeraphQuery:
+    def test_requires_exactly_one_terminal(self):
+        with pytest.raises(ValueError):
+            minimal_query(emit=None)  # neither
+        ret = cypher_ast.Return(
+            items=(cypher_ast.ProjectionItem(
+                expression=cypher_ast.Variable("n"), alias=None),)
+        )
+        with pytest.raises(ValueError):
+            minimal_query(final_return=ret)  # both
+
+    def test_is_continuous(self):
+        assert minimal_query().is_continuous
+
+    def test_max_within_takes_widest(self):
+        match = parse_cypher("MATCH (n:X) RETURN n").parts[0].clauses[0]
+        query = minimal_query(
+            body=(
+                SeraphMatch(match=match, within=HOUR),
+                SeraphMatch(match=match, within=10 * MINUTE),
+            )
+        )
+        assert query.max_within == HOUR
+
+    def test_slide(self):
+        assert minimal_query().slide == 5 * MINUTE
+
+
+class TestCypherCounterpart:
+    def test_emit_becomes_return(self):
+        """Definition 5.8: the non-streaming counterpart Q of a CQ."""
+        from repro.usecases.micromobility import LISTING5_SERAPH
+
+        query = parse_seraph(LISTING5_SERAPH)
+        counterpart = query.cypher_counterpart()
+        assert isinstance(counterpart.clauses[-1], cypher_ast.Return)
+        # Same projection items as EMIT.
+        assert counterpart.clauses[-1].items == query.emit.items
+        # WITHIN is stripped: all clauses are plain Cypher AST nodes.
+        assert all(
+            not isinstance(clause, SeraphMatch) for clause in counterpart.clauses
+        )
+
+    def test_counterpart_is_valid_cypher(self):
+        from repro.usecases.micromobility import LISTING5_SERAPH
+
+        counterpart = parse_seraph(LISTING5_SERAPH).cypher_counterpart()
+        rendered = counterpart.render()
+        parse_cypher(rendered)  # must round-trip through the Cypher parser
+
+    def test_return_terminal_kept(self):
+        query = parse_seraph("""
+        REGISTER QUERY once STARTING AT 2022-08-01T10:00
+        { MATCH (n) WITHIN PT1H RETURN count(*) AS n }
+        """)
+        counterpart = query.cypher_counterpart()
+        assert counterpart.clauses[-1] == query.final_return

@@ -1,0 +1,184 @@
+"""Continuous-semantics conformance corpus.
+
+Table-driven like the Cypher corpus, but temporal: each case registers
+one continuous query over a fixed five-event stream and asserts the
+complete emission sequence (instant → rows).  One case per semantic
+facet: policies, window widths, slides, aggregation over time,
+OPTIONAL MATCH with empty windows, one-shot RETURN, formal policy.
+
+The fixture stream (period 60s, instants 60..300):
+
+    t=60  : (a:User {id:1})-[:PING {n:1}]->(s:Server {id:9})
+    t=120 : (a:User {id:2})-[:PING {n:2}]->(s:Server {id:9})
+    t=180 : (empty period — no event)
+    t=240 : (a:User {id:1})-[:PING {n:3}]->(s:Server {id:9})
+    t=300 : (a:User {id:3})-[:PING {n:4}]->(s:Server {id:9})
+"""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.stream import StreamElement
+from repro.stream.window import ActiveSubstreamPolicy
+
+
+def ping(instant, user, seq):
+    builder = GraphBuilder()
+    user_node = builder.add_node(["User"], {"id": user}, node_id=user)
+    server = builder.add_node(["Server"], {"id": 9}, node_id=100)
+    builder.add_relationship(user_node, "PING", server, {"n": seq},
+                             rel_id=seq)
+    return StreamElement(graph=builder.build(), instant=instant)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return [ping(60, 1, 1), ping(120, 2, 2), ping(240, 1, 3),
+            ping(300, 3, 4)]
+
+
+def wrap(body):
+    return ("REGISTER QUERY c STARTING AT 1970-01-01T00:01\n"
+            f"{{ {body} }}")
+
+
+#: (case id, body, {instant: expected rows-as-sorted-tuples}, policy)
+CASES = [
+    (
+        "snapshot-count-wide-window",
+        "MATCH ()-[p:PING]->() WITHIN PT10M "
+        "EMIT count(p) AS n SNAPSHOT EVERY PT1M",
+        {60: [(1,)], 120: [(2,)], 180: [(2,)], 240: [(3,)], 300: [(4,)]},
+    ),
+    (
+        "snapshot-count-narrow-window",
+        # 1-minute window: only the event arriving at ω itself.
+        "MATCH ()-[p:PING]->() WITHIN PT1M "
+        "EMIT count(p) AS n SNAPSHOT EVERY PT1M",
+        {60: [(1,)], 120: [(1,)], 180: [(0,)], 240: [(1,)], 300: [(1,)]},
+    ),
+    (
+        "on-entering-users",
+        "MATCH (u:User)-[:PING]->() WITHIN PT10M "
+        "EMIT u.id AS user ON ENTERING EVERY PT1M",
+        # User 1 pings twice: the second match is a new tuple (bag!).
+        {60: [(1,)], 120: [(2,)], 180: [], 240: [(1,)], 300: [(3,)]},
+    ),
+    (
+        "on-entering-distinct-users",
+        "MATCH (u:User)-[:PING]->() WITHIN PT10M "
+        "WITH DISTINCT u.id AS user "
+        "EMIT user ON ENTERING EVERY PT1M",
+        # DISTINCT collapses user 1's second ping: nothing new at 240.
+        {60: [(1,)], 120: [(2,)], 180: [], 240: [], 300: [(3,)]},
+    ),
+    (
+        "on-exiting-expiry",
+        # 2-minute window: each ping leaves two minutes after arriving.
+        "MATCH (u:User)-[:PING]->() WITHIN PT2M "
+        "EMIT u.id AS user ON EXITING EVERY PT1M",
+        {60: [], 120: [], 180: [(1,)], 240: [(2,)], 300: [],
+         360: [(1,)], 420: [(3,)]},
+    ),
+    (
+        "every-two-minutes",
+        "MATCH ()-[p:PING]->() WITHIN PT10M "
+        "EMIT count(p) AS n SNAPSHOT EVERY PT2M",
+        # Evaluations at 60, 180, 300 only.
+        {60: [(1,)], 180: [(2,)], 300: [(4,)]},
+    ),
+    (
+        "grouped-aggregation-over-time",
+        "MATCH (u:User)-[p:PING]->() WITHIN PT10M "
+        "EMIT u.id AS user, count(p) AS pings ON ENTERING EVERY PT1M",
+        # Group rows change as counts grow: user 1's row enters at 60 as
+        # (pings=1,user=1); at 240 it becomes (pings=2,user=1) — a new
+        # tuple — while the old one exits silently.  Tuples below are in
+        # sorted-field order: (pings, user).
+        {60: [(1, 1)], 120: [(1, 2)], 180: [], 240: [(2, 1)],
+         300: [(1, 3)]},
+    ),
+    (
+        "optional-match-empty-window",
+        "OPTIONAL MATCH (u:User)-[:PING]->() WITHIN PT1M "
+        "EMIT coalesce(u.id, -1) AS user SNAPSHOT EVERY PT3M",
+        # At 180 the 1-minute window is empty → the null row.
+        {60: [(1,)], 240: [(1,)], 420: [(-1,)]},
+    ),
+]
+
+
+def run_case(stream, body, policy=ActiveSubstreamPolicy.TRAILING,
+             until=None):
+    engine = SeraphEngine(policy=policy)
+    sink = CollectingSink()
+    engine.register(wrap(body), sink=sink)
+    engine.run_stream(stream, until=until)
+    return sink
+
+
+@pytest.mark.parametrize(
+    "case_id,body,expected",
+    [(c[0], c[1], c[2]) for c in CASES],
+    ids=[c[0] for c in CASES],
+)
+def test_continuous_conformance(stream, case_id, body, expected):
+    until = max(expected)
+    sink = run_case(stream, body, until=until)
+    actual = {
+        emission.instant: sorted(
+            tuple(record[name] for name in sorted(record))
+            for record in emission.table
+        )
+        for emission in sink.emissions
+    }
+    for instant, rows in expected.items():
+        assert actual.get(instant) == sorted(rows), (
+            f"{case_id} @ {instant}: expected {sorted(rows)}, "
+            f"got {actual.get(instant)}"
+        )
+
+
+class TestOneShot:
+    def test_return_terminal_fires_once(self, stream):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(
+            "REGISTER QUERY once STARTING AT 1970-01-01T00:04\n"
+            "{ MATCH ()-[p:PING]->() WITHIN PT10M RETURN count(p) AS n }",
+            sink=sink,
+        )
+        engine.run_stream(stream, until=600)
+        assert len(sink.emissions) == 1
+        assert sink.emissions[0].instant == 240
+        assert sink.emissions[0].table.table.records[0]["n"] == 3
+
+
+class TestFormalPolicyConformance:
+    def test_formal_window_annotation(self, stream):
+        """Under EARLIEST_CONTAINING the reported window is the earliest
+        Def-5.9 window containing ω (here always the first window, since
+        the width far exceeds the horizon)."""
+        sink = run_case(
+            stream,
+            "MATCH ()-[p:PING]->() WITHIN PT10M "
+            "EMIT count(p) AS n SNAPSHOT EVERY PT1M",
+            policy=ActiveSubstreamPolicy.EARLIEST_CONTAINING,
+            until=300,
+        )
+        for emission in sink.emissions:
+            assert emission.table.win_start == 60  # ω₀
+            assert emission.table.win_end == 60 + 600
+
+    def test_formal_counts_clip_to_arrivals(self, stream):
+        sink = run_case(
+            stream,
+            "MATCH ()-[p:PING]->() WITHIN PT10M "
+            "EMIT count(p) AS n SNAPSHOT EVERY PT1M",
+            policy=ActiveSubstreamPolicy.EARLIEST_CONTAINING,
+            until=300,
+        )
+        counts = [emission.table.table.records[0]["n"]
+                  for emission in sink.emissions]
+        assert counts == [1, 2, 2, 3, 4]

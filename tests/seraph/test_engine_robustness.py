@@ -1,0 +1,172 @@
+"""Engine robustness: late registration, catch-up, eviction interplay,
+out-of-order input, empty streams, and long idle runs."""
+
+import pytest
+
+from repro.errors import OutOfOrderEventError
+from repro.graph.model import PropertyGraph
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.stream import StreamElement
+from repro.usecases.micromobility import LISTING5_SERAPH, _t, figure1_stream
+
+COUNT_QUERY = """
+REGISTER QUERY rentals STARTING AT 2022-08-01T14:45
+{
+  MATCH ()-[r:rentedAt]->() WITHIN PT1H
+  EMIT count(r) AS rentals SNAPSHOT EVERY PT5M
+}
+"""
+
+
+class TestLateRegistration:
+    def test_catch_up_over_retained_history(self, rental_stream):
+        """A query registered after events arrived fires its missed ET
+        instants against the retained stream — the same results as if it
+        had been registered from the start."""
+        engine = SeraphEngine()
+        for element in rental_stream[:3]:  # up to 15:15, nothing fired yet
+            engine.ingest_element(element)
+        sink = CollectingSink()
+        engine.register(COUNT_QUERY, sink=sink)
+        engine.advance_to(_t("15:15"))
+        counts = [emission.table.table.records[0]["rentals"]
+                  for emission in sink.emissions]
+        # 14:45..15:15; the 15:15 event carries a return, not a rental.
+        assert counts == [1, 1, 1, 3, 3, 3, 3]
+
+    def test_catch_up_after_eviction_sees_empty_windows(self, rental_stream):
+        """If another query's progress already evicted old elements, a
+        late registrant's historical windows are (documented) empty."""
+        engine = SeraphEngine()
+        engine.register(COUNT_QUERY)
+        engine.run_stream(rental_stream, until=_t("17:00"))
+        assert engine.retained_elements == 0
+        sink = CollectingSink()
+        engine.register(COUNT_QUERY.replace("rentals", "late"), sink=sink)
+        engine.advance_to(_t("17:00"))
+        # Global count over an empty snapshot is a single zero row.
+        # (The .replace renamed the alias too: 'rentals' → 'late'.)
+        assert all(
+            emission.table.table.records[0]["late"] == 0
+            for emission in sink.emissions
+        )
+
+
+class TestInputDiscipline:
+    def test_out_of_order_ingest_rejected(self):
+        engine = SeraphEngine()
+        engine.ingest(PropertyGraph.empty(), 100)
+        with pytest.raises(OutOfOrderEventError):
+            engine.ingest(PropertyGraph.empty(), 50)
+
+    def test_equal_instants_accepted(self):
+        engine = SeraphEngine()
+        engine.ingest(PropertyGraph.empty(), 100)
+        engine.ingest(PropertyGraph.empty(), 100)
+        assert engine.retained_elements == 2
+
+    def test_per_stream_ordering_is_independent(self):
+        engine = SeraphEngine()
+        engine.ingest(PropertyGraph.empty(), 100, stream="a")
+        engine.ingest(PropertyGraph.empty(), 50, stream="b")  # fine
+        with pytest.raises(OutOfOrderEventError):
+            engine.ingest(PropertyGraph.empty(), 10, stream="a")
+
+
+class TestDegenerateRuns:
+    def test_empty_stream_run(self):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(COUNT_QUERY, sink=sink)
+        assert engine.run_stream([]) == []
+        assert sink.emissions == []
+
+    def test_advance_without_queries(self):
+        engine = SeraphEngine()
+        engine.ingest(PropertyGraph.empty(), 100)
+        assert engine.advance_to(1000) == []
+
+    def test_long_idle_tail_emits_empty_tables(self, rental_stream):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(LISTING5_SERAPH, sink=sink)
+        engine.run_stream(rental_stream, until=_t("18:00"))
+        # 14:45..18:00 every 5 minutes.
+        assert len(sink.emissions) == 40
+        late = [emission for emission in sink.emissions
+                if emission.instant > _t("16:40")]
+        assert all(emission.is_empty() for emission in late)
+
+    def test_until_before_first_event(self, rental_stream):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(COUNT_QUERY, sink=sink)
+        engine.run_stream(rental_stream[:1], until=_t("14:45"))
+        assert len(sink.emissions) == 1
+        assert sink.emissions[0].table.table.records[0]["rentals"] == 1
+
+    def test_watermark_only_moves_forward_across_streams(self):
+        engine = SeraphEngine()
+        engine.ingest(PropertyGraph.empty(), 100, stream="a")
+        engine.ingest(PropertyGraph.empty(), 50, stream="b")
+        assert engine._watermark == 100
+
+
+class TestStatus:
+    def test_status_snapshot(self, rental_stream):
+        engine = SeraphEngine()
+        engine.register(LISTING5_SERAPH)
+        engine.run_stream(rental_stream, until=_t("15:40"))
+        status = engine.status()
+        query = status["queries"]["student_trick"]
+        assert query["evaluations"] == 12
+        assert not query["done"]
+        assert query["next_eval"] == _t("15:45")
+        assert status["streams"]["default"]["retained"] == \
+            engine.retained_elements
+        assert status["watermark"] == _t("15:40")
+        assert status["policy"] == "trailing"
+
+    def test_status_reports_warnings(self):
+        engine = SeraphEngine()
+        engine.register(
+            """
+            REGISTER QUERY gappy STARTING AT 2022-08-01T10:00
+            { MATCH (n) WITHIN PT1M EMIT count(*) AS n SNAPSHOT EVERY PT10M }
+            """
+        )
+        status = engine.status()
+        assert status["queries"]["gappy"]["warnings"]
+
+
+class TestEvictionSafety:
+    def test_eviction_never_loses_reachable_elements(self, rental_stream):
+        """Interleave ingestion and advancement arbitrarily; results must
+        match the one-shot run (eviction must be conservative)."""
+        reference_engine = SeraphEngine()
+        reference_sink = CollectingSink()
+        reference_engine.register(LISTING5_SERAPH, sink=reference_sink)
+        reference_engine.run_stream(rental_stream, until=_t("15:40"))
+
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(LISTING5_SERAPH, sink=sink)
+        for element in rental_stream:
+            engine.advance_to(element.instant - 1)
+            engine.advance_to(element.instant - 1)  # repeated advances
+            engine.ingest_element(element)
+        engine.advance_to(_t("15:40"))
+        assert len(sink.emissions) == len(reference_sink.emissions)
+        for left, right in zip(sink.emissions, reference_sink.emissions):
+            assert left.table.bag_equals(right.table)
+
+    def test_multi_width_eviction_uses_widest(self, rental_stream):
+        engine = SeraphEngine()
+        engine.register(COUNT_QUERY)
+        engine.register(
+            COUNT_QUERY.replace("rentals", "wide")
+            .replace("WITHIN PT1H", "WITHIN PT4H")
+        )
+        engine.run_stream(rental_stream, until=_t("16:00"))
+        # The 4h window still reaches everything: nothing evicted.
+        assert engine.retained_elements == 5

@@ -1,0 +1,232 @@
+"""Unit tests for the Seraph parser (Figure 6 conformance)."""
+
+import pytest
+
+from repro.errors import SeraphSyntaxError
+from repro.graph.temporal import HOUR, MINUTE, parse_datetime
+from repro.seraph.ast import SeraphMatch
+from repro.seraph.parser import parse_seraph
+from repro.stream.report import ReportPolicy
+
+MINIMAL = """
+REGISTER QUERY q1 STARTING AT 2022-08-01T10:00
+{
+  MATCH (n:Person) WITHIN PT1H
+  EMIT n.name AS name
+  ON ENTERING EVERY PT5M
+}
+"""
+
+
+class TestRegisterClause:
+    def test_name_and_start(self):
+        query = parse_seraph(MINIMAL)
+        assert query.name == "q1"
+        assert query.starting_at == parse_datetime("2022-08-01T10:00")
+
+    def test_trailing_h_datetime(self):
+        query = parse_seraph(MINIMAL.replace("10:00", "10:00h"))
+        assert query.starting_at == parse_datetime("2022-08-01T10:00")
+
+    def test_quoted_datetime(self):
+        query = parse_seraph(MINIMAL.replace("2022-08-01T10:00",
+                                             "'2022-08-01T10:00'"))
+        assert query.starting_at == parse_datetime("2022-08-01T10:00")
+
+    def test_missing_datetime_rejected(self):
+        with pytest.raises(SeraphSyntaxError):
+            parse_seraph(MINIMAL.replace("2022-08-01T10:00", "{") )
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SeraphSyntaxError):
+            parse_seraph(MINIMAL + " extra")
+
+    def test_semicolon_tolerated(self):
+        parse_seraph(MINIMAL + ";")
+
+
+class TestBody:
+    def test_within_attached_to_match(self):
+        query = parse_seraph(MINIMAL)
+        clause = query.body[0]
+        assert isinstance(clause, SeraphMatch)
+        assert clause.within == HOUR
+
+    def test_every_match_needs_within(self):
+        bad = MINIMAL.replace("WITHIN PT1H", "")
+        with pytest.raises(SeraphSyntaxError):
+            parse_seraph(bad)
+
+    def test_multiple_matches_different_windows(self):
+        query = parse_seraph("""
+        REGISTER QUERY multi STARTING AT 2022-08-01T10:00
+        {
+          MATCH (a:X) WITHIN PT1H
+          MATCH (b:Y) WITHIN PT10M
+          EMIT a.id AS a_id, b.id AS b_id
+          SNAPSHOT EVERY PT1M
+        }
+        """)
+        widths = [clause.within for clause in query.body
+                  if isinstance(clause, SeraphMatch)]
+        assert widths == [HOUR, 10 * MINUTE]
+        assert query.max_within == HOUR
+
+    def test_match_where_inline(self):
+        query = parse_seraph("""
+        REGISTER QUERY q STARTING AT 2022-08-01T10:00
+        { MATCH (n) WITHIN PT1H WHERE n.x > 1 EMIT n.x AS x SNAPSHOT EVERY PT1M }
+        """)
+        assert query.body[0].match.where is not None
+
+    def test_standalone_where_attaches_to_with(self):
+        query = parse_seraph("""
+        REGISTER QUERY q STARTING AT 2022-08-01T10:00
+        {
+          MATCH (n) WITHIN PT1H
+          WITH n.x AS x
+          WHERE x > 1
+          EMIT x SNAPSHOT EVERY PT1M
+        }
+        """)
+        with_clause = query.body[1]
+        assert with_clause.where is not None
+
+    def test_standalone_where_attaches_to_match(self):
+        query = parse_seraph("""
+        REGISTER QUERY q STARTING AT 2022-08-01T10:00
+        {
+          MATCH (n) WITHIN PT1H
+          WHERE n.x > 1
+          EMIT n.x AS x SNAPSHOT EVERY PT1M
+        }
+        """)
+        assert query.body[0].match.where is not None
+
+    def test_where_without_preceding_clause_rejected(self):
+        with pytest.raises(SeraphSyntaxError):
+            parse_seraph("""
+            REGISTER QUERY q STARTING AT 2022-08-01T10:00
+            { WHERE 1 > 0 EMIT 1 AS one SNAPSHOT EVERY PT1M }
+            """)
+
+    def test_unwind_allowed(self):
+        query = parse_seraph("""
+        REGISTER QUERY q STARTING AT 2022-08-01T10:00
+        {
+          MATCH (n) WITHIN PT1H
+          UNWIND [1,2] AS x
+          EMIT x SNAPSHOT EVERY PT1M
+        }
+        """)
+        assert len(query.body) == 2
+
+
+class TestEmit:
+    def test_on_entering(self):
+        assert parse_seraph(MINIMAL).emit.policy is ReportPolicy.ON_ENTERING
+
+    def test_on_exiting(self):
+        query = parse_seraph(MINIMAL.replace("ON ENTERING", "ON EXITING"))
+        assert query.emit.policy is ReportPolicy.ON_EXITING
+
+    def test_snapshot_explicit(self):
+        query = parse_seraph(MINIMAL.replace("ON ENTERING", "SNAPSHOT"))
+        assert query.emit.policy is ReportPolicy.SNAPSHOT
+
+    def test_snapshot_default(self):
+        query = parse_seraph(MINIMAL.replace("ON ENTERING", ""))
+        assert query.emit.policy is ReportPolicy.SNAPSHOT
+
+    def test_every_parsed(self):
+        assert parse_seraph(MINIMAL).emit.every == 5 * MINUTE
+        assert parse_seraph(MINIMAL).slide == 5 * MINUTE
+
+    def test_on_requires_direction(self):
+        with pytest.raises(SeraphSyntaxError):
+            parse_seraph(MINIMAL.replace("ON ENTERING", "ON SIDEWAYS"))
+
+    def test_emit_items_with_aliases(self):
+        query = parse_seraph(MINIMAL)
+        assert query.emit.items[0].alias == "name"
+
+    def test_emit_star(self):
+        query = parse_seraph("""
+        REGISTER QUERY q STARTING AT 2022-08-01T10:00
+        { MATCH (n) WITHIN PT1H EMIT * SNAPSHOT EVERY PT1M }
+        """)
+        assert query.emit.star
+
+
+class TestReturnTerminal:
+    def test_return_one_shot(self):
+        query = parse_seraph("""
+        REGISTER QUERY once STARTING AT 2022-08-01T10:00
+        { MATCH (n) WITHIN PT1H RETURN count(*) AS n }
+        """)
+        assert not query.is_continuous
+        assert query.final_return is not None
+        assert query.emit is None
+
+
+class TestPaperListings:
+    def test_listing5_parses(self):
+        from repro.usecases.micromobility import LISTING5_SERAPH
+
+        query = parse_seraph(LISTING5_SERAPH)
+        assert query.name == "student_trick"
+        assert query.max_within == HOUR
+        assert query.slide == 5 * MINUTE
+        assert query.emit.policy is ReportPolicy.ON_ENTERING
+
+    def test_listing2_network_parses(self):
+        from repro.usecases.network import anomalous_routes_query
+
+        query = parse_seraph(anomalous_routes_query())
+        assert query.name == "network_anomalies"
+        assert query.emit.policy is ReportPolicy.SNAPSHOT
+        assert query.slide == MINUTE
+
+    def test_crime_query_parses(self):
+        from repro.usecases.pole import crime_suspects_query
+
+        query = parse_seraph(crime_suspects_query())
+        assert query.name == "crime_suspects"
+
+    def test_table1_style_queries_parse(self):
+        """The three CQ sketches of Table 1 expressed in Seraph syntax."""
+        texts = [
+            # network monitoring
+            """REGISTER QUERY t1a STARTING AT 2022-08-01T00:00 {
+               MATCH p = (s:Switch)-[:ROUTES*..10]-(e:Router {egress: true})
+               WITHIN PT10M
+               EMIT p SNAPSHOT EVERY PT1M }""",
+            # real-time surveillance
+            """REGISTER QUERY t1b STARTING AT 2022-08-01T00:00 {
+               MATCH (p:Person)-[s:PASSED_BY]->(l:Location)<-[:OCCURRED_AT]-(c:Crime)
+               WITHIN PT30M
+               EMIT p.id AS person ON ENTERING EVERY PT1M }""",
+            # micro mobility
+            """REGISTER QUERY t1c STARTING AT 2022-08-01T00:00 {
+               MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT1H
+               WHERE r.duration IS NULL
+               EMIT r.user_id AS user ON ENTERING EVERY PT5M }""",
+        ]
+        for text in texts:
+            parse_seraph(text)
+
+
+class TestRendering:
+    def test_render_round_trip(self):
+        from repro.usecases.micromobility import LISTING5_SERAPH
+
+        query = parse_seraph(LISTING5_SERAPH)
+        assert parse_seraph(query.render()) == query
+
+    def test_render_round_trip_return_terminal(self):
+        text = """
+        REGISTER QUERY once STARTING AT 2022-08-01T10:00
+        { MATCH (n:X) WITHIN PT1H RETURN count(*) AS n }
+        """
+        query = parse_seraph(text)
+        assert parse_seraph(query.render()) == query

@@ -1,0 +1,75 @@
+"""Negative parser corpus: malformed Seraph queries fail with positioned
+errors, never silently mis-parse."""
+
+import pytest
+
+from repro.errors import CypherSyntaxError, SeraphSyntaxError
+from repro.seraph.parser import parse_seraph
+
+BAD_QUERIES = [
+    # missing REGISTER
+    "QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN PT1H "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M }",
+    # missing STARTING AT
+    "REGISTER QUERY q { MATCH (n) WITHIN PT1H EMIT 1 AS x "
+    "SNAPSHOT EVERY PT1M }",
+    # bad datetime
+    "REGISTER QUERY q STARTING AT tomorrow { MATCH (n) WITHIN PT1H "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M }",
+    # unclosed body
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN PT1H "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M",
+    # missing WITHIN
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M }",
+    # bad duration
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN 5mins "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M }",
+    # missing EVERY
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN PT1H "
+    "EMIT 1 AS x SNAPSHOT }",
+    # EMIT without items
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN PT1H "
+    "EMIT SNAPSHOT EVERY PT1M }",
+    # ON without direction
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN PT1H "
+    "EMIT 1 AS x ON EVERY PT1M }",
+    # both EMIT and RETURN
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN PT1H "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M RETURN 1 AS y }",
+    # write clause inside a Seraph body
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { CREATE (:X) "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M }",
+    # trailing garbage
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) WITHIN PT1H "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M } AND MORE",
+    # FROM without STREAM
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { MATCH (n) FROM left "
+    "WITHIN PT1H EMIT 1 AS x SNAPSHOT EVERY PT1M }",
+    # stray WHERE before any clause
+    "REGISTER QUERY q STARTING AT 2022-08-01T10:00 { WHERE 1 > 0 "
+    "EMIT 1 AS x SNAPSHOT EVERY PT1M }",
+]
+
+
+@pytest.mark.parametrize(
+    "text", BAD_QUERIES, ids=[f"bad-{index}" for index in range(len(BAD_QUERIES))]
+)
+def test_malformed_queries_rejected(text):
+    with pytest.raises(CypherSyntaxError):
+        parse_seraph(text)
+
+
+def test_error_positions_point_into_the_query():
+    try:
+        parse_seraph(
+            "REGISTER QUERY q STARTING AT 2022-08-01T10:00\n"
+            "{\n"
+            "  MATCH (n)\n"
+            "  EMIT 1 AS x SNAPSHOT EVERY PT1M\n"
+            "}"
+        )
+    except SeraphSyntaxError as error:
+        assert error.line == 4  # the parser noticed at EMIT
+    else:  # pragma: no cover
+        pytest.fail("expected a syntax error")

@@ -1,0 +1,51 @@
+"""Unit tests for the standalone query registry."""
+
+import pytest
+
+from repro.errors import QueryRegistryError
+from repro.seraph.parser import parse_seraph
+from repro.seraph.registry import QueryRegistry
+
+TEXT = """
+REGISTER QUERY demo STARTING AT 2022-08-01T10:00
+{ MATCH (n) WITHIN PT1H EMIT count(*) AS n SNAPSHOT EVERY PT5M }
+"""
+
+
+class TestQueryRegistry:
+    def test_register_parses_text(self):
+        registry = QueryRegistry()
+        query = registry.register(TEXT)
+        assert query.name == "demo"
+        assert "demo" in registry
+        assert registry.names() == ["demo"]
+
+    def test_register_accepts_parsed_query(self):
+        registry = QueryRegistry()
+        registry.register(parse_seraph(TEXT))
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = QueryRegistry()
+        registry.register(TEXT)
+        with pytest.raises(QueryRegistryError):
+            registry.register(TEXT)
+
+    def test_replace_allows_editing(self):
+        registry = QueryRegistry()
+        registry.register(TEXT)
+        edited = registry.register(TEXT.replace("PT5M", "PT1M"), replace=True)
+        assert registry.get("demo").slide == edited.slide == 60
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(QueryRegistryError):
+            QueryRegistry().get("ghost")
+
+    def test_delete(self):
+        registry = QueryRegistry()
+        registry.register(TEXT)
+        deleted = registry.delete("demo")
+        assert deleted.name == "demo"
+        assert "demo" not in registry
+        with pytest.raises(QueryRegistryError):
+            registry.delete("demo")

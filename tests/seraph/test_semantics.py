@@ -1,0 +1,187 @@
+"""Unit tests for the denotational semantics (Definitions 5.8–5.11)."""
+
+import pytest
+
+from repro.cypher import run_cypher
+from repro.graph.temporal import HOUR, MINUTE
+from repro.seraph.parser import parse_seraph
+from repro.seraph.semantics import (
+    continuous_run,
+    evaluate_at,
+    evaluation_instants,
+    reported_interval,
+    window_config,
+)
+from repro.stream.snapshot import snapshot_graph
+from repro.stream.stream import PropertyGraphStream
+from repro.stream.timeline import TimeInterval
+from repro.stream.window import ActiveSubstreamPolicy
+from repro.usecases.micromobility import LISTING5_SERAPH, _t, figure1_stream
+
+
+@pytest.fixture
+def query():
+    return parse_seraph(LISTING5_SERAPH)
+
+
+@pytest.fixture
+def stream(rental_stream):
+    return PropertyGraphStream(rental_stream)
+
+
+class TestWindowConfigDerivation:
+    def test_config_from_query(self, query):
+        config = window_config(query, query.max_within)
+        assert config.start == _t("14:45")
+        assert config.width == HOUR
+        assert config.slide == 5 * MINUTE
+
+    def test_return_terminal_defaults_slide_to_width(self):
+        one_shot = parse_seraph("""
+        REGISTER QUERY once STARTING AT 2022-08-01T10:00
+        { MATCH (n) WITHIN PT1H RETURN count(*) AS n }
+        """)
+        config = window_config(one_shot, one_shot.max_within)
+        assert config.slide == config.width == HOUR
+
+
+class TestEvaluationInstants:
+    def test_et_matches_paper(self, query):
+        instants = evaluation_instants(query, _t("15:40"))
+        assert instants[0] == _t("14:45")
+        assert instants[-1] == _t("15:40")
+        assert len(instants) == 12
+        assert all(b - a == 5 * MINUTE for a, b in zip(instants, instants[1:]))
+
+
+class TestReportedInterval:
+    def test_trailing(self, query):
+        interval = reported_interval(query, _t("15:15"))
+        assert interval == TimeInterval(_t("14:15"), _t("15:15"))
+
+    def test_formal(self, query):
+        interval = reported_interval(
+            query, _t("15:15"), ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        )
+        # Earliest window of W(14:45, 1h, 5m) containing 15:15 is the first.
+        assert interval == TimeInterval(_t("14:45"), _t("15:45"))
+
+    def test_formal_before_start_is_empty_interval(self, query):
+        interval = reported_interval(
+            query, _t("14:00"), ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        )
+        assert interval.is_empty()
+
+
+class TestSnapshotReducibility:
+    """Definition 5.8: CQ(S)@ω = Q(snapshot(S, ω))."""
+
+    def test_equivalence_at_every_instant(self, query, stream):
+        counterpart = query.cypher_counterpart()
+        config = window_config(query, query.max_within)
+        for instant in evaluation_instants(query, _t("15:40")):
+            continuous = evaluate_at(query, stream, instant)
+            elements = config.active_substream(stream, instant)
+            one_time = run_cypher(
+                counterpart.render(),
+                snapshot_graph(elements),
+                base_scope={
+                    "win_start": continuous.win_start,
+                    "win_end": continuous.win_end,
+                },
+            )
+            assert continuous.table.bag_equals(one_time)
+
+    def test_equivalence_under_formal_policy(self, query, stream):
+        counterpart = query.cypher_counterpart()
+        config = window_config(query, query.max_within)
+        policy = ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        for instant in evaluation_instants(query, _t("15:40")):
+            continuous = evaluate_at(query, stream, instant, policy)
+            elements = config.active_substream(stream, instant, policy)
+            one_time = run_cypher(
+                counterpart.render(),
+                snapshot_graph(elements),
+                base_scope={
+                    "win_start": continuous.win_start,
+                    "win_end": continuous.win_end,
+                },
+            )
+            assert continuous.table.bag_equals(one_time)
+
+
+class TestContinuousRun:
+    def test_produces_one_entry_per_et_instant(self, query, stream):
+        entries = continuous_run(query, stream, _t("15:40"))
+        assert len(entries) == 12
+
+    def test_report_policy_applied(self, query, stream):
+        entries = continuous_run(query, stream, _t("15:40"))
+        non_empty = [entry for entry in entries if len(entry)]
+        assert len(non_empty) == 2  # Tables 5 and 6 only
+
+    def test_return_terminal_single_entry(self, stream):
+        one_shot = parse_seraph("""
+        REGISTER QUERY once STARTING AT 2022-08-01T15:00
+        { MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT1H
+          RETURN count(*) AS rentals }
+        """)
+        entries = continuous_run(one_shot, stream, _t("15:40"))
+        assert len(entries) == 1
+        assert entries[0].table.records[0]["rentals"] == 3  # rentals ≤ 15:00
+
+    def test_return_terminal_before_start_empty(self, stream):
+        one_shot = parse_seraph("""
+        REGISTER QUERY once STARTING AT 2022-08-01T23:00
+        { MATCH (n) WITHIN PT1H RETURN count(*) AS n }
+        """)
+        assert continuous_run(one_shot, stream, _t("15:40")) == []
+
+
+class TestPerMatchWindows:
+    def test_different_widths_see_different_substreams(self, stream):
+        """Two MATCHes with different WITHIN: the 5-minute window only sees
+        the latest event, the 1-hour window sees everything."""
+        query = parse_seraph("""
+        REGISTER QUERY widths STARTING AT 2022-08-01T15:40
+        {
+          MATCH (wide:Bike)-[r1:rentedAt]->(:Station) WITHIN PT1H
+          WITH count(r1) AS wide_rentals
+          OPTIONAL MATCH (narrow:Bike)-[r2:rentedAt]->(:Station) WITHIN PT5M
+          EMIT wide_rentals, count(r2) AS narrow_rentals
+          SNAPSHOT EVERY PT5M
+        }
+        """)
+        result = evaluate_at(query, stream, _t("15:40"))
+        record = result.table.records[0]
+        assert record["wide_rentals"] == 4   # all rentals in the last hour
+        assert record["narrow_rentals"] == 0  # the 15:40 event has none
+
+    def test_reported_window_uses_widest(self, stream):
+        query = parse_seraph("""
+        REGISTER QUERY widths STARTING AT 2022-08-01T15:40
+        {
+          MATCH (a:Bike) WITHIN PT1H
+          MATCH (b:Station) WITHIN PT10M
+          EMIT count(*) AS n SNAPSHOT EVERY PT5M
+        }
+        """)
+        result = evaluate_at(query, stream, _t("15:40"))
+        assert result.interval == TimeInterval(_t("14:40"), _t("15:40"))
+
+
+class TestWindowScopeInjection:
+    def test_win_start_and_win_end_usable_in_body(self, stream):
+        """Definition 5.6's reserved names are visible to expressions."""
+        query = parse_seraph("""
+        REGISTER QUERY bounds STARTING AT 2022-08-01T15:15
+        {
+          MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT1H
+          WHERE r.val_time >= win_start AND r.val_time < win_end
+          EMIT r.user_id AS user_id, win_end - win_start AS width
+          SNAPSHOT EVERY PT5M
+        }
+        """)
+        result = evaluate_at(query, stream, _t("15:15"))
+        assert len(result.table) == 3
+        assert all(record["width"] == HOUR for record in result.table)

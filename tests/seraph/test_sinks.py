@@ -1,0 +1,109 @@
+"""Unit tests for result sinks."""
+
+import io
+
+import pytest
+
+from repro.graph.table import Record, Table
+from repro.seraph.sinks import (
+    CallbackSink,
+    CollectingSink,
+    Emission,
+    PrintingSink,
+)
+from repro.stream.timeline import TimeInterval
+from repro.stream.tvt import TimeAnnotatedTable
+
+
+def emission(instant, rows=({"x": 1},), name="q"):
+    table = Table([Record(dict(row)) for row in rows], fields={"x"})
+    return Emission(
+        query_name=name,
+        instant=instant,
+        table=TimeAnnotatedTable(table=table,
+                                 interval=TimeInterval(instant - 60, instant)),
+    )
+
+
+def empty_emission(instant):
+    return Emission(
+        query_name="q",
+        instant=instant,
+        table=TimeAnnotatedTable(
+            table=Table.empty({"x"}),
+            interval=TimeInterval(instant - 60, instant),
+        ),
+    )
+
+
+class TestEmission:
+    def test_is_empty(self):
+        assert empty_emission(100).is_empty()
+        assert not emission(100).is_empty()
+
+    def test_render_contains_header_and_window(self):
+        rendered = emission(3600, name="demo").render()
+        assert "== demo @" in rendered
+        assert "win_start" in rendered
+
+
+class TestCollectingSink:
+    def test_collects_in_order(self):
+        sink = CollectingSink()
+        sink.receive(emission(60))
+        sink.receive(empty_emission(120))
+        sink.receive(emission(180))
+        assert len(sink) == 3
+        assert [e.instant for e in sink.emissions] == [60, 120, 180]
+
+    def test_non_empty_filter(self):
+        sink = CollectingSink()
+        sink.receive(emission(60))
+        sink.receive(empty_emission(120))
+        assert [e.instant for e in sink.non_empty()] == [60]
+
+    def test_at_lookup(self):
+        sink = CollectingSink()
+        sink.receive(emission(60))
+        assert sink.at(60) is not None
+        assert sink.at(999) is None
+
+
+class TestCallbackSink:
+    def test_invokes_callback(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.receive(emission(60))
+        assert len(seen) == 1
+
+    def test_skips_empty_by_default(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.receive(empty_emission(60))
+        assert seen == []
+
+    def test_empty_delivered_on_request(self):
+        seen = []
+        sink = CallbackSink(seen.append, skip_empty=False)
+        sink.receive(empty_emission(60))
+        assert len(seen) == 1
+
+
+class TestPrintingSink:
+    def test_prints_to_stream(self):
+        out = io.StringIO()
+        sink = PrintingSink(out=out)
+        sink.receive(emission(3600))
+        assert "== q @" in out.getvalue()
+
+    def test_skips_empty_by_default(self):
+        out = io.StringIO()
+        PrintingSink(out=out).receive(empty_emission(3600))
+        assert out.getvalue() == ""
+
+    def test_custom_columns(self):
+        out = io.StringIO()
+        sink = PrintingSink(out=out, columns=["x"])
+        sink.receive(emission(3600))
+        first_line = out.getvalue().splitlines()[1]
+        assert first_line.strip() == "x"

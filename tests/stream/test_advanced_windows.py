@@ -1,0 +1,117 @@
+"""Tests for the advanced window extension (count/session windows)."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.graph.model import PropertyGraph
+from repro.stream.advanced_windows import CountWindow, SessionWindow, sessions_of
+from repro.stream.stream import PropertyGraphStream, StreamElement
+
+
+def element(instant):
+    return StreamElement(graph=PropertyGraph.empty(), instant=instant)
+
+
+@pytest.fixture
+def stream():
+    # Arrivals: 0, 10, 20, then a 100-gap, then 130, 140.
+    return PropertyGraphStream(
+        [element(t) for t in (0, 10, 20, 120, 130, 140)]
+    )
+
+
+class TestCountWindow:
+    def test_last_n_elements(self, stream):
+        window = CountWindow(size=2)
+        picked = window.active_substream(stream, 130)
+        assert [item.instant for item in picked] == [120, 130]
+
+    def test_fewer_than_n_available(self, stream):
+        window = CountWindow(size=10)
+        assert len(window.active_substream(stream, 20)) == 3
+
+    def test_future_elements_invisible(self, stream):
+        window = CountWindow(size=3)
+        picked = window.active_substream(stream, 15)
+        assert [item.instant for item in picked] == [0, 10]
+
+    def test_empty_before_first(self, stream):
+        assert CountWindow(size=3).active_substream(stream, -1) == []
+
+    def test_reported_interval(self, stream):
+        window = CountWindow(size=2)
+        interval = window.reported_interval(stream, 130)
+        assert interval.start == 120
+        assert 130 in interval
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(WindowError):
+            CountWindow(size=0)
+
+
+class TestSessionWindow:
+    def test_active_session(self, stream):
+        window = SessionWindow(gap=50)
+        picked = window.active_substream(stream, 140)
+        assert [item.instant for item in picked] == [120, 130, 140]
+
+    def test_earlier_session_not_included(self, stream):
+        window = SessionWindow(gap=50)
+        picked = window.active_substream(stream, 25)
+        assert [item.instant for item in picked] == [0, 10, 20]
+
+    def test_session_expires_after_gap(self, stream):
+        window = SessionWindow(gap=50)
+        assert window.active_substream(stream, 95) == []  # 20 + 50 ≤ 95
+
+    def test_session_still_open_within_gap(self, stream):
+        window = SessionWindow(gap=50)
+        picked = window.active_substream(stream, 60)
+        assert [item.instant for item in picked] == [0, 10, 20]
+
+    def test_empty_stream(self):
+        window = SessionWindow(gap=10)
+        assert window.active_substream(PropertyGraphStream(), 5) == []
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(WindowError):
+            SessionWindow(gap=0)
+
+
+class TestSessionsOf:
+    def test_splits_at_gaps(self, stream):
+        sessions = sessions_of(stream, gap=50)
+        assert [[e.instant for e in session] for session in sessions] == [
+            [0, 10, 20], [120, 130, 140],
+        ]
+
+    def test_single_session(self, stream):
+        sessions = sessions_of(stream, gap=1000)
+        assert len(sessions) == 1
+
+    def test_every_element_its_own_session(self, stream):
+        sessions = sessions_of(stream, gap=1)
+        assert len(sessions) == 6
+
+
+class TestComposesWithEvaluation:
+    def test_count_window_feeds_snapshot_evaluation(self):
+        """The operator plugs into snapshot construction + Cypher."""
+        from repro.cypher import run_cypher
+        from repro.graph.builder import GraphBuilder
+        from repro.stream.snapshot import snapshot_graph
+
+        def event(instant, node_id):
+            builder = GraphBuilder()
+            builder.add_node(["E"], {"seq": node_id}, node_id=node_id)
+            return StreamElement(graph=builder.build(), instant=instant)
+
+        stream = PropertyGraphStream(
+            [event(t, index + 1) for index, t in enumerate((0, 10, 20, 30))]
+        )
+        window = CountWindow(size=2)
+        graph = snapshot_graph(window.active_substream(stream, 30))
+        table = run_cypher(
+            "MATCH (e:E) RETURN collect(e.seq) AS seqs", graph
+        )
+        assert sorted(table.records[0]["seqs"]) == [3, 4]

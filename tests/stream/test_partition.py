@@ -1,0 +1,154 @@
+"""Tests for logical sub-stream partitioning (future work ii)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.partition import (
+    by_property,
+    by_relationship_type,
+    partition_elements,
+    partition_stream,
+    split_element,
+)
+from repro.stream.stream import StreamElement
+from repro.usecases.micromobility import _t, figure1_stream
+
+
+def simple_element(instant, rel_types):
+    builder = GraphBuilder()
+    previous = builder.add_node(["N"], {}, node_id=1)
+    for index, rel_type in enumerate(rel_types):
+        node = builder.add_node(["N"], {}, node_id=index + 2)
+        builder.add_relationship(previous, rel_type, node,
+                                 {"region": rel_type.lower()},
+                                 rel_id=index + 1)
+    return StreamElement(graph=builder.build(), instant=instant)
+
+
+class TestPartitionElements:
+    def test_routes_whole_events(self):
+        elements = [simple_element(t, ["A"]) for t in (1, 2, 3, 4)]
+        partitions = partition_elements(
+            elements, lambda element: "even" if element.instant % 2 == 0
+            else "odd"
+        )
+        assert [e.instant for e in partitions["even"]] == [2, 4]
+        assert [e.instant for e in partitions["odd"]] == [1, 3]
+
+    def test_order_preserved(self):
+        elements = [simple_element(t, ["A"]) for t in range(10)]
+        partitions = partition_elements(elements, lambda element: "all")
+        assert [e.instant for e in partitions["all"]] == list(range(10))
+
+
+class TestSplitElement:
+    def test_relationships_routed_with_endpoints(self):
+        element = simple_element(5, ["RENT", "RETURN", "RENT"])
+        pieces = split_element(element, by_relationship_type())
+        assert set(pieces) == {"RENT", "RETURN"}
+        assert pieces["RENT"].graph.size == 2
+        assert pieces["RETURN"].graph.size == 1
+        # Endpoints follow their relationships.
+        assert 1 in pieces["RENT"].graph.nodes
+
+    def test_none_classification_drops(self):
+        element = simple_element(5, ["KEEP", "DROP"])
+        pieces = split_element(
+            element, lambda rel: "kept" if rel.type == "KEEP" else None
+        )
+        assert set(pieces) == {"kept"}
+
+    def test_isolated_nodes_dropped_by_default(self):
+        builder = GraphBuilder()
+        builder.add_node(["Lonely"], {}, node_id=1)
+        element = StreamElement(graph=builder.build(), instant=1)
+        assert split_element(element, by_relationship_type()) == {}
+
+    def test_isolated_nodes_kept_on_request(self):
+        builder = GraphBuilder()
+        builder.add_node(["Lonely"], {}, node_id=1)
+        element = StreamElement(graph=builder.build(), instant=1)
+        pieces = split_element(
+            element, by_relationship_type(), keep_isolated_nodes_in="rest"
+        )
+        assert pieces["rest"].graph.order == 1
+
+    def test_timestamps_preserved(self):
+        element = simple_element(42, ["A"])
+        pieces = split_element(element, by_relationship_type())
+        assert pieces["A"].instant == 42
+
+
+class TestByProperty:
+    def test_routes_by_property_value(self):
+        element = simple_element(5, ["A", "B"])
+        pieces = split_element(element, by_property("region"))
+        assert set(pieces) == {"a", "b"}
+
+    def test_missing_property_uses_default(self):
+        builder = GraphBuilder()
+        a = builder.add_node([], {}, node_id=1)
+        b = builder.add_node([], {}, node_id=2)
+        builder.add_relationship(a, "R", b, rel_id=1)  # no 'region'
+        element = StreamElement(graph=builder.build(), instant=1)
+        assert split_element(element, by_property("region")) == {}
+        pieces = split_element(element, by_property("region",
+                                                    default="other"))
+        assert set(pieces) == {"other"}
+
+
+class TestPartitionStream:
+    def test_rental_stream_partitions_by_type(self):
+        partitions = partition_stream(figure1_stream(),
+                                      by_relationship_type())
+        assert set(partitions) == {"rentedAt", "returnedAt"}
+        rentals = sum(e.graph.size for e in partitions["rentedAt"])
+        returns = sum(e.graph.size for e in partitions["returnedAt"])
+        assert rentals == 4 and returns == 4
+
+    def test_partitions_feed_multi_stream_engine(self):
+        """End-to-end: partition Figure 1 into rentals/returns streams and
+        join them back with per-partition windows."""
+        partitions = partition_stream(figure1_stream(),
+                                      by_relationship_type())
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(
+            """
+            REGISTER QUERY join_back STARTING AT 2022-08-01T15:40
+            {
+              MATCH (b:Bike)-[r:rentedAt]->(:Station)
+                FROM STREAM rentedAt WITHIN PT2H
+              MATCH (b2:Bike)-[t:returnedAt]->(:Station)
+                FROM STREAM returnedAt WITHIN PT2H
+              WHERE b.id = b2.id AND t.user_id = r.user_id
+              EMIT r.user_id AS user_id, b.id AS bike
+              SNAPSHOT EVERY PT5M
+            }
+            """,
+            sink=sink,
+        )
+        engine.run_streams(partitions, until=_t("15:40"))
+        pairs = {
+            (record["user_id"], record["bike"])
+            for emission in sink.emissions
+            for record in emission.table
+        }
+        # Every completed rental (rented then returned by the same user).
+        assert pairs == {(1234, 5), (1234, 6), (5678, 8), (5678, 7)}
+
+    def test_include_empty_keeps_event_grid(self):
+        partitions = partition_stream(
+            figure1_stream(), lambda rel: "rentals"
+            if rel.type == "rentedAt" else None,
+            include_empty=True,
+            partitions=["rentals"],
+        )
+        assert len(partitions["rentals"]) == 5  # one per Figure 1 event
+        assert partitions["rentals"][-1].graph.is_empty()  # 15:40 has none
+
+    def test_include_empty_requires_names(self):
+        with pytest.raises(ValueError):
+            partition_stream(figure1_stream(), by_relationship_type(),
+                             include_empty=True)

@@ -1,0 +1,71 @@
+"""Tests for the wall-clock replay driver."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.replay import FakeClock, ReplayDriver
+from repro.usecases.micromobility import LISTING5_SERAPH, _t, figure1_stream
+
+
+def make_driver(speedup=3600.0):
+    engine = SeraphEngine()
+    sink = CollectingSink()
+    engine.register(LISTING5_SERAPH, sink=sink)
+    clock = FakeClock()
+    driver = ReplayDriver(engine, speedup=speedup, clock=clock.clock,
+                          sleep=clock.sleep)
+    return driver, sink, clock
+
+
+class TestReplayResults:
+    def test_replay_matches_batch_run(self):
+        driver, sink, _clock = make_driver()
+        driver.replay(figure1_stream(), until=_t("15:40"))
+        batch_engine = SeraphEngine()
+        batch_sink = CollectingSink()
+        batch_engine.register(LISTING5_SERAPH, sink=batch_sink)
+        batch_engine.run_stream(figure1_stream(), until=_t("15:40"))
+        assert len(sink.emissions) == len(batch_sink.emissions)
+        for live, batch in zip(sink.emissions, batch_sink.emissions):
+            assert live.instant == batch.instant
+            assert live.table.bag_equals(batch.table)
+
+    def test_emissions_fire_between_arrivals(self):
+        """Evaluations at quiet ET instants fire on schedule (not in a
+        burst when the next event arrives)."""
+        driver, sink, clock = make_driver()
+        emissions = driver.replay(figure1_stream(), until=_t("15:40"))
+        assert [emission.instant for emission in emissions] == [
+            _t("14:45") + offset * 300 for offset in range(12)
+        ]
+
+    def test_empty_replay(self):
+        driver, sink, _clock = make_driver()
+        assert driver.replay([]) == []
+
+
+class TestReplaySchedule:
+    def test_wall_time_scales_with_speedup(self):
+        driver, _sink, clock = make_driver(speedup=3600.0)
+        driver.replay(figure1_stream(), until=_t("15:40"))
+        # 55 logical minutes at 3600× ≈ 0.9167 wall seconds.
+        assert clock.now == pytest.approx((55 * 60) / 3600.0, abs=1e-6)
+
+    def test_sleeps_are_non_negative(self):
+        driver, _sink, clock = make_driver(speedup=60.0)
+        driver.replay(figure1_stream(), until=_t("15:40"))
+        assert all(duration >= 0 for duration in clock.sleeps)
+
+    def test_max_wake_interval_caps_sleeps(self):
+        engine = SeraphEngine()
+        engine.register(LISTING5_SERAPH)
+        clock = FakeClock()
+        driver = ReplayDriver(engine, speedup=60.0, clock=clock.clock,
+                              sleep=clock.sleep, max_wake_interval=1.0)
+        driver.replay(figure1_stream(), until=_t("15:40"))
+        assert max(clock.sleeps) <= 1.0
+
+    def test_rejects_bad_speedup(self):
+        with pytest.raises(StreamError):
+            ReplayDriver(SeraphEngine(), speedup=0)

@@ -1,0 +1,82 @@
+"""Unit tests for report policies (requirement R3)."""
+
+import pytest
+
+from repro.graph.table import Record, Table
+from repro.stream.report import ReportPolicy, ReportState
+
+
+def table(*xs):
+    return Table([Record({"x": value}) for value in xs], fields={"x"})
+
+
+class TestPolicyParsing:
+    def test_parse(self):
+        assert ReportPolicy.parse("SNAPSHOT") is ReportPolicy.SNAPSHOT
+        assert ReportPolicy.parse("on entering") is ReportPolicy.ON_ENTERING
+        assert ReportPolicy.parse("On  Exiting") is ReportPolicy.ON_EXITING
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ReportPolicy.parse("SOMETIMES")
+
+
+class TestSnapshot:
+    def test_emits_everything_every_time(self):
+        state = ReportState(ReportPolicy.SNAPSHOT)
+        assert state.apply(table(1, 2)) == table(1, 2)
+        assert state.apply(table(1, 2)) == table(1, 2)  # again, unchanged
+
+
+class TestOnEntering:
+    def test_first_evaluation_emits_all(self):
+        state = ReportState(ReportPolicy.ON_ENTERING)
+        assert state.apply(table(1, 2)) == table(1, 2)
+
+    def test_only_new_results_emitted(self):
+        state = ReportState(ReportPolicy.ON_ENTERING)
+        state.apply(table(1))
+        assert state.apply(table(1, 2)) == table(2)
+
+    def test_unchanged_result_emits_nothing(self):
+        state = ReportState(ReportPolicy.ON_ENTERING)
+        state.apply(table(1))
+        assert len(state.apply(table(1))) == 0
+
+    def test_result_that_left_and_returned_is_new_again(self):
+        state = ReportState(ReportPolicy.ON_ENTERING)
+        state.apply(table(1))
+        state.apply(table())
+        assert state.apply(table(1)) == table(1)
+
+    def test_bag_multiplicities(self):
+        state = ReportState(ReportPolicy.ON_ENTERING)
+        state.apply(table(1))
+        assert state.apply(table(1, 1)) == table(1)  # one extra copy entered
+
+    def test_reset(self):
+        state = ReportState(ReportPolicy.ON_ENTERING)
+        state.apply(table(1))
+        state.reset()
+        assert state.apply(table(1)) == table(1)
+
+
+class TestOnExiting:
+    def test_first_evaluation_emits_nothing(self):
+        state = ReportState(ReportPolicy.ON_EXITING)
+        assert len(state.apply(table(1, 2))) == 0
+
+    def test_departed_results_emitted(self):
+        state = ReportState(ReportPolicy.ON_EXITING)
+        state.apply(table(1, 2))
+        assert state.apply(table(2)) == table(1)
+
+    def test_stable_results_not_emitted(self):
+        state = ReportState(ReportPolicy.ON_EXITING)
+        state.apply(table(1))
+        assert len(state.apply(table(1))) == 0
+
+    def test_multiplicity_decrease_emits_difference(self):
+        state = ReportState(ReportPolicy.ON_EXITING)
+        state.apply(table(1, 1))
+        assert state.apply(table(1)) == table(1)

@@ -1,0 +1,101 @@
+"""Unit tests for stream sources, incl. the simulated Kafka queue."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.stream.source import (
+    GeneratorSource,
+    ListSource,
+    SimulatedEventQueue,
+    constant_rate_source,
+)
+from repro.stream.stream import StreamElement
+
+
+def graph_with_node(node_id):
+    builder = GraphBuilder()
+    builder.add_node(["X"], {}, node_id=node_id)
+    return builder.build()
+
+
+class TestListAndGeneratorSources:
+    def test_list_source_replayable(self):
+        source = ListSource([StreamElement(PropertyGraph.empty(), 1)])
+        assert len(list(source)) == 1
+        assert len(list(source)) == 1  # replay
+
+    def test_generator_source_reinvokes_factory(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            yield StreamElement(PropertyGraph.empty(), 1)
+
+        source = GeneratorSource(factory)
+        list(source)
+        list(source)
+        assert len(calls) == 2
+
+    def test_constant_rate_source(self):
+        graphs = [graph_with_node(i) for i in (1, 2, 3)]
+        source = constant_rate_source(graphs, start=100, period=10)
+        assert [element.instant for element in source] == [100, 110, 120]
+
+
+class TestSimulatedEventQueue:
+    def test_batching_into_periods(self):
+        queue = SimulatedEventQueue(period=300, start=0)
+        # Two events in the first period, one in the second.
+        queue.publish(10, lambda b: b.add_node(["A"], {}, node_id=1))
+        queue.publish(200, lambda b: b.add_node(["B"], {}, node_id=2))
+        queue.publish(310, lambda b: b.add_node(["C"], {}, node_id=3))
+        elements = queue.deliver_until(600)
+        assert [element.instant for element in elements] == [300, 600]
+        assert elements[0].graph.order == 2
+        assert elements[1].graph.order == 1
+
+    def test_arrival_is_period_end(self):
+        # The 14:40 rental arrives in the 14:45 event (running example).
+        queue = SimulatedEventQueue(period=300, start=0)
+        queue.publish(0, lambda b: b.add_node([], {}, node_id=1))
+        elements = queue.deliver_until(300)
+        assert elements[0].instant == 300
+
+    def test_empty_periods_skipped_by_default(self):
+        queue = SimulatedEventQueue(period=100, start=0)
+        queue.publish(250, lambda b: b.add_node([], {}, node_id=1))
+        elements = queue.deliver_until(400)
+        assert [element.instant for element in elements] == [300]
+
+    def test_empty_periods_included_on_request(self):
+        queue = SimulatedEventQueue(period=100, start=0)
+        queue.publish(250, lambda b: b.add_node([], {}, node_id=1))
+        elements = queue.deliver_all(300, include_empty=True)
+        assert [element.instant for element in elements] == [100, 200, 300]
+        assert elements[0].graph.is_empty()
+
+    def test_pending_events_not_lost(self):
+        queue = SimulatedEventQueue(period=100, start=0)
+        queue.publish(150, lambda b: b.add_node([], {}, node_id=1))
+        assert queue.deliver_until(100) == []
+        elements = queue.deliver_until(200)
+        assert [element.instant for element in elements] == [200]
+
+    def test_rejects_event_before_start(self):
+        queue = SimulatedEventQueue(period=100, start=500)
+        with pytest.raises(StreamError):
+            queue.publish(100, lambda b: None)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(StreamError):
+            SimulatedEventQueue(period=0, start=0)
+
+    def test_events_within_batch_ordered_by_occurrence(self):
+        order = []
+        queue = SimulatedEventQueue(period=100, start=0)
+        queue.publish(80, lambda b: order.append("late"))
+        queue.publish(10, lambda b: order.append("early"))
+        queue.deliver_until(100)
+        assert order == ["early", "late"]

@@ -1,0 +1,64 @@
+"""Unit tests for time intervals (Definition 5.1)."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.graph.temporal import hhmm
+from repro.stream.timeline import TimeInterval
+
+
+class TestTimeInterval:
+    def test_left_closed_right_open(self):
+        interval = TimeInterval(10, 20)
+        assert 10 in interval
+        assert 19 in interval
+        assert 20 not in interval  # right-open, as Definition 5.1 requires
+        assert 9 not in interval
+
+    def test_non_integer_not_contained(self):
+        assert "x" not in TimeInterval(0, 10)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(TemporalError):
+            TimeInterval(5, 1)
+
+    def test_empty_interval(self):
+        interval = TimeInterval(5, 5)
+        assert interval.is_empty()
+        assert 5 not in interval
+
+    def test_duration(self):
+        assert TimeInterval(10, 25).duration == 15
+
+    def test_overlaps(self):
+        assert TimeInterval(0, 10).overlaps(TimeInterval(5, 15))
+        assert not TimeInterval(0, 10).overlaps(TimeInterval(10, 20))  # touch
+        assert not TimeInterval(0, 5).overlaps(TimeInterval(6, 7))
+
+    def test_intersection(self):
+        assert TimeInterval(0, 10).intersection(TimeInterval(5, 15)) == (
+            TimeInterval(5, 10)
+        )
+        assert TimeInterval(0, 5).intersection(TimeInterval(5, 9)) is None
+
+    def test_covers(self):
+        assert TimeInterval(0, 10).covers(TimeInterval(2, 8))
+        assert TimeInterval(0, 10).covers(TimeInterval(0, 10))
+        assert not TimeInterval(0, 10).covers(TimeInterval(2, 11))
+
+    def test_shifted(self):
+        assert TimeInterval(0, 10).shifted(5) == TimeInterval(5, 15)
+
+    def test_instants_enumeration(self):
+        assert list(TimeInterval(0, 10).instants(unit=3)) == [0, 3, 6, 9]
+
+    def test_instants_rejects_bad_unit(self):
+        with pytest.raises(TemporalError):
+            list(TimeInterval(0, 10).instants(unit=0))
+
+    def test_ordering(self):
+        assert TimeInterval(0, 5) < TimeInterval(1, 2)
+
+    def test_render_hhmm(self):
+        interval = TimeInterval(hhmm("14:40"), hhmm("15:40"))
+        assert interval.render_hhmm() == "[14:40, 15:40)"

@@ -1,0 +1,104 @@
+"""Unit tests for time-annotated / time-varying tables (Defs. 5.6, 5.7)."""
+
+import pytest
+
+from repro.errors import TimeVaryingTableError
+from repro.graph.table import Record, Table
+from repro.graph.temporal import hhmm
+from repro.stream.timeline import TimeInterval
+from repro.stream.tvt import (
+    WIN_END,
+    WIN_START,
+    TimeAnnotatedTable,
+    TimeVaryingTable,
+)
+
+
+def annotated(start, end, rows=({"x": 1},)):
+    return TimeAnnotatedTable(
+        table=Table([Record(row) for row in rows], fields=set(rows[0]) if rows
+                    else {"x"}),
+        interval=TimeInterval(start, end),
+    )
+
+
+class TestTimeAnnotatedTable:
+    def test_window_bounds_exposed(self):
+        table = annotated(10, 20)
+        assert table.win_start == 10 and table.win_end == 20
+
+    def test_annotated_table_extends_records(self):
+        table = annotated(10, 20, ({"x": 1}, {"x": 2}))
+        extended = table.annotated_table()
+        assert extended.fields == frozenset({"x", WIN_START, WIN_END})
+        for record in extended:
+            assert record[WIN_START] == 10 and record[WIN_END] == 20
+
+    def test_len_and_iter(self):
+        table = annotated(0, 5, ({"x": 1}, {"x": 2}))
+        assert len(table) == 2
+        assert [record["x"] for record in table] == [1, 2]
+
+    def test_render_paper_style(self):
+        table = TimeAnnotatedTable(
+            table=Table([Record({"user_id": 1234, "hops": [2, 3]})]),
+            interval=TimeInterval(hhmm("14:15"), hhmm("15:15")),
+        )
+        rendered = table.render(["user_id", "hops", WIN_START, WIN_END])
+        assert "14:15" in rendered and "15:15" in rendered
+        assert "1234" in rendered and "[2,3]" in rendered
+
+    def test_bag_equals(self):
+        assert annotated(0, 5).bag_equals(annotated(0, 5))
+        assert not annotated(0, 5).bag_equals(annotated(0, 6))
+        assert not annotated(0, 5).bag_equals(annotated(0, 5, ({"x": 9},)))
+
+
+class TestTimeVaryingTable:
+    def test_at_resolves_containing_interval(self):
+        tvt = TimeVaryingTable([annotated(0, 10), annotated(10, 20)])
+        assert tvt.at(5).interval == TimeInterval(0, 10)
+        assert tvt.at(10).interval == TimeInterval(10, 20)
+        assert tvt.at(99) is None
+
+    def test_chronologicality_earliest_opening_wins(self):
+        # Overlapping entries: Ψ(ω) is the earliest-opening one (Def. 5.7).
+        tvt = TimeVaryingTable([annotated(0, 20), annotated(10, 30)])
+        assert tvt.at(15).interval == TimeInterval(0, 20)
+        assert tvt.at(25).interval == TimeInterval(10, 30)
+
+    def test_monotonicity_enforced_on_append(self):
+        tvt = TimeVaryingTable([annotated(10, 20)])
+        with pytest.raises(TimeVaryingTableError):
+            tvt.append(annotated(5, 15))
+
+    def test_equal_openings_allowed(self):
+        tvt = TimeVaryingTable([annotated(10, 20)])
+        tvt.append(annotated(10, 25))
+        assert len(tvt) == 2
+
+    def test_check_constraints_passes_for_valid(self):
+        tvt = TimeVaryingTable([annotated(0, 10), annotated(5, 15)])
+        tvt.check_constraints()
+
+    def test_check_constraints_rejects_empty_interval(self):
+        tvt = TimeVaryingTable()
+        tvt._entries.append(annotated(5, 5, ()))  # bypass append validation
+        with pytest.raises(TimeVaryingTableError):
+            tvt.check_constraints()
+
+    def test_iteration_order_is_append_order(self):
+        entries = [annotated(0, 10), annotated(5, 15), annotated(10, 20)]
+        tvt = TimeVaryingTable(entries)
+        assert [entry.interval.start for entry in tvt] == [0, 5, 10]
+
+    def test_paper_example_lookup(self):
+        """Table 4 is identified by Ψ(ω) for any 14:40 ≤ ω < 15:40."""
+        table4 = TimeAnnotatedTable(
+            table=Table([Record({"r_user_id": 1234})]),
+            interval=TimeInterval(hhmm("14:40"), hhmm("15:40")),
+        )
+        tvt = TimeVaryingTable([table4])
+        assert tvt.at(hhmm("14:40")) is table4
+        assert tvt.at(hhmm("15:39")) is table4
+        assert tvt.at(hhmm("15:40")) is None

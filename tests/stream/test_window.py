@@ -1,0 +1,171 @@
+"""Unit tests for windows, ET, and active substreams (Defs. 5.9–5.11)."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.graph.model import PropertyGraph
+from repro.graph.temporal import HOUR, MINUTE, hhmm
+from repro.stream.stream import PropertyGraphStream, StreamElement
+from repro.stream.timeline import TimeInterval
+from repro.stream.window import ActiveSubstreamPolicy, WindowConfig
+
+
+def element(instant):
+    return StreamElement(graph=PropertyGraph.empty(), instant=instant)
+
+
+class TestWindowConfig:
+    def test_rejects_non_positive(self):
+        with pytest.raises(WindowError):
+            WindowConfig(start=0, width=0, slide=5)
+        with pytest.raises(WindowError):
+            WindowConfig(start=0, width=5, slide=0)
+
+    def test_of_parses_durations(self):
+        config = WindowConfig.of(0, "PT1H", "PT5M")
+        assert config.width == HOUR and config.slide == 5 * MINUTE
+
+    def test_tumbling_vs_sliding(self):
+        assert WindowConfig(0, 10, 10).is_tumbling
+        assert WindowConfig(0, 10, 5).is_sliding
+        assert not WindowConfig(0, 10, 5).is_tumbling
+
+    def test_window_indexing(self):
+        config = WindowConfig(start=100, width=60, slide=10)
+        assert config.window(0) == TimeInterval(100, 160)
+        assert config.window(3) == TimeInterval(130, 190)
+        with pytest.raises(WindowError):
+            config.window(-1)
+
+    def test_windows_until(self):
+        config = WindowConfig(start=0, width=10, slide=5)
+        assert list(config.windows_until(12)) == [
+            TimeInterval(0, 10), TimeInterval(5, 15), TimeInterval(10, 20),
+        ]
+
+    def test_consecutive_window_distance_is_slide(self):
+        # Definition 5.9's closing condition.
+        config = WindowConfig(start=7, width=50, slide=13)
+        for index in range(5):
+            assert (
+                config.window(index + 1).start - config.window(index).start
+                == config.slide
+            )
+            assert config.window(index).duration == config.width
+
+
+class TestWindowsContaining:
+    def test_sliding_overlap_count(self):
+        config = WindowConfig(start=0, width=60, slide=10)
+        # An instant far from the start lies in width/slide = 6 windows.
+        assert len(config.windows_containing(300)) == 6
+
+    def test_membership_close_open(self):
+        config = WindowConfig(start=0, width=10, slide=10)
+        assert config.windows_containing(9) == [TimeInterval(0, 10)]
+        assert config.windows_containing(10) == [TimeInterval(10, 20)]
+
+    def test_before_start_empty(self):
+        config = WindowConfig(start=100, width=10, slide=10)
+        assert config.windows_containing(50) == []
+
+    def test_near_start_fewer_windows(self):
+        config = WindowConfig(start=0, width=60, slide=10)
+        assert len(config.windows_containing(5)) == 1
+
+
+class TestEvaluationInstants:
+    def test_et_sequence(self):
+        config = WindowConfig(start=100, width=60, slide=15)
+        assert list(config.evaluation_instants(160)) == [100, 115, 130, 145, 160]
+
+    def test_et_from_offset(self):
+        config = WindowConfig(start=0, width=60, slide=10)
+        assert list(config.evaluation_instants(35, from_instant=12)) == [20, 30]
+
+    def test_is_evaluation_instant(self):
+        config = WindowConfig(start=100, width=60, slide=15)
+        assert config.is_evaluation_instant(115)
+        assert not config.is_evaluation_instant(116)
+        assert not config.is_evaluation_instant(85)
+
+    def test_next_evaluation(self):
+        config = WindowConfig(start=100, width=60, slide=15)
+        assert config.next_evaluation_at_or_after(50) == 100
+        assert config.next_evaluation_at_or_after(100) == 100
+        assert config.next_evaluation_at_or_after(101) == 115
+
+
+class TestActiveSubstream:
+    def _stream(self):
+        return PropertyGraphStream(
+            [element(t) for t in (0, 10, 20, 30, 40, 50, 60)]
+        )
+
+    def test_trailing_window_bounds(self):
+        config = WindowConfig(start=0, width=30, slide=10)
+        window = config.active_window(50, ActiveSubstreamPolicy.TRAILING)
+        assert window == TimeInterval(20, 50)
+
+    def test_trailing_membership_is_left_open_right_closed(self):
+        config = WindowConfig(start=0, width=30, slide=10)
+        picked = config.active_substream(
+            self._stream(), 50, ActiveSubstreamPolicy.TRAILING
+        )
+        assert [item.instant for item in picked] == [30, 40, 50]
+
+    def test_formal_earliest_containing(self):
+        # Figure 4: among windows containing ω, pick the earliest-opening.
+        config = WindowConfig(start=0, width=30, slide=10)
+        window = config.active_window(
+            50, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        )
+        assert window == TimeInterval(30, 60)
+
+    def test_formal_membership_close_open(self):
+        config = WindowConfig(start=0, width=30, slide=10)
+        picked = config.active_substream(
+            self._stream(), 50, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        )
+        assert [item.instant for item in picked] == [30, 40, 50]
+
+    def test_formal_before_start_is_none(self):
+        config = WindowConfig(start=100, width=30, slide=10)
+        assert config.active_window(
+            50, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        ) is None
+        assert config.active_substream(
+            self._stream(), 50, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        ) == []
+
+    def test_figure4_scenario(self):
+        """Figure 4: an evaluation instant inside two overlapping windows
+        selects the one with the smaller opening bound; the window whose
+        lower bound equals ω is excluded only if ω is before it — and the
+        window that merely *ends* at ω does not contain it."""
+        config = WindowConfig(start=0, width=25, slide=10)
+        instant = 30
+        containing = config.windows_containing(instant)
+        assert containing == [TimeInterval(10, 35), TimeInterval(20, 45),
+                              TimeInterval(30, 55)]
+        active = config.active_window(
+            instant, ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        )
+        assert active == TimeInterval(10, 35)
+        # w ending exactly at ω (here [5, 30) would end at 30) is excluded
+        # by close-open membership — Definition 5.11's remark.
+        assert instant not in TimeInterval(5, 30)
+
+    def test_paper_tables_window_annotation(self):
+        """Tables 5/6 report [ω−α, ω) — the TRAILING policy."""
+        config = WindowConfig(start=hhmm("14:45"), width=HOUR, slide=5 * MINUTE)
+        assert config.active_window(hhmm("15:15")) == TimeInterval(
+            hhmm("14:15"), hhmm("15:15")
+        )
+        assert config.active_window(hhmm("15:40")) == TimeInterval(
+            hhmm("14:40"), hhmm("15:40")
+        )
+
+    def test_eviction_horizon(self):
+        config = WindowConfig(start=0, width=30, slide=10)
+        assert config.eviction_horizon(100) == 70

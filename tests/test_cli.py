@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import graph_to_json, stream_to_jsonl
+from repro.usecases.micromobility import (
+    LISTING1_CYPHER,
+    LISTING5_SERAPH,
+    figure1_stream,
+    figure2_graph,
+)
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "query.seraph"
+    path.write_text(LISTING5_SERAPH)
+    return str(path)
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    path.write_text(stream_to_jsonl(figure1_stream()))
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_emissions(self, query_file, stream_file, capsys):
+        code = main(["run", query_file, stream_file])
+        assert code == 0
+        out = capsys.readouterr()
+        assert "student_trick" in out.out
+        assert "1234" in out.out and "5678" in out.out
+        assert "12 evaluations" in out.err
+
+    def test_run_all_includes_empty(self, query_file, stream_file, capsys):
+        main(["run", query_file, stream_file, "--all"])
+        out = capsys.readouterr().out
+        assert out.count("== student_trick") == 12
+
+    def test_run_until(self, query_file, stream_file, capsys):
+        code = main(
+            ["run", query_file, stream_file, "--until", "2022-08-01T15:15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1234" in out and "5678" not in out
+
+    def test_run_formal_policy(self, query_file, stream_file, capsys):
+        assert main(["run", query_file, stream_file,
+                     "--policy", "formal"]) == 0
+
+    def test_missing_file_errors(self, query_file, capsys):
+        assert main(["run", query_file, "/nonexistent.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplainAndValidate:
+    def test_explain(self, query_file, capsys):
+        assert main(["explain", query_file]) == 0
+        assert "ContinuousQuery student_trick" in capsys.readouterr().out
+
+    def test_validate_ok(self, query_file, capsys):
+        assert main(["validate", query_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.seraph"
+        path.write_text("REGISTER QUERY oops {")
+        assert main(["validate", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOneshot:
+    def test_oneshot_cypher(self, tmp_path, capsys):
+        query_path = tmp_path / "query.cypher"
+        query_path.write_text(
+            "MATCH (s:Station) RETURN count(*) AS stations"
+        )
+        graph_path = tmp_path / "graph.json"
+        graph_path.write_text(graph_to_json(figure2_graph()))
+        assert main(["oneshot", str(query_path), str(graph_path)]) == 0
+        out = capsys.readouterr()
+        assert "4" in out.out
+        assert "1 rows" in out.err
+
+    def test_oneshot_listing1_needs_parameters(self, tmp_path, capsys):
+        # Listing 1 uses $win_start/$win_end; without them evaluation
+        # fails cleanly through the CLI error path.
+        query_path = tmp_path / "query.cypher"
+        query_path.write_text(LISTING1_CYPHER)
+        graph_path = tmp_path / "graph.json"
+        graph_path.write_text(graph_to_json(figure2_graph()))
+        assert main(["oneshot", str(query_path), str(graph_path)]) == 1

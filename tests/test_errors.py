@@ -1,0 +1,73 @@
+"""Unit tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro import errors
+from repro.cypher.parser import parse_cypher
+from repro.seraph.parser import parse_seraph
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.GraphConsistencyError,
+            errors.GraphUnionError,
+            errors.TableError,
+            errors.SchemaMismatchError,
+            errors.TemporalError,
+            errors.StreamError,
+            errors.OutOfOrderEventError,
+            errors.WindowError,
+            errors.TimeVaryingTableError,
+            errors.CypherError,
+            errors.CypherSyntaxError,
+            errors.CypherTypeError,
+            errors.CypherEvaluationError,
+            errors.SeraphError,
+            errors.SeraphSyntaxError,
+            errors.SeraphSemanticError,
+            errors.QueryRegistryError,
+            errors.EngineError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_seraph_syntax_error_is_also_cypher_syntax_error(self):
+        # Callers catching CypherSyntaxError get Seraph failures too.
+        assert issubclass(errors.SeraphSyntaxError, errors.CypherSyntaxError)
+        assert issubclass(errors.SeraphSyntaxError, errors.SeraphError)
+
+    def test_specific_subclassing(self):
+        assert issubclass(errors.GraphUnionError, errors.GraphError)
+        assert issubclass(errors.OutOfOrderEventError, errors.StreamError)
+        assert issubclass(errors.QueryRegistryError, errors.SeraphError)
+
+
+class TestSyntaxErrorPositions:
+    def test_cypher_error_carries_position(self):
+        with pytest.raises(errors.CypherSyntaxError) as info:
+            parse_cypher("MATCH (n RETURN n")
+        assert info.value.line == 1
+        assert info.value.column > 1
+        assert "line 1" in str(info.value)
+
+    def test_multiline_position(self):
+        with pytest.raises(errors.CypherSyntaxError) as info:
+            parse_cypher("MATCH (n)\nWHERE n.x >\nRETURN n")
+        assert info.value.line == 3
+
+    def test_seraph_error_carries_position(self):
+        with pytest.raises(errors.SeraphSyntaxError) as info:
+            parse_seraph(
+                "REGISTER QUERY q STARTING AT 2022-08-01T10:00\n"
+                "{ MATCH (n) EMIT 1 AS one SNAPSHOT EVERY PT1M }"
+            )
+        assert info.value.line == 2
+        assert "WITHIN" in str(info.value)
+
+    def test_message_without_position(self):
+        error = errors.CypherSyntaxError("bad input")
+        assert str(error) == "bad input"

@@ -1,0 +1,107 @@
+"""Tests for run instrumentation and the JSONL sink."""
+
+import io
+import json
+
+import pytest
+
+from repro.metrics import RunReport, instrumented_run
+from repro.seraph import SeraphEngine
+from repro.seraph.sinks import JsonlSink
+from repro.usecases.micromobility import LISTING5_SERAPH, _t, figure1_stream
+
+
+class TestInstrumentedRun:
+    @pytest.fixture
+    def report(self):
+        engine = SeraphEngine()
+        engine.register(LISTING5_SERAPH)
+        return instrumented_run(engine, figure1_stream(), until=_t("15:40"))
+
+    def test_counts(self, report):
+        assert report.evaluations == 12
+        assert report.ingested_elements == 5
+        assert report.total_rows == 2  # Tables 5 and 6
+
+    def test_latencies_positive_and_ordered(self, report):
+        assert report.mean_latency > 0
+        assert report.latency_percentile(0.5) <= \
+            report.latency_percentile(1.0)
+        assert report.wall_seconds >= report.mean_latency
+
+    def test_reuse_observed_on_quiet_instants(self, report):
+        # 12 evaluations, 5 arrivals: most evaluations reuse.
+        assert report.reuse_ratio > 0.4
+
+    def test_by_query_grouping(self, report):
+        grouped = report.by_query()
+        assert set(grouped) == {"student_trick"}
+        assert len(grouped["student_trick"]) == 12
+
+    def test_render_summary(self, report):
+        text = report.render()
+        assert "12 evaluations" in text
+        assert "2 rows" in text
+
+    def test_empty_report(self):
+        report = RunReport()
+        assert report.mean_latency == 0.0
+        assert report.latency_percentile(0.9) == 0.0
+        assert report.reuse_ratio == 0.0
+
+    def test_multiple_queries_sampled(self):
+        engine = SeraphEngine()
+        engine.register(LISTING5_SERAPH)
+        engine.register(
+            LISTING5_SERAPH.replace("student_trick", "second"),
+        )
+        report = instrumented_run(engine, figure1_stream(),
+                                  until=_t("15:40"))
+        assert set(report.by_query()) == {"student_trick", "second"}
+        assert report.evaluations == 24
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_non_empty_emission(self):
+        buffer = io.StringIO()
+        engine = SeraphEngine()
+        engine.register(LISTING5_SERAPH, sink=JsonlSink(buffer))
+        engine.run_stream(figure1_stream(), until=_t("15:40"))
+        lines = [line for line in buffer.getvalue().splitlines() if line]
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["query"] == "student_trick"
+        assert first["instant"] == _t("15:15")
+        assert first["rows"][0]["user_id"] == 1234
+        assert first["win_start"] == _t("14:15")
+
+    def test_includes_empty_on_request(self):
+        buffer = io.StringIO()
+        engine = SeraphEngine()
+        engine.register(LISTING5_SERAPH,
+                        sink=JsonlSink(buffer, skip_empty=False))
+        engine.run_stream(figure1_stream(), until=_t("15:40"))
+        assert len(buffer.getvalue().splitlines()) == 12
+
+    def test_entities_reduced_to_ids(self):
+        buffer = io.StringIO()
+        engine = SeraphEngine()
+        engine.register(
+            """
+            REGISTER QUERY entities STARTING AT 2022-08-01T15:40
+            { MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT2H
+              EMIT b, r, s SNAPSHOT EVERY PT5M }
+            """,
+            sink=JsonlSink(buffer),
+        )
+        engine.run_stream(figure1_stream(), until=_t("15:40"))
+        row = json.loads(buffer.getvalue().splitlines()[0])["rows"][0]
+        assert "node" in row["b"] and "relationship" in row["r"]
+
+    def test_file_target(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        engine = SeraphEngine()
+        with JsonlSink(str(path)) as sink:
+            engine.register(LISTING5_SERAPH, sink=sink)
+            engine.run_stream(figure1_stream(), until=_t("15:40"))
+        assert len(path.read_text().splitlines()) == 2

@@ -1,0 +1,125 @@
+"""Tests for the Listing 4 MERGE ingestion pipeline."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.usecases.ingestion import (
+    IngestionPipeline,
+    RentalMessage,
+    replay_running_example,
+    running_example_messages,
+)
+from repro.usecases.micromobility import (
+    LISTING5_SERAPH,
+    TABLE5_EXPECTED,
+    TABLE6_EXPECTED,
+    _t,
+    figure1_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def replayed():
+    return replay_running_example()
+
+
+class TestPipelineStore:
+    def test_merged_store_matches_figure2_shape(self, replayed):
+        pipeline, _ = replayed
+        graph = pipeline.store.graph()
+        assert graph.order == 8 and graph.size == 8
+        stations = list(graph.nodes_with_labels(["Station"]))
+        bikes = list(graph.nodes_with_labels(["Bike"]))
+        assert len(stations) == 4 and len(bikes) == 4
+
+    def test_merge_deduplicates_entities(self, replayed):
+        pipeline, _ = replayed
+        graph = pipeline.store.graph()
+        station_ids = [
+            node.property("id")
+            for node in graph.nodes_with_labels(["Station"])
+        ]
+        assert sorted(station_ids) == [1, 2, 3, 4]
+
+    def test_ebike_hierarchy_labels_applied(self, replayed):
+        pipeline, _ = replayed
+        graph = pipeline.store.graph()
+        ebikes = list(graph.nodes_with_labels(["EBike"]))
+        assert sorted(node.property("id") for node in ebikes) == [5, 7]
+
+
+class TestSealedStream:
+    def test_arrivals_match_figure1(self, replayed):
+        _, elements = replayed
+        assert [element.instant for element in elements] == [
+            element.instant for element in figure1_stream()
+        ]
+
+    def test_delta_sizes_match_figure1(self, replayed):
+        _, elements = replayed
+        assert [element.graph.size for element in elements] == [
+            element.graph.size for element in figure1_stream()
+        ]
+
+    def test_deltas_union_to_store(self, replayed):
+        from repro.graph.union import union_all
+
+        pipeline, elements = replayed
+        assert union_all(
+            element.graph for element in elements
+        ) == pipeline.store.graph()
+
+
+class TestEndToEndDetection:
+    def test_ingested_stream_reproduces_tables_5_and_6(self, replayed):
+        _, elements = replayed
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(LISTING5_SERAPH, sink=sink)
+        engine.run_stream(elements, until=_t("15:40"))
+        at_1515 = {
+            (record["user_id"], record["station_id"], record["val_time"])
+            for record in sink.at(_t("15:15")).table
+        }
+        assert at_1515 == {
+            (row["user_id"], row["station_id"], row["val_time"])
+            for row in TABLE5_EXPECTED
+        }
+        at_1540 = {
+            (record["user_id"], record["station_id"], record["val_time"])
+            for record in sink.at(_t("15:40")).table
+        }
+        assert at_1540 == {
+            (row["user_id"], row["station_id"], row["val_time"])
+            for row in TABLE6_EXPECTED
+        }
+
+
+class TestPipelineMechanics:
+    def test_rejects_bad_period(self):
+        with pytest.raises(StreamError):
+            IngestionPipeline(period=0, start=0)
+
+    def test_rejects_messages_before_start(self):
+        pipeline = IngestionPipeline(period=300, start=1000)
+        with pytest.raises(StreamError):
+            pipeline.feed(RentalMessage("rental", 1, 1, 1, 500))
+
+    def test_incremental_sealing(self):
+        messages = running_example_messages()
+        pipeline = IngestionPipeline(period=300, start=_t("14:40"))
+        for message in messages:
+            pipeline.feed(message)
+        first = pipeline.seal_until(_t("15:00"))
+        second = pipeline.seal_until(_t("15:40"))
+        assert [element.instant for element in first + second] == [
+            element.instant for element in figure1_stream()
+        ]
+
+    def test_empty_periods_produce_no_elements(self):
+        pipeline = IngestionPipeline(period=300, start=_t("14:40"))
+        pipeline.feed(RentalMessage("rental", 5, 1, 1234, _t("14:41")))
+        elements = pipeline.seal_until(_t("15:40"))
+        assert len(elements) == 1
+        assert elements[0].instant == _t("14:45")

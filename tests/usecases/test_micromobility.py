@@ -1,0 +1,87 @@
+"""Unit tests for the micromobility workload generator."""
+
+import pytest
+
+from repro.graph.temporal import MINUTE
+from repro.graph.union import union_all
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.usecases.micromobility import (
+    RentalStreamConfig,
+    RentalStreamGenerator,
+    student_trick_query,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return RentalStreamGenerator(RentalStreamConfig(events=24, seed=7))
+
+
+@pytest.fixture(scope="module")
+def stream(generator):
+    return generator.stream()
+
+
+class TestGeneratedStream:
+    def test_deterministic_for_seed(self):
+        first = RentalStreamGenerator(RentalStreamConfig(events=12, seed=3))
+        second = RentalStreamGenerator(RentalStreamConfig(events=12, seed=3))
+        for left, right in zip(first.stream(), second.stream()):
+            assert left.instant == right.instant
+            assert left.graph == right.graph
+
+    def test_arrivals_on_period_grid(self, generator, stream):
+        period = generator.config.event_period
+        start = generator.config.start
+        for element in stream:
+            assert (element.instant - start) % period == 0
+
+    def test_events_union_consistently(self, stream):
+        merged = union_all(element.graph for element in stream)
+        assert merged.order > 0
+
+    def test_relationship_types(self, stream):
+        types = {
+            rel.type
+            for element in stream
+            for rel in element.graph.relationships.values()
+        }
+        assert types <= {"rentedAt", "returnedAt"}
+
+    def test_rentals_carry_required_properties(self, stream):
+        for element in stream:
+            for rel in element.graph.relationships.values():
+                assert rel.property("user_id") is not None
+                assert rel.property("val_time") is not None
+                if rel.type == "returnedAt":
+                    assert rel.property("duration") is not None
+
+    def test_fraud_users_recorded(self, generator):
+        assert generator.fraud_users  # seed 7 plants at least one fraudster
+
+
+class TestContinuousDetection:
+    def test_query_detects_only_fraud_users(self, generator, stream):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(student_trick_query(), sink=sink)
+        engine.run_stream(stream)
+        flagged = {
+            record["user_id"]
+            for emission in sink.emissions
+            for record in emission.table
+        }
+        # Every flagged user chains short rentals — i.e. is a planted
+        # fraudster.  (Not every fraudster necessarily completes a chain
+        # within the run, so ⊆ rather than equality.)
+        assert flagged
+        assert flagged <= set(generator.fraud_users)
+
+    def test_parameterized_query_text(self):
+        text = student_trick_query(within="PT30M", every="PT1M",
+                                   policy="SNAPSHOT")
+        from repro.seraph.parser import parse_seraph
+
+        query = parse_seraph(text)
+        assert query.max_within == 30 * MINUTE
+        assert query.slide == MINUTE

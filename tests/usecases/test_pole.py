@@ -1,0 +1,96 @@
+"""Unit tests for the POLE crime investigation use case (Section 4.2)."""
+
+import pytest
+
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.usecases.pole import (
+    PoleConfig,
+    PoleStreamGenerator,
+    crime_suspects_query,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return PoleStreamGenerator(PoleConfig(events=24, seed=99))
+
+
+@pytest.fixture(scope="module")
+def stream(generator):
+    return generator.stream()
+
+
+class TestStreamShape:
+    def test_event_count(self, generator, stream):
+        assert len(stream) == generator.config.events
+
+    def test_crimes_planted_periodically(self, generator, stream):
+        crimes = sum(
+            1
+            for element in stream
+            for node in element.graph.nodes.values()
+            if "Crime" in node.labels
+        )
+        assert crimes == generator.config.events // generator.config.crime_every
+
+    def test_sightings_carry_timestamps(self, stream):
+        for element in stream:
+            for rel in element.graph.relationships.values():
+                assert rel.property("val_time") is not None
+
+    def test_stream_is_replayable(self, generator):
+        assert generator.stream() is generator.stream()
+
+
+class TestContinuousSuspectDetection:
+    def test_detects_exactly_ground_truth(self, generator, stream):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(crime_suspects_query(), sink=sink)
+        engine.run_stream(stream)
+        found = {
+            (record["person_id"], record["crime_id"])
+            for emission in sink.emissions
+            for record in emission.table
+        }
+        assert found == generator.ground_truth()
+
+    def test_on_entering_reports_each_pair_once_per_window_entry(
+        self, generator, stream
+    ):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(crime_suspects_query(), sink=sink)
+        engine.run_stream(stream)
+        seen = []
+        for emission in sink.emissions:
+            for record in emission.table:
+                seen.append(
+                    (record["person_id"], record["crime_id"],
+                     record["seen_at"])
+                )
+        assert len(seen) == len(set(seen))
+
+    def test_narrow_proximity_finds_fewer_suspects(self, generator, stream):
+        wide_sink = CollectingSink()
+        narrow_sink = CollectingSink()
+        engine = SeraphEngine()
+        engine.register(crime_suspects_query(proximity_minutes=30),
+                        sink=wide_sink)
+        engine.register(
+            crime_suspects_query(proximity_minutes=5).replace(
+                "crime_suspects", "crime_suspects_narrow"
+            ),
+            sink=narrow_sink,
+        )
+        engine.run_stream(stream)
+
+        def pairs(sink):
+            return {
+                (record["person_id"], record["crime_id"])
+                for emission in sink.emissions
+                for record in emission.table
+            }
+
+        assert pairs(narrow_sink) <= pairs(wide_sink)
+        assert len(pairs(narrow_sink)) < len(pairs(wide_sink))
