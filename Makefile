@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples verify all
+.PHONY: install test bench examples verify ci all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -17,6 +17,9 @@ examples:
 		$(PYTHON) $$script > /dev/null || exit 1; \
 	done
 	@echo "all examples ran"
+
+ci:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 verify: test bench examples
 

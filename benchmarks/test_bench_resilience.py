@@ -1,0 +1,104 @@
+"""Benches the fault-tolerant runtime's overhead and checkpoint cost.
+
+The resilience wrapper (poison guard, reorder buffer, resilient sink)
+must stay cheap on the clean path — the acceptance bar is under ~10%
+over the bare engine on the running example.  Checkpoint round-trips
+are measured separately; they happen off the hot path but bound how
+often an operator can snapshot.
+
+Each bench asserts the reproduced emissions before timing, so a
+performance run doubles as a correctness run.
+"""
+
+from repro.runtime import ResilientEngine
+from repro.runtime.checkpoint import engine_from_dict, engine_to_dict
+from repro.seraph import SeraphEngine
+from repro.usecases.micromobility import (
+    LISTING5_SERAPH,
+    _t,
+    figure1_stream,
+)
+
+UNTIL = _t("15:40")
+
+
+def run_bare(stream):
+    engine = SeraphEngine()
+    engine.register(LISTING5_SERAPH)
+    return engine.run_stream(stream, until=UNTIL)
+
+
+def run_resilient(stream):
+    engine = ResilientEngine()
+    engine.register(LISTING5_SERAPH)
+    return engine.run_stream(stream, until=UNTIL)
+
+
+def test_bare_engine_baseline(benchmark, rental_stream):
+    """The reference cost: the running example on the bare engine."""
+    emissions = benchmark(lambda: run_bare(rental_stream))
+    assert len(emissions) == 12
+
+
+def test_resilient_wrapper_overhead(benchmark, rental_stream):
+    """The same run behind the resilience wrapper (clean path)."""
+    emissions = benchmark(lambda: run_resilient(rental_stream))
+    assert len(emissions) == 12
+
+
+def test_resilient_overhead_within_bounds(rental_stream):
+    """Wrapper overhead on the clean path stays under ~10%.
+
+    Measured directly (not via the benchmark fixture) so the assertion
+    runs even with --benchmark-disable.  Uses best-of-N to damp noise;
+    the bar has head-room (2x) because CI boxes jitter, while the
+    benchmark history above tracks the real margin.
+    """
+    import time
+
+    def best_of(fn, repeats=5, inner=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            best = min(best, (time.perf_counter() - t0) / inner)
+        return best
+
+    run_bare(rental_stream)       # warm caches
+    run_resilient(rental_stream)
+    bare = best_of(lambda: run_bare(rental_stream))
+    wrapped = best_of(lambda: run_resilient(rental_stream))
+    assert wrapped <= bare * 1.2, (
+        f"resilient wrapper overhead {wrapped / bare - 1:.1%} "
+        "exceeds the bound"
+    )
+
+
+def test_checkpoint_round_trip(benchmark, rental_stream):
+    """Serialize + restore a mid-run engine (streams, queries, report
+    state) through the JSON wire format."""
+    engine = SeraphEngine()
+    engine.register(LISTING5_SERAPH)
+    for element in rental_stream[:3]:
+        engine.advance_to(element.instant - 1)
+        engine.ingest_element(element)
+
+    def round_trip():
+        return engine_from_dict(engine_to_dict(engine))
+
+    restored = benchmark(round_trip)
+    assert restored.registered("student_trick").next_eval == \
+        engine.registered("student_trick").next_eval
+
+
+def test_runtime_checkpoint_document(benchmark, rental_stream):
+    """Full runtime checkpoint (engine + buffers + metrics + quarantine)
+    rendered to its JSON document."""
+    engine = ResilientEngine(allowed_lateness=300)
+    engine.register(LISTING5_SERAPH)
+    for element in rental_stream[:3]:
+        engine.ingest_item(element)
+
+    document = benchmark(engine.checkpoint_json)
+    assert "\"version\": 1" in document

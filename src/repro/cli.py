@@ -52,6 +52,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true",
         help="print empty emissions too",
     )
+    run.add_argument(
+        "--resilient", action="store_true",
+        help="run behind the fault-tolerant runtime "
+        "(poison quarantine, reordering, sink isolation)",
+    )
+    run.add_argument(
+        "--allowed-lateness", type=int, default=0, metavar="SECONDS",
+        help="out-of-order tolerance in stream seconds (implies "
+        "--resilient)",
+    )
+    run.add_argument(
+        "--on-poison", choices=["fail-fast", "skip", "dead-letter"],
+        default="dead-letter",
+        help="policy for malformed stream payloads (resilient runs)",
+    )
+    run.add_argument(
+        "--on-late", choices=["fail-fast", "skip", "dead-letter"],
+        default="dead-letter",
+        help="policy for events beyond the allowed lateness",
+    )
+    run.add_argument(
+        "--dead-letters", metavar="PATH",
+        help="write the dead-letter quarantine as JSON lines",
+    )
+    run.add_argument(
+        "--checkpoint-out", metavar="PATH",
+        help="save an engine checkpoint after the run (implies "
+        "--resilient)",
+    )
+    run.add_argument(
+        "--restore", metavar="PATH",
+        help="resume from a checkpoint instead of a fresh engine "
+        "(implies --resilient)",
+    )
 
     exp = commands.add_parser("explain", help="show the execution outline")
     exp.add_argument("query", help="path to a REGISTER QUERY file")
@@ -72,7 +106,21 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _wants_resilient(args: argparse.Namespace) -> bool:
+    return bool(
+        args.resilient
+        or args.allowed_lateness
+        or args.dead_letters
+        or args.checkpoint_out
+        or args.restore
+        or args.on_poison != "dead-letter"
+        or args.on_late != "dead-letter"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if _wants_resilient(args):
+        return _cmd_run_resilient(args)
     query = parse_seraph(_read(args.query))
     elements = stream_from_jsonl(_read(args.stream))
     until = parse_datetime(args.until) if args.until else None
@@ -80,6 +128,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sink = CollectingSink()
     engine.register(query, sink=sink)
     engine.run_stream(elements, until=until)
+    _print_emissions(args, sink)
+    return 0
+
+
+def _cmd_run_resilient(args: argparse.Namespace) -> int:
+    from repro.runtime import FaultPolicy, ResilientEngine
+
+    until = parse_datetime(args.until) if args.until else None
+    poison = FaultPolicy.parse(args.on_poison)
+    late = FaultPolicy.parse(args.on_late)
+    if args.restore:
+        engine = ResilientEngine.load_checkpoint(args.restore)
+        engine.poison_policy = poison
+        engine.late_policy = late
+    else:
+        engine = ResilientEngine(
+            SeraphEngine(policy=_POLICIES[args.policy]),
+            allowed_lateness=args.allowed_lateness,
+            poison_policy=poison,
+            late_policy=late,
+        )
+    query = parse_seraph(_read(args.query))
+    if query.name not in engine.query_names:
+        engine.register(query)
+    # Feed raw lines so malformed ones hit the poison policy instead of
+    # aborting the whole load.
+    items = [line for line in _read(args.stream).splitlines()
+             if line.strip()]
+    engine.run_stream(items, until=until)
+    sink = engine.sink(query.name)
+    _print_emissions(args, sink)
+    print(engine.metrics.render(), file=sys.stderr)
+    if args.dead_letters:
+        with open(args.dead_letters, "w", encoding="utf-8") as handle:
+            handle.write(engine.dead_letters.to_jsonl() + "\n")
+        print(
+            f"-- {len(engine.dead_letters)} dead-lettered inputs written "
+            f"to {args.dead_letters}",
+            file=sys.stderr,
+        )
+    if args.checkpoint_out:
+        engine.save_checkpoint(args.checkpoint_out)
+        print(f"-- checkpoint saved to {args.checkpoint_out}",
+              file=sys.stderr)
+    return 0
+
+
+def _print_emissions(args: argparse.Namespace, sink: CollectingSink) -> None:
     shown = 0
     for emission in sink.emissions:
         if emission.is_empty() and not args.all:
@@ -91,7 +187,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"({len(sink.non_empty())} non-empty)",
         file=sys.stderr,
     )
-    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -126,7 +221,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ReproError, OSError) as exc:
+    except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -47,6 +47,23 @@ class OutOfOrderEventError(StreamError):
     """A stream element arrived with a timestamp before the stream head."""
 
 
+class IngestionError(StreamError):
+    """A raw queue message is malformed or violates the ingestion contract.
+
+    Raised (instead of raw ``KeyError``/``TypeError`` escaping from the
+    updating-query evaluator) so fault policies can catch exactly
+    library-detected bad input, never programming errors.
+    """
+
+
+class LateEventError(StreamError):
+    """An element arrived later than the configured allowed lateness."""
+
+
+class PoisonMessageError(IngestionError):
+    """A stream payload could not be decoded into a valid element."""
+
+
 class WindowError(ReproError):
     """Invalid window configuration (Definition 5.9)."""
 
@@ -99,3 +116,15 @@ class QueryRegistryError(SeraphError):
 
 class EngineError(SeraphError):
     """Continuous engine runtime failure."""
+
+
+class SinkDeliveryError(SeraphError):
+    """A sink kept failing after all configured delivery attempts."""
+
+
+class CircuitOpenError(SinkDeliveryError):
+    """Delivery was refused because the sink's circuit breaker is open."""
+
+
+class CheckpointError(ReproError):
+    """An engine checkpoint document is malformed or incompatible."""

@@ -18,6 +18,55 @@ from repro.seraph.sinks import Emission
 from repro.stream.stream import StreamElement
 
 
+@dataclass
+class ResilienceMetrics:
+    """Counters surfaced by the fault-tolerant runtime layer.
+
+    One instance is shared by all components of a
+    :class:`repro.runtime.ResilientEngine` (ingestion guard, reorder
+    buffer, dead-letter queue, resilient sinks, checkpointing), so a
+    single object answers "what did the resilience layer absorb?".
+    """
+
+    ingested: int = 0            # elements accepted into the engine
+    dead_lettered: int = 0       # entries appended to the dead-letter queue
+    poison_rejected: int = 0     # malformed payloads caught by the guard
+    poison_skipped: int = 0      # poison dropped silently (SKIP policy)
+    reordered: int = 0           # elements that arrived out of order but
+    #                              were re-sequenced within the lateness bound
+    late_events: int = 0         # elements beyond the allowed lateness
+    late_dropped: int = 0        # late elements dropped (DROP/DEAD_LETTER)
+    sink_deliveries: int = 0     # emissions successfully delivered
+    sink_failures: int = 0       # individual failed delivery attempts
+    retried: int = 0             # delivery retries performed
+    short_circuited: int = 0     # deliveries refused by an open breaker
+    breaker_opens: int = 0       # closed/half-open -> open transitions
+    fallback_deliveries: int = 0 # emissions routed to the fallback sink
+    checkpoints: int = 0         # checkpoints taken
+    restores: int = 0            # engines restored from a checkpoint
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "ingested", "dead_lettered", "poison_rejected",
+                "poison_skipped", "reordered", "late_events", "late_dropped",
+                "sink_deliveries", "sink_failures", "retried",
+                "short_circuited", "breaker_opens", "fallback_deliveries",
+                "checkpoints", "restores",
+            )
+        }
+
+    def render(self) -> str:
+        """One-line human summary of the non-zero counters."""
+        shown = {k: v for k, v in self.as_dict().items() if v}
+        if not shown:
+            return "resilience: all counters zero"
+        return "resilience: " + ", ".join(
+            f"{name}={value}" for name, value in shown.items()
+        )
+
+
 @dataclass(frozen=True)
 class EvaluationSample:
     """One evaluation's measurements."""

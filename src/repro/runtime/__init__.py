@@ -1,0 +1,67 @@
+"""Fault-tolerant streaming runtime around the Seraph engine.
+
+The paper defers the engine implementation (Section 6) and says nothing
+about failure; the seed engine is fail-stop.  This package adds the
+production concerns a deployed Kafka → ingestion → continuous-engine
+pipeline (Section 2/5.2) needs, without changing the engine's
+denotational-semantics contract:
+
+* :class:`FaultPolicy` — FAIL_FAST / SKIP / DEAD_LETTER handling;
+* :class:`DeadLetterQueue` — replayable quarantine of refused inputs;
+* :class:`ReorderBuffer` — bounded out-of-order tolerance (watermark +
+  allowed lateness);
+* :class:`ResilientSink` — retries, exponential backoff with seeded
+  jitter, circuit breaker, fallback sink;
+* :class:`ResilientEngine` — the composed wrapper, with JSON
+  checkpoint/restore of the full runtime state;
+* :class:`GuardedIngestionPipeline` — fault policies for the MERGE
+  ingestion pipeline;
+* :mod:`repro.runtime.faults` — deterministic fault injection for tests.
+"""
+
+from repro.runtime.checkpoint import (
+    engine_from_dict,
+    engine_from_json,
+    engine_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.deadletter import DeadLetterEntry, DeadLetterQueue
+from repro.runtime.engine import ResilientEngine, decode_item
+from repro.runtime.faults import (
+    FailureSchedule,
+    FlakySink,
+    FlakySource,
+    InjectedSinkFailure,
+)
+from repro.runtime.guard import GuardedIngestionPipeline, message_from_payload
+from repro.runtime.policies import FaultPolicy
+from repro.runtime.reorder import ReorderBuffer
+from repro.runtime.resilient_sink import (
+    CircuitBreaker,
+    ResilientSink,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "DeadLetterEntry",
+    "DeadLetterQueue",
+    "FailureSchedule",
+    "FaultPolicy",
+    "FlakySink",
+    "FlakySource",
+    "GuardedIngestionPipeline",
+    "InjectedSinkFailure",
+    "ReorderBuffer",
+    "ResilientEngine",
+    "ResilientSink",
+    "RetryPolicy",
+    "decode_item",
+    "engine_from_dict",
+    "engine_from_json",
+    "engine_to_dict",
+    "load_checkpoint",
+    "message_from_payload",
+    "save_checkpoint",
+]

@@ -1,0 +1,34 @@
+"""Fault-handling policies of the resilience layer.
+
+Every place the runtime can absorb a failure (poison payloads at
+ingestion, events beyond the allowed lateness, sinks that keep failing
+after retries) is governed by one :class:`FaultPolicy` value:
+
+* ``FAIL_FAST`` — re-raise the typed library error; the run aborts.
+  This is the seed engine's original behaviour and the right choice for
+  development, where a bad input is a bug to fix, not traffic to survive.
+* ``SKIP`` — drop the offending input silently (counted in metrics).
+* ``DEAD_LETTER`` — quarantine the offending input in a replayable
+  :class:`~repro.runtime.deadletter.DeadLetterQueue` together with the
+  reason and error, and continue.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FaultPolicy(enum.Enum):
+    """What to do when the runtime catches a recoverable library error."""
+
+    FAIL_FAST = "fail_fast"
+    SKIP = "skip"
+    DEAD_LETTER = "dead_letter"
+
+    @staticmethod
+    def parse(text: str) -> "FaultPolicy":
+        cleaned = text.strip().lower().replace("-", "_")
+        for policy in FaultPolicy:
+            if policy.value == cleaned:
+                return policy
+        raise ValueError(f"unknown fault policy {text!r}")

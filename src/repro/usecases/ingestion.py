@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.cypher.updating import UpdatingQueryEvaluator
-from repro.errors import StreamError
+from repro.errors import CypherError, IngestionError, StreamError
 from repro.graph.model import Node, PropertyGraph, Relationship
 from repro.graph.store import GraphStore
 from repro.graph.temporal import TimeInstant
@@ -62,6 +62,45 @@ class RentalMessage:
     ebike: bool = False
 
 
+#: The message kinds the Listing 4 statements can ingest.
+VALID_KINDS = ("rental", "return")
+
+
+def validate_message(message: RentalMessage) -> None:
+    """Check one message against the ingestion contract.
+
+    Raises :class:`~repro.errors.IngestionError` (a typed library error
+    the fault policies can catch) for any violation — an unknown
+    ``kind``, a return without a ``duration`` (which would reach the
+    ``$duration`` parameter as null), or non-integer identifiers and
+    timestamps that would corrupt the MERGE business keys.
+    """
+    if message.kind not in VALID_KINDS:
+        raise IngestionError(
+            f"unknown message kind {message.kind!r} "
+            f"(expected one of {list(VALID_KINDS)})"
+        )
+    if message.kind == "return" and message.duration is None:
+        raise IngestionError(
+            "return message lacks a duration (the $duration parameter "
+            "of the returnedAt statement must not be null)"
+        )
+    for name in ("vehicle", "station", "user", "time"):
+        value = getattr(message, name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise IngestionError(
+                f"message field {name!r} must be an integer, "
+                f"got {value!r}"
+            )
+    if message.duration is not None and (
+        isinstance(message.duration, bool)
+        or not isinstance(message.duration, int)
+    ):
+        raise IngestionError(
+            f"message duration must be an integer, got {message.duration!r}"
+        )
+
+
 class IngestionPipeline:
     """Loads raw messages into a store and seals periodic delta events.
 
@@ -88,6 +127,7 @@ class IngestionPipeline:
         self._pending.append(message)
 
     def _apply(self, message: RentalMessage) -> None:
+        validate_message(message)
         evaluator = UpdatingQueryEvaluator(
             self.store,
             parameters={
@@ -101,9 +141,18 @@ class IngestionPipeline:
         statement = (
             LISTING4_RENTAL if message.kind == "rental" else LISTING4_RETURN
         )
-        evaluator.run(statement)
-        if message.ebike:
-            evaluator.run(EBIKE_LABEL_STATEMENT)
+        try:
+            evaluator.run(statement)
+            if message.ebike:
+                evaluator.run(EBIKE_LABEL_STATEMENT)
+        except (KeyError, TypeError, ValueError, CypherError) as exc:
+            # Malformed payloads must surface as the typed library error,
+            # never as a raw evaluator exception (so dead-letter policies
+            # catch exactly bad input, not programming errors).
+            raise IngestionError(
+                f"failed to apply {message.kind} message at "
+                f"{message.time}: {exc}"
+            ) from exc
 
     def seal_until(self, until: TimeInstant) -> List[StreamElement]:
         """Apply pending messages period by period; one element per

@@ -11,17 +11,26 @@ from repro.graph.store import GraphStore
 from repro.graph.temporal import MINUTE
 from repro.usecases.ingestion import IngestionPipeline, RentalMessage
 
-messages = st.lists(
-    st.builds(
+def _message(kind):
+    # Returns must carry a duration (the pipeline rejects them
+    # otherwise); rentals may omit it.
+    durations = st.integers(min_value=1, max_value=60)
+    if kind == "rental":
+        durations = st.one_of(st.none(), durations)
+    return st.builds(
         RentalMessage,
-        kind=st.sampled_from(["rental", "return"]),
+        kind=st.just(kind),
         vehicle=st.integers(min_value=1, max_value=8),
         station=st.integers(min_value=1, max_value=5),
         user=st.integers(min_value=1, max_value=10),
         time=st.integers(min_value=0, max_value=3600),
-        duration=st.one_of(st.none(), st.integers(min_value=1, max_value=60)),
+        duration=durations,
         ebike=st.booleans(),
-    ),
+    )
+
+
+messages = st.lists(
+    st.one_of(_message("rental"), _message("return")),
     max_size=15,
 )
 

@@ -1,0 +1,232 @@
+"""Checkpoint/restore: a restored engine continues the run unchanged."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Node, Path, Relationship
+from repro.graph.table import Record, Table
+from repro.runtime.checkpoint import (
+    decode_value,
+    encode_value,
+    engine_from_dict,
+    engine_from_json,
+    engine_to_dict,
+    load_checkpoint,
+    save_checkpoint,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.stream import StreamElement
+from repro.usecases.micromobility import (
+    LISTING5_SERAPH,
+    _t,
+    figure1_stream,
+    figure2_graph,
+)
+
+COUNT_QUERY = """
+REGISTER QUERY rentals STARTING AT 2022-08-01T14:45
+{
+  MATCH ()-[r:rentedAt]->() WITHIN PT1H
+  EMIT count(r) AS rentals SNAPSHOT EVERY PT5M
+}
+"""
+
+ENTERING_QUERY = """
+REGISTER QUERY arrivals STARTING AT 2022-08-01T14:45
+{
+  MATCH (b:Bike)-[r:rentedAt]->(s:Station) WITHIN PT1H
+  EMIT b.id AS bike ON ENTERING EVERY PT5M
+}
+"""
+
+
+def emission_key(emission):
+    rows = sorted(
+        tuple(sorted((name, repr(value)) for name, value in record.items()))
+        for record in emission.table
+    )
+    return (emission.query_name, emission.instant, rows)
+
+
+def run_split(query_texts, split, until):
+    """Run the figure-1 stream interrupted at ``split``: checkpoint, restore
+    into a fresh engine, finish there.  Returns all emissions in order."""
+    stream = figure1_stream()
+    engine = SeraphEngine()
+    sinks = {}
+    for text in query_texts:
+        registered = engine.register(text)
+        sinks[registered.name] = registered.sink
+    emissions = []
+    for element in stream[:split]:
+        emissions.extend(engine.advance_to(element.instant - 1))
+        engine.ingest_element(element)
+
+    document = json.loads(json.dumps(engine_to_dict(engine)))  # wire trip
+    fresh_sinks = {name: CollectingSink() for name in sinks}
+    restored = engine_from_dict(document, sinks=fresh_sinks)
+
+    for element in stream[split:]:
+        emissions.extend(restored.advance_to(element.instant - 1))
+        restored.ingest_element(element)
+    emissions.extend(restored.advance_to(until))
+    return emissions
+
+
+def run_uninterrupted(query_texts, until):
+    engine = SeraphEngine()
+    for text in query_texts:
+        engine.register(text)
+    return engine.run_stream(figure1_stream(), until=until)
+
+
+class TestValueCodec:
+    def test_plain_values_round_trip(self):
+        for value in [None, True, 0, 1.5, "text", [1, "a", None]]:
+            assert decode_value(
+                json.loads(json.dumps(encode_value(value)))
+            ) == (list(value) if isinstance(value, tuple) else value)
+
+    def test_graph_entities_round_trip(self):
+        node = Node(id=1, labels=frozenset(["A"]), properties={"k": 7})
+        rel = Relationship(id=2, type="T", src=1, trg=1,
+                           properties={"w": 1})
+        path = Path(nodes=(node, node), relationships=(rel,))
+        for value in [node, rel, path, {"nested": node}, [node, rel]]:
+            decoded = decode_value(
+                json.loads(json.dumps(encode_value(value)))
+            )
+            if isinstance(value, list):
+                assert decoded == value
+            else:
+                assert decoded == value
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(CheckpointError):
+            encode_value(object())
+
+    def test_table_round_trip(self):
+        table = Table(
+            [Record({"a": 1, "b": "x"}), Record({"a": 2, "b": None})],
+            fields=["a", "b"],
+        )
+        restored = table_from_dict(
+            json.loads(json.dumps(table_to_dict(table)))
+        )
+        assert restored.bag_equals(table)
+        assert restored.fields == table.fields
+
+
+class TestMidStreamEquivalence:
+    UNTIL = None
+
+    @pytest.mark.parametrize("split", [0, 1, 2, 3, 4, 5])
+    def test_snapshot_query_split_anywhere(self, split):
+        until = _t("15:40")
+        baseline = run_uninterrupted([COUNT_QUERY], until)
+        resumed = run_split([COUNT_QUERY], split, until)
+        assert [emission_key(e) for e in resumed] == [
+            emission_key(e) for e in baseline
+        ]
+
+    @pytest.mark.parametrize("split", [1, 3])
+    def test_on_entering_report_state_survives(self, split):
+        """ON ENTERING needs the previous evaluation's table across the
+        restore — the checkpoint carries the report state."""
+        until = _t("15:40")
+        baseline = run_uninterrupted([ENTERING_QUERY], until)
+        resumed = run_split([ENTERING_QUERY], split, until)
+        assert [emission_key(e) for e in resumed] == [
+            emission_key(e) for e in baseline
+        ]
+
+    @pytest.mark.parametrize("split", [2, 4])
+    def test_multiple_queries_resume_together(self, split):
+        until = _t("15:40")
+        baseline = run_uninterrupted(
+            [COUNT_QUERY, LISTING5_SERAPH], until
+        )
+        resumed = run_split([COUNT_QUERY, LISTING5_SERAPH], split, until)
+        assert sorted(map(emission_key, resumed)) == sorted(
+            map(emission_key, baseline)
+        )
+
+    def test_checkpoint_after_eviction_still_resumes(self):
+        """Eviction bookkeeping (base_seq) survives the round trip."""
+        engine = SeraphEngine()
+        engine.register(COUNT_QUERY)
+        stream = figure1_stream()
+        emissions = []
+        for element in stream[:4]:
+            emissions.extend(engine.advance_to(element.instant - 1))
+            engine.ingest_element(element)
+        emissions.extend(engine.advance_to(_t("15:20")))
+        state = engine._streams["default"]
+        assert state.base_seq >= 0  # eviction may or may not have fired
+        restored = engine_from_dict(engine_to_dict(engine))
+        restored_state = restored._streams["default"]
+        assert restored_state.base_seq == state.base_seq
+        assert len(restored_state.elements) == len(state.elements)
+
+
+class TestConfigRoundTrip:
+    def test_static_graph_and_flags_survive(self):
+        engine = SeraphEngine(
+            incremental=False,
+            static_graph=figure2_graph(),
+            reuse_unchanged_windows=False,
+            share_windows=False,
+        )
+        engine.register(COUNT_QUERY)
+        restored = engine_from_json(
+            json.dumps(engine_to_dict(engine))
+        )
+        assert restored.incremental is False
+        assert restored.reuse_unchanged_windows is False
+        assert restored.share_windows is False
+        assert restored.static_graph == engine.static_graph
+
+    def test_progress_counters_survive(self):
+        engine = SeraphEngine()
+        engine.register(COUNT_QUERY)
+        engine.run_stream(figure1_stream()[:3])
+        registered = engine.registered("rentals")
+        restored = engine_from_dict(engine_to_dict(engine))
+        restored_query = restored.registered("rentals")
+        assert restored_query.next_eval == registered.next_eval
+        assert restored_query.evaluations == registered.evaluations
+        assert restored_query.done == registered.done
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        engine = SeraphEngine()
+        engine.register(COUNT_QUERY)
+        engine.run_stream(figure1_stream()[:2])
+        path = str(tmp_path / "checkpoint.json")
+        save_checkpoint(engine, path)
+        restored = load_checkpoint(path)
+        assert restored.registered("rentals").next_eval == \
+            engine.registered("rentals").next_eval
+
+
+class TestMalformedDocuments:
+    def test_bad_json_raises_checkpoint_error(self):
+        with pytest.raises(CheckpointError):
+            engine_from_json("{not json")
+
+    def test_wrong_version_raises(self):
+        engine = SeraphEngine()
+        document = engine_to_dict(engine)
+        document["version"] = 999
+        with pytest.raises(CheckpointError):
+            engine_from_dict(document)
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(CheckpointError):
+            engine_from_dict({"version": 1})

@@ -94,3 +94,72 @@ class TestOneshot:
         graph_path = tmp_path / "graph.json"
         graph_path.write_text(graph_to_json(figure2_graph()))
         assert main(["oneshot", str(query_path), str(graph_path)]) == 1
+
+
+class TestResilientRun:
+    def test_resilient_run_matches_plain_run(
+        self, query_file, stream_file, capsys
+    ):
+        assert main(["run", query_file, stream_file]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", query_file, stream_file, "--resilient"]) == 0
+        out = capsys.readouterr()
+        assert out.out == plain
+        assert "ingested=5" in out.err
+
+    def test_poison_line_is_quarantined(self, query_file, tmp_path, capsys):
+        path = tmp_path / "stream.jsonl"
+        lines = stream_to_jsonl(figure1_stream()).splitlines()
+        lines.insert(2, "{this is not json")
+        path.write_text("\n".join(lines))
+        dlq_path = tmp_path / "dead.jsonl"
+        assert main(["run", query_file, str(path), "--resilient",
+                     "--dead-letters", str(dlq_path)]) == 0
+        out = capsys.readouterr()
+        assert "1234" in out.out and "5678" in out.out
+        assert "poison_rejected=1" in out.err
+        assert "1 dead-lettered inputs" in out.err
+        assert "PoisonMessageError" in dlq_path.read_text()
+
+    def test_poison_fail_fast_aborts(self, query_file, tmp_path, capsys):
+        path = tmp_path / "stream.jsonl"
+        path.write_text("{broken\n")
+        assert main(["run", query_file, str(path),
+                     "--on-poison", "fail-fast"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_allowed_lateness_reorders_stream(
+        self, query_file, tmp_path, capsys
+    ):
+        stream = figure1_stream()
+        shuffled = [stream[1], stream[0], stream[2], stream[4], stream[3]]
+        path = tmp_path / "stream.jsonl"
+        path.write_text(stream_to_jsonl(shuffled))
+        assert main(["run", query_file, str(path),
+                     "--allowed-lateness", "1200"]) == 0
+        out = capsys.readouterr()
+        assert "1234" in out.out and "5678" in out.out
+        assert "reordered=2" in out.err
+
+    def test_checkpoint_save_and_restore(
+        self, query_file, tmp_path, capsys
+    ):
+        stream = figure1_stream()
+        first = tmp_path / "first.jsonl"
+        first.write_text(stream_to_jsonl(stream[:3]))
+        rest = tmp_path / "rest.jsonl"
+        rest.write_text(stream_to_jsonl(stream[3:]))
+        checkpoint = tmp_path / "cp.json"
+
+        assert main(["run", query_file, str(first),
+                     "--checkpoint-out", str(checkpoint)]) == 0
+        out = capsys.readouterr()
+        assert "checkpoint saved" in out.err
+        assert checkpoint.exists()
+
+        assert main(["run", query_file, str(rest),
+                     "--restore", str(checkpoint),
+                     "--until", "2022-08-01T15:40"]) == 0
+        out = capsys.readouterr()
+        # The second half completes the pattern: both riders reported.
+        assert "5678" in out.out
