@@ -53,6 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print empty emissions too",
     )
     run.add_argument(
+        "--incremental-eval",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="evaluate eligible queries incrementally from window deltas "
+        "(--no-incremental-eval re-matches every snapshot: the ablation "
+        "baseline, docs/INCREMENTAL.md)",
+    )
+    run.add_argument(
         "--resilient", action="store_true",
         help="run behind the fault-tolerant runtime "
         "(poison quarantine, reordering, sink isolation)",
@@ -124,7 +132,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     query = parse_seraph(_read(args.query))
     elements = stream_from_jsonl(_read(args.stream))
     until = parse_datetime(args.until) if args.until else None
-    engine = SeraphEngine(policy=_POLICIES[args.policy])
+    engine = SeraphEngine(
+        policy=_POLICIES[args.policy],
+        delta_eval=args.incremental_eval,
+    )
     sink = CollectingSink()
     engine.register(query, sink=sink)
     engine.run_stream(elements, until=until)
@@ -144,7 +155,10 @@ def _cmd_run_resilient(args: argparse.Namespace) -> int:
         engine.late_policy = late
     else:
         engine = ResilientEngine(
-            SeraphEngine(policy=_POLICIES[args.policy]),
+            SeraphEngine(
+                policy=_POLICIES[args.policy],
+                delta_eval=args.incremental_eval,
+            ),
             allowed_lateness=args.allowed_lateness,
             poison_policy=poison,
             late_policy=late,

@@ -13,11 +13,30 @@ Implements Cypher's matching semantics:
 The matcher works against a *scope* of pre-existing bindings (the record
 ``u``), only yielding assignments for names not already bound, exactly as
 ``dom(u') = free(π) \\ dom(u)`` requires.
+
+Beyond the plain enumeration, :meth:`PatternMatcher.match_pattern_traced`
+also reports each match's *footprint* — the set of graph entities the
+embedding traverses (bound or anonymous) — and accepts an anchor
+restriction on the first path's start candidates.  Together these are the
+entry points the delta-driven incremental evaluation layer
+(:mod:`repro.seraph.delta`) uses: footprints decide which previous
+assignments a stream delta invalidates, the anchor restricts re-matching
+to the dirty neighbourhood.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.cypher import ast
 from repro.cypher.expressions import ExpressionEvaluator
@@ -27,6 +46,19 @@ from repro.graph.values import NULL, Ternary, cypher_equals
 
 Bindings = Dict[str, Any]
 UsedRels = FrozenSet[int]
+#: One traversed entity: ("n", node_id) or ("r", relationship_id).
+EntityRef = Tuple[str, int]
+#: All entities one embedding of a pattern traverses.
+Footprint = FrozenSet[EntityRef]
+
+_EMPTY_FOOTPRINT: Footprint = frozenset()
+
+
+def footprint_of(nodes: Iterator[Node], rels: Iterator[Relationship]) -> Footprint:
+    """The footprint of an explicit node/relationship traversal."""
+    entries: List[EntityRef] = [("n", node.id) for node in nodes]
+    entries.extend(("r", rel.id) for rel in rels)
+    return frozenset(entries)
 
 
 class PatternMatcher:
@@ -45,12 +77,42 @@ class PatternMatcher:
         whole comma-separated pattern, honouring relationship uniqueness
         across all its path patterns."""
         initial = frozenset(scope)
-        for bindings, _used in self._match_paths(
-            list(pattern.paths), dict(scope), frozenset()
+        for bindings, _used, _footprint in self._match_paths(
+            list(pattern.paths), dict(scope), frozenset(), _EMPTY_FOOTPRINT
         ):
             yield {
                 name: value for name, value in bindings.items() if name not in initial
             }
+
+    def match_pattern_traced(
+        self,
+        pattern: ast.Pattern,
+        scope: Mapping[str, Any],
+        first_candidates: Optional[AbstractSet[int]] = None,
+    ) -> Iterator[Tuple[Bindings, Footprint]]:
+        """Like :meth:`match_pattern`, but also yield each embedding's
+        footprint (every node/relationship it traverses, named or not).
+
+        ``first_candidates`` — the anchored entry point — restricts the
+        *start node* of the first path pattern to the given node ids.
+        The delta layer passes the dirty neighbourhood here, so
+        re-matching explores only embeddings that can possibly touch a
+        changed entity instead of the whole snapshot.
+        """
+        initial = frozenset(scope)
+        for bindings, _used, footprint in self._match_paths(
+            list(pattern.paths),
+            dict(scope),
+            frozenset(),
+            _EMPTY_FOOTPRINT,
+            first_candidates=first_candidates,
+        ):
+            new = {
+                name: value
+                for name, value in bindings.items()
+                if name not in initial
+            }
+            yield new, footprint
 
     def has_match(self, path: ast.PathPattern, scope: Mapping[str, Any]) -> bool:
         """Existence check for pattern predicates (no uniqueness sharing
@@ -62,24 +124,39 @@ class PatternMatcher:
     # -- pattern-level recursion ---------------------------------------------
 
     def _match_paths(
-        self, paths: List[ast.PathPattern], bindings: Bindings, used: UsedRels
-    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        self,
+        paths: List[ast.PathPattern],
+        bindings: Bindings,
+        used: UsedRels,
+        footprint: Footprint,
+        first_candidates: Optional[AbstractSet[int]] = None,
+    ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         if not paths:
-            yield bindings, used
+            yield bindings, used, footprint
             return
         head, tail = paths[0], paths[1:]
-        for new_bindings, new_used in self._match_single_path(head, bindings, used):
-            yield from self._match_paths(tail, new_bindings, new_used)
+        for new_bindings, new_used, path_footprint in self._match_single_path(
+            head, bindings, used, start_candidates=first_candidates
+        ):
+            yield from self._match_paths(
+                tail, new_bindings, new_used, footprint | path_footprint
+            )
 
     # -- single path pattern ----------------------------------------------------
 
     def _match_single_path(
-        self, path: ast.PathPattern, bindings: Bindings, used: UsedRels
-    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        self,
+        path: ast.PathPattern,
+        bindings: Bindings,
+        used: UsedRels,
+        start_candidates: Optional[AbstractSet[int]] = None,
+    ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         if path.shortest is not None:
             yield from self._match_shortest(path, bindings, used)
             return
         for start in self._node_candidates(path.nodes[0], bindings):
+            if start_candidates is not None and start.id not in start_candidates:
+                continue
             start_bindings = self._bind_node(path.nodes[0], start, bindings)
             if start_bindings is None:
                 continue
@@ -96,7 +173,7 @@ class PatternMatcher:
         used: UsedRels,
         trav_nodes: List[Node],
         trav_rels: List[Relationship],
-    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+    ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         if step == len(path.relationships):
             final = bindings
             if path.variable is not None:
@@ -110,7 +187,7 @@ class PatternMatcher:
                 else:
                     final = dict(bindings)
                     final[path.variable] = path_value
-            yield final, used
+            yield final, used, footprint_of(iter(trav_nodes), iter(trav_rels))
             return
 
         rel_pattern = path.relationships[step]
@@ -138,7 +215,7 @@ class PatternMatcher:
         used: UsedRels,
         trav_nodes: List[Node],
         trav_rels: List[Relationship],
-    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+    ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         bound_rel = None
         if rel_pattern.variable is not None and rel_pattern.variable in bindings:
             bound_rel = bindings[rel_pattern.variable]
@@ -175,7 +252,7 @@ class PatternMatcher:
         used: UsedRels,
         trav_nodes: List[Node],
         trav_rels: List[Relationship],
-    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+    ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         low, high = rel_pattern.var_length
         low = 1 if low is None else low
         bound_value = None
@@ -187,7 +264,7 @@ class PatternMatcher:
             seg_rels: List[Relationship],
             seg_nodes: List[Node],
             seg_used: UsedRels,
-        ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
             # Planner-reversed walk: the bound list keeps source order.
             rel_list = (
                 list(reversed(seg_rels)) if path.flipped else list(seg_rels)
@@ -222,7 +299,7 @@ class PatternMatcher:
             seg_nodes: List[Node],
             seg_used: UsedRels,
             depth: int,
-        ) -> Iterator[Tuple[Bindings, UsedRels]]:
+        ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
             if depth >= low:
                 yield from finalize(node, seg_rels, seg_nodes, seg_used)
             if high is not None and depth >= high:
@@ -325,7 +402,7 @@ class PatternMatcher:
 
     def _match_shortest(
         self, path: ast.PathPattern, bindings: Bindings, used: UsedRels
-    ) -> Iterator[Tuple[Bindings, UsedRels]]:
+    ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         if len(path.relationships) != 1:
             raise CypherEvaluationError(
                 "shortestPath() requires a single relationship pattern"
@@ -359,7 +436,9 @@ class PatternMatcher:
                     if path.variable is not None:
                         final = dict(final)
                         final[path.variable] = path_value
-                    yield final, new_used
+                    yield final, new_used, footprint_of(
+                        iter(path_value.nodes), iter(path_value.relationships)
+                    )
 
     def _bfs_shortest(
         self,
@@ -371,59 +450,83 @@ class PatternMatcher:
         low: int,
         high: Optional[int],
     ) -> List[Path]:
-        """All shortest paths from start to end of length in [low, high]."""
+        """All shortest paths from start to end of length in [low, high].
+
+        Paths are trails (relationship-unique).  The search runs
+        breadth-first over ``(node, depth)`` states rather than plain node
+        levels: a node — including the target — may be revisited at a
+        greater depth, which is what makes a lower bound beyond the
+        plain shortest distance reachable (``shortestPath((a)-[*3..]->(b))``
+        must keep exploring after seeing ``b`` at depth 1 or 2).
+        Relationship uniqueness is enforced during path enumeration.
+        """
         if start.id == end.id and low == 0:
             return [Path((start,), ())]
-        # Breadth-first over (node) levels; track every shortest incoming
-        # (prev_node, rel) per node for path enumeration.
+        # A trail cannot repeat a relationship, so its length is bounded
+        # by the graph size even when the pattern is unbounded above.
+        max_depth = len(self.graph.relationships)
+        if high is not None:
+            max_depth = min(max_depth, high)
         frontier = {start.id}
-        parents: Dict[int, List[Tuple[int, Relationship]]] = {}
-        depth_of: Dict[int, int] = {start.id: 0}
+        parents: Dict[Tuple[int, int], List[Tuple[int, Relationship]]] = {}
         depth = 0
-        found_depth: Optional[int] = None
-        while frontier:
-            if high is not None and depth >= high:
-                break
-            if found_depth is not None:
-                break
+        while frontier and depth < max_depth:
             next_frontier = set()
             for node_id in frontier:
                 node = self.graph.node(node_id)
                 for rel, nxt in self._expand(node, rel_pattern, scope, used):
-                    known = depth_of.get(nxt.id)
-                    if known is None or known == depth + 1:
-                        depth_of[nxt.id] = depth + 1
-                        parents.setdefault(nxt.id, []).append((node_id, rel))
+                    state = (nxt.id, depth + 1)
+                    if state not in parents:
                         next_frontier.add(nxt.id)
-                        if nxt.id == end.id and depth + 1 >= low:
-                            found_depth = depth + 1
+                    parents.setdefault(state, []).append((node_id, rel))
             frontier = next_frontier
             depth += 1
-        if found_depth is None:
-            return []
+            if depth >= low and (end.id, depth) in parents:
+                paths = self._enumerate_trails(start, end, parents, depth)
+                if paths:
+                    # Deterministic ordering: by the relationship-id sequence.
+                    paths.sort(
+                        key=lambda p: tuple(rel.id for rel in p.relationships)
+                    )
+                    return paths
+                # Every walk of this length repeats a relationship — not a
+                # valid trail; keep searching deeper.
+        return []
 
-        # Enumerate the shortest paths backward from the target.
+    def _enumerate_trails(
+        self,
+        start: Node,
+        end: Node,
+        parents: Dict[Tuple[int, int], List[Tuple[int, Relationship]]],
+        found_depth: int,
+    ) -> List[Path]:
+        """All relationship-unique walks of exactly ``found_depth`` hops
+        from ``start`` to ``end``, read backward off the BFS parents."""
         paths: List[Path] = []
 
-        def backtrack(node_id: int, suffix_nodes: List[Node],
-                      suffix_rels: List[Relationship]) -> None:
-            if node_id == start.id:
-                if len(suffix_rels) == found_depth:
+        def backtrack(
+            node_id: int,
+            depth: int,
+            suffix_nodes: List[Node],
+            suffix_rels: List[Relationship],
+            used_ids: FrozenSet[int],
+        ) -> None:
+            if depth == 0:
+                if node_id == start.id:
                     nodes = [start] + list(reversed(suffix_nodes))
                     rels = list(reversed(suffix_rels))
                     paths.append(Path(tuple(nodes), tuple(rels)))
                 return
-            current_depth = found_depth - len(suffix_rels)
-            for prev_id, rel in parents.get(node_id, []):
-                if depth_of.get(prev_id) != current_depth - 1:
+            for prev_id, rel in parents.get((node_id, depth), []):
+                if rel.id in used_ids:
                     continue
                 backtrack(
                     prev_id,
+                    depth - 1,
                     suffix_nodes + [self.graph.node(node_id)],
                     suffix_rels + [rel],
+                    used_ids | {rel.id},
                 )
 
-        backtrack(end.id, [], [])
-        # Deterministic ordering: by the relationship-id sequence.
-        paths.sort(key=lambda p: tuple(rel.id for rel in p.relationships))
+        backtrack(end.id, found_depth, [], [], frozenset())
         return paths

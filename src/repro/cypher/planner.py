@@ -36,9 +36,7 @@ def node_anchor_cost(
         return 1.0
     if node.labels:
         estimate = float(
-            min(
-                len(graph._by_label.get(label, ())) for label in node.labels
-            )
+            min(graph.label_count(label) for label in node.labels)
         )
     else:
         estimate = float(graph.order)

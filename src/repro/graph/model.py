@@ -188,6 +188,103 @@ class PropertyGraph:
             ),
         )
 
+    def patched(
+        self,
+        nodes: Iterable[Node] = (),
+        relationships: Iterable[Relationship] = (),
+        removed_nodes: Iterable[NodeId] = (),
+        removed_rels: Iterable[RelationshipId] = (),
+    ) -> "PropertyGraph":
+        """A new graph with the given upserts/removals applied.
+
+        Index maintenance is proportional to the touched entities (plus
+        flat dict copies), not to the whole graph — the carrier of the
+        snapshot maintainer's O(delta) evaluation-to-evaluation step.
+        Validation matches :meth:`of` for everything touched: removals
+        must leave no dangling endpoints, upserted relationships must
+        reference present nodes.
+        """
+        node_map: Dict[NodeId, Node] = dict(self.nodes)
+        rel_map: Dict[RelationshipId, Relationship] = dict(self.relationships)
+        out_adj: Dict[NodeId, Tuple[RelationshipId, ...]] = dict(self._out)
+        in_adj: Dict[NodeId, Tuple[RelationshipId, ...]] = dict(self._in)
+        by_label: Dict[str, Tuple[NodeId, ...]] = dict(self._by_label)
+
+        def unlabel(node_id: NodeId, label: str) -> None:
+            ids = tuple(i for i in by_label[label] if i != node_id)
+            if ids:
+                by_label[label] = ids
+            else:
+                del by_label[label]
+
+        for rel_id in removed_rels:
+            rel = rel_map.pop(rel_id, None)
+            if rel is None:
+                raise GraphConsistencyError(
+                    f"cannot remove unknown relationship {rel_id}"
+                )
+            out_adj[rel.src] = tuple(
+                i for i in out_adj[rel.src] if i != rel_id
+            )
+            in_adj[rel.trg] = tuple(i for i in in_adj[rel.trg] if i != rel_id)
+        for node_id in removed_nodes:
+            node = node_map.pop(node_id, None)
+            if node is None:
+                raise GraphConsistencyError(
+                    f"cannot remove unknown node {node_id}"
+                )
+            if out_adj.get(node_id) or in_adj.get(node_id):
+                raise GraphConsistencyError(
+                    f"removing node {node_id} would dangle its relationships"
+                )
+            out_adj.pop(node_id, None)
+            in_adj.pop(node_id, None)
+            for label in node.labels:
+                unlabel(node_id, label)
+        for node in nodes:
+            old = node_map.get(node.id)
+            node_map[node.id] = node
+            old_labels = old.labels if old is not None else ()
+            if old is None:
+                out_adj.setdefault(node.id, ())
+                in_adj.setdefault(node.id, ())
+            if node.labels != old_labels:
+                for label in old_labels:
+                    if label not in node.labels:
+                        unlabel(node.id, label)
+                for label in node.labels:
+                    if label not in old_labels:
+                        by_label[label] = by_label.get(label, ()) + (node.id,)
+        for rel in relationships:
+            if rel.src not in node_map:
+                raise GraphConsistencyError(
+                    f"relationship {rel.id} has dangling source {rel.src}"
+                )
+            if rel.trg not in node_map:
+                raise GraphConsistencyError(
+                    f"relationship {rel.id} has dangling target {rel.trg}"
+                )
+            old = rel_map.get(rel.id)
+            rel_map[rel.id] = rel
+            if old is not None and (old.src, old.trg) == (rel.src, rel.trg):
+                continue  # endpoints unchanged: adjacency already right
+            if old is not None:
+                out_adj[old.src] = tuple(
+                    i for i in out_adj[old.src] if i != rel.id
+                )
+                in_adj[old.trg] = tuple(
+                    i for i in in_adj[old.trg] if i != rel.id
+                )
+            out_adj[rel.src] = out_adj[rel.src] + (rel.id,)
+            in_adj[rel.trg] = in_adj[rel.trg] + (rel.id,)
+        return PropertyGraph(
+            nodes=MappingProxyType(node_map),
+            relationships=MappingProxyType(rel_map),
+            _out=MappingProxyType(out_adj),
+            _in=MappingProxyType(in_adj),
+            _by_label=MappingProxyType(by_label),
+        )
+
     @staticmethod
     def empty() -> "PropertyGraph":
         return _EMPTY_GRAPH
@@ -247,6 +344,18 @@ class PropertyGraph:
             node = self.nodes[node_id]
             if wanted <= node.labels:
                 yield node
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label`` (served from the index).
+
+        The public per-label statistic the pattern planner and the
+        delta-evaluation layer cost their anchor choices with.
+        """
+        return len(self._by_label.get(label, ()))
+
+    def label_counts(self) -> Dict[str, int]:
+        """All per-label node counts (cheap cardinality statistics)."""
+        return {label: len(ids) for label, ids in self._by_label.items()}
 
     @property
     def order(self) -> int:

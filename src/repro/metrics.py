@@ -76,6 +76,7 @@ class EvaluationSample:
     latency_seconds: float
     rows_emitted: int
     reused: bool
+    delta: bool = False  # served by the incremental (delta) path
 
 
 @dataclass
@@ -99,6 +100,16 @@ class RunReport:
         if not self.samples:
             return 0.0
         return sum(sample.reused for sample in self.samples) / len(
+            self.samples
+        )
+
+    @property
+    def delta_ratio(self) -> float:
+        """Fraction of evaluations served by the incremental delta path
+        (full evaluations avoided)."""
+        if not self.samples:
+            return 0.0
+        return sum(sample.delta for sample in self.samples) / len(
             self.samples
         )
 
@@ -130,7 +141,8 @@ class RunReport:
             f"mean latency {self.mean_latency * 1000:.2f}ms, "
             f"p95 {self.latency_percentile(0.95) * 1000:.2f}ms; "
             f"{self.total_rows} rows emitted; "
-            f"reuse ratio {self.reuse_ratio:.0%}"
+            f"reuse ratio {self.reuse_ratio:.0%}; "
+            f"delta ratio {self.delta_ratio:.0%}"
         )
 
 
@@ -153,22 +165,35 @@ def instrumented_run(
         name: engine.registered(name).reused_evaluations
         for name in engine.query_names
     }
+    delta_before = {
+        name: engine.registered(name).delta_evaluations
+        for name in engine.query_names
+    }
 
     def record(emissions: List[Emission], elapsed: float) -> None:
         if not emissions:
             return
         share = elapsed / len(emissions)
         # A single advance_to step may fire several evaluations per
-        # query; distribute the observed reuse-counter delta over them.
+        # query; distribute the observed per-path counter deltas over
+        # them.
         reuse_budget: Dict[str, int] = {}
+        delta_budget: Dict[str, int] = {}
         for name in engine.query_names:
-            now = engine.registered(name).reused_evaluations
+            registered = engine.registered(name)
+            now = registered.reused_evaluations
             reuse_budget[name] = now - reuse_before.get(name, 0)
             reuse_before[name] = now
+            now = registered.delta_evaluations
+            delta_budget[name] = now - delta_before.get(name, 0)
+            delta_before[name] = now
         for emission in emissions:
             was_reused = reuse_budget.get(emission.query_name, 0) > 0
             if was_reused:
                 reuse_budget[emission.query_name] -= 1
+            was_delta = delta_budget.get(emission.query_name, 0) > 0
+            if was_delta:
+                delta_budget[emission.query_name] -= 1
             report.samples.append(
                 EvaluationSample(
                     query_name=emission.query_name,
@@ -176,6 +201,7 @@ def instrumented_run(
                     latency_seconds=share,
                     rows_emitted=len(emission.table),
                     reused=was_reused,
+                    delta=was_delta,
                 )
             )
 

@@ -15,9 +15,9 @@ run (the property the tests assert):
   for ``ON ENTERING`` / ``ON EXITING`` correctness across the restore).
 
 Not captured: sinks (arbitrary user objects — pass replacements to
-:func:`engine_from_dict`), the accumulated per-query result history, and
-the reuse-memo table (the first post-restore evaluation simply
-recomputes).
+:func:`engine_from_dict`), the accumulated per-query result history, the
+reuse-memo table, and the delta-path assignment set (the first
+post-restore evaluation simply recomputes / full-refreshes).
 
 The document is pure JSON; graph payloads reuse :mod:`repro.graph.io`,
 table values a tagged codec (nodes, relationships, paths, maps, lists).
@@ -133,6 +133,7 @@ def engine_to_dict(engine: SeraphEngine) -> Dict[str, Any]:
             "incremental": engine.incremental,
             "reuse_unchanged_windows": engine.reuse_unchanged_windows,
             "share_windows": engine.share_windows,
+            "delta_eval": engine.delta_eval,
             "static_graph": (
                 graph_to_dict(engine.static_graph)
                 if engine.static_graph is not None else None
@@ -194,6 +195,8 @@ def engine_from_dict(
             else None,
             reuse_unchanged_windows=config["reuse_unchanged_windows"],
             share_windows=config["share_windows"],
+            # Absent in version-1 documents written before the delta path.
+            delta_eval=config.get("delta_eval", True),
         )
         for name, stream_data in data["streams"].items():
             state = engine._stream_state(name)

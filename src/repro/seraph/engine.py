@@ -38,6 +38,12 @@ from repro.graph.table import Table
 from repro.graph.temporal import TimeInstant
 from repro.seraph import semantics
 from repro.seraph.ast import DEFAULT_STREAM, SeraphMatch, SeraphQuery
+from repro.seraph.delta import (
+    QueryDeltaState,
+    WindowDelta,
+    delta_ineligibility,
+    evaluate_delta,
+)
 from repro.seraph.parser import parse_seraph
 from repro.seraph.sinks import CollectingSink, Emission, Sink
 from repro.stream.report import ReportState
@@ -73,6 +79,14 @@ class _StreamState:
             self.base_seq += drop
             self.stream.evict_count(drop)
 
+    def evict_all(self) -> None:
+        """Drop every retained element (no live query reads this stream)."""
+        count = len(self.elements)
+        if count:
+            self.elements.clear()
+            self.base_seq += count
+            self.stream.evict_count(count)
+
 
 class _WindowState:
     """Incrementally maintained window content for one (stream, width)."""
@@ -98,16 +112,19 @@ class _WindowState:
         self.content_seqs: List[int] = []
         self.next_seq = 0  # stream sequence number of the next element
         self.last_advanced: Optional[TimeInstant] = None
+        self.last_delta = WindowDelta()
 
-    def advance(self, source: _StreamState, instant: TimeInstant) -> None:
+    def advance(self, source: _StreamState, instant: TimeInstant) -> WindowDelta:
         """Bring the window content up to the evaluation at ``instant``.
 
-        Idempotent for repeated calls at the same instant — that is what
-        lets concurrent queries with identical window configurations
-        share one state (they fire at the same ET instants, in lock-step).
+        Returns the content delta (elements that entered/left).  Idempotent
+        for repeated calls at the same instant — that is what lets
+        concurrent queries with identical window configurations share one
+        state (they fire at the same ET instants, in lock-step; each gets
+        the same cached delta).
         """
         if self.last_advanced is not None and instant == self.last_advanced:
-            return
+            return self.last_delta
         self.last_advanced = instant
         window = self.config.active_window(instant, self.policy)
         if self.policy is ActiveSubstreamPolicy.TRAILING:
@@ -127,7 +144,8 @@ class _WindowState:
                 evict_count += 1
             else:
                 break
-        for element in self.content[:evict_count]:
+        removed = tuple(self.content[:evict_count])
+        for element in removed:
             if self.incremental:
                 self.maintainer.remove(element)
         del self.content[:evict_count]
@@ -138,6 +156,7 @@ class _WindowState:
         if self.next_seq < source.base_seq:
             self.next_seq = source.base_seq
         index = self.next_seq - source.base_seq
+        added: List[StreamElement] = []
         while (
             index < len(source.elements)
             and source.elements[index].instant <= add_until
@@ -146,10 +165,13 @@ class _WindowState:
             if element.instant > keep_after:
                 self.content.append(element)
                 self.content_seqs.append(self.next_seq)
+                added.append(element)
                 if self.incremental:
                     self.maintainer.add(element)
             index += 1
             self.next_seq += 1
+        self.last_delta = WindowDelta(added=tuple(added), removed=removed)
+        return self.last_delta
 
     def fingerprint(self) -> Tuple[int, int]:
         """Identifies the current window content (contiguous seq range)."""
@@ -182,6 +204,12 @@ class RegisteredQuery:
     result: TimeVaryingTable = field(default_factory=TimeVaryingTable)
     evaluations: int = 0
     reused_evaluations: int = 0
+    delta_state: Optional[QueryDeltaState] = None
+    delta_reason: Optional[str] = None  # why the delta path is off
+    delta_evaluations: int = 0  # evaluations served incrementally
+    delta_full_refreshes: int = 0
+    assignments_retained: int = 0
+    assignments_recomputed: int = 0
     done: bool = False
     _last_fingerprint: Optional[Tuple] = None
     _last_table: Optional[Table] = None
@@ -210,6 +238,12 @@ class SeraphEngine:
         evaluation and the query does not reference win_start/win_end
         (Section 6's "avoidable re-executions on equal window contents").
         Semantically transparent; settable to False for the ablation.
+    delta_eval:
+        Evaluate delta-eligible queries incrementally (True, default):
+        retain previous-assignment matches whose footprint avoids the
+        window delta's dirty entities and re-match anchored on the dirty
+        neighbourhood only (:mod:`repro.seraph.delta`).  Semantically
+        transparent; settable to False for the ablation.
     """
 
     def __init__(
@@ -219,12 +253,14 @@ class SeraphEngine:
         static_graph: Optional[PropertyGraph] = None,
         reuse_unchanged_windows: bool = True,
         share_windows: bool = True,
+        delta_eval: bool = True,
     ):
         self.policy = policy
         self.incremental = incremental
         self.static_graph = static_graph
         self.reuse_unchanged_windows = reuse_unchanged_windows
         self.share_windows = share_windows
+        self.delta_eval = delta_eval
         self._streams: Dict[str, _StreamState] = {}
         self._queries: Dict[str, RegisteredQuery] = {}
         self._shared_windows: Dict[Tuple, _WindowState] = {}
@@ -280,6 +316,7 @@ class SeraphEngine:
             if self.share_windows and shared is None:
                 self._shared_windows[share_key] = state
             windows[(stream_name, width)] = state
+        delta_reason = delta_ineligibility(query)
         registered = RegisteredQuery(
             query=query,
             sink=sink if sink is not None else CollectingSink(),
@@ -287,6 +324,8 @@ class SeraphEngine:
             report=ReportState(query.emit.policy) if query.is_continuous else None,
             next_eval=query.starting_at,
             uses_window_bounds=query.references_window_bounds(),
+            delta_state=QueryDeltaState() if delta_reason is None else None,
+            delta_reason=delta_reason,
         )
         registered.warnings = warnings
         self._queries[query.name] = registered
@@ -296,6 +335,7 @@ class SeraphEngine:
         if name not in self._queries:
             raise QueryRegistryError(f"no registered query named {name!r}")
         del self._queries[name]
+        self._evict()
 
     def registered(self, name: str) -> RegisteredQuery:
         if name not in self._queries:
@@ -414,8 +454,10 @@ class SeraphEngine:
     def _evaluate(self, registered: RegisteredQuery) -> Emission:
         query = registered.query
         instant = registered.next_eval
+        deltas: List[Tuple[_WindowState, WindowDelta]] = []
         for (stream_name, _width), state in registered.windows.items():
-            state.advance(self._stream_state(stream_name), instant)
+            delta = state.advance(self._stream_state(stream_name), instant)
+            deltas.append((state, delta))
 
         interval = semantics.reported_interval(query, instant, self.policy)
         fingerprint = tuple(
@@ -432,9 +474,35 @@ class SeraphEngine:
             table = registered._last_table
             registered.reused_evaluations += 1
         else:
-            table = semantics.execute_body(
-                query, self._graph_provider(registered), interval
-            )
+            table = None
+            if (
+                self.delta_eval
+                and registered.delta_state is not None
+                and len(deltas) == 1
+            ):
+                window_state, delta = deltas[0]
+                table, stats = evaluate_delta(
+                    query,
+                    registered.delta_state,
+                    window_state.graph(),
+                    delta,
+                    interval,
+                )
+                if stats.full_refresh:
+                    registered.delta_full_refreshes += 1
+                else:
+                    registered.delta_evaluations += 1
+                registered.assignments_retained += stats.retained
+                registered.assignments_recomputed += stats.recomputed
+            if table is None:
+                if registered.delta_state is not None:
+                    # An eligible query evaluated outside the delta path
+                    # (e.g. delta_eval toggled off): its assignment set
+                    # no longer tracks the window content.
+                    registered.delta_state.invalidate()
+                table = semantics.execute_body(
+                    query, self._graph_provider(registered), interval
+                )
         registered._last_fingerprint = fingerprint
         registered._last_table = table
 
@@ -468,13 +536,16 @@ class SeraphEngine:
         return graph_for
 
     def _evict(self) -> None:
-        """Drop stream elements no future evaluation can reach."""
+        """Drop stream elements no future evaluation can reach, and shared
+        window states no live query reads."""
         horizons: Dict[str, TimeInstant] = {}
         min_seqs: Dict[str, int] = {}
+        live_states = set()
         for registered in self._queries.values():
             if registered.done:
                 continue
             for (stream_name, width), state in registered.windows.items():
+                live_states.add(id(state))
                 horizon = registered.next_eval - width
                 if stream_name not in horizons:
                     horizons[stream_name] = horizon
@@ -484,10 +555,19 @@ class SeraphEngine:
                     min_seqs[stream_name] = min(
                         min_seqs[stream_name], state.next_seq
                     )
-        for stream_name, horizon in horizons.items():
-            self._stream_state(stream_name).evict(
-                horizon, min_seqs[stream_name]
-            )
+        if self._shared_windows:
+            self._shared_windows = {
+                key: state
+                for key, state in self._shared_windows.items()
+                if id(state) in live_states
+            }
+        for stream_name, state in self._streams.items():
+            if stream_name in horizons:
+                state.evict(horizons[stream_name], min_seqs[stream_name])
+            else:
+                # No live query reads this stream: nothing retained here
+                # can ever be evaluated again.
+                state.evict_all()
 
     @property
     def retained_elements(self) -> int:
@@ -501,6 +581,11 @@ class SeraphEngine:
                 name: {
                     "evaluations": registered.evaluations,
                     "reused": registered.reused_evaluations,
+                    "delta": registered.delta_evaluations,
+                    "delta_full_refreshes": registered.delta_full_refreshes,
+                    "delta_reason": registered.delta_reason,
+                    "assignments_retained": registered.assignments_retained,
+                    "assignments_recomputed": registered.assignments_recomputed,
                     "next_eval": registered.next_eval,
                     "done": registered.done,
                     "warnings": [str(w) for w in registered.warnings],
@@ -517,5 +602,6 @@ class SeraphEngine:
             "watermark": self._watermark,
             "policy": self.policy.value,
             "incremental": self.incremental,
+            "delta_eval": self.delta_eval,
             "shared_window_states": len(self._shared_windows),
         }

@@ -50,6 +50,13 @@ def reported_interval(
     return window
 
 
+def terminal_clause(query: SeraphQuery) -> cypher_ast.Return:
+    """The pipeline's terminal projection: RETURN, or EMIT read as one."""
+    if query.final_return is not None:
+        return query.final_return
+    return cypher_ast.Return(items=query.emit.items, star=query.emit.star)
+
+
 def execute_body(
     query: SeraphQuery,
     graph_for: Callable[[str, int], PropertyGraph],
@@ -80,10 +87,7 @@ def execute_body(
             table = evaluator_for(*default_key).apply_clause(clause.match, table)
         else:
             table = evaluator_for(*default_key).apply_clause(clause, table)
-    terminal = query.final_return
-    if terminal is None:
-        terminal = cypher_ast.Return(items=query.emit.items, star=query.emit.star)
-    return evaluator_for(*default_key).apply_clause(terminal, table)
+    return evaluator_for(*default_key).apply_clause(terminal_clause(query), table)
 
 
 StreamsLike = "PropertyGraphStream | Dict[str, PropertyGraphStream]"

@@ -13,7 +13,7 @@ A snapshot graph ``G_τ`` is the union of all graphs in the substream
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from repro.errors import GraphUnionError
 from repro.graph.model import Node, PropertyGraph, Relationship
@@ -48,6 +48,9 @@ class SnapshotMaintainer:
         self._node_contribs: Dict[int, Counter] = {}
         self._rel_contribs: Dict[int, Counter] = {}
         self._dirty = True
+        self._dirty_nodes: Set[int] = set()
+        self._dirty_rels: Set[int] = set()
+        self._has_cache = False
         self._cached: PropertyGraph = PropertyGraph.empty()
 
     # -- mutation ------------------------------------------------------------
@@ -57,10 +60,12 @@ class SnapshotMaintainer:
             self._node_contribs.setdefault(node.id, Counter())[
                 _node_contribution(node)
             ] += 1
+            self._dirty_nodes.add(node.id)
         for rel in element.graph.relationships.values():
             self._rel_contribs.setdefault(rel.id, Counter())[
                 _rel_contribution(rel)
             ] += 1
+            self._dirty_rels.add(rel.id)
         self._dirty = True
 
     def remove(self, element: StreamElement) -> None:
@@ -80,6 +85,7 @@ class SnapshotMaintainer:
                 del contribs[key]
             if not contribs:
                 del self._node_contribs[node.id]
+            self._dirty_nodes.add(node.id)
         for rel in element.graph.relationships.values():
             contribs = self._rel_contribs.get(rel.id)
             if not contribs:
@@ -96,64 +102,111 @@ class SnapshotMaintainer:
                 del contribs[key]
             if not contribs:
                 del self._rel_contribs[rel.id]
+            self._dirty_rels.add(rel.id)
         self._dirty = True
+
+    # -- contribution merging --------------------------------------------------
+
+    def _merge_node(self, node_id: int, contribs: Counter) -> Node:
+        labels = None
+        properties: Dict = {}
+        for (contrib_labels, contrib_props), _count in contribs.items():
+            if labels is None:
+                labels = contrib_labels
+            elif contrib_labels != labels:
+                raise GraphUnionError(
+                    f"node {node_id} has conflicting labels across the window"
+                )
+            for key, value in contrib_props:
+                if key in properties and properties[key] != value:
+                    raise GraphUnionError(
+                        f"node {node_id} has conflicting values for "
+                        f"property {key!r} across the window"
+                    )
+                properties[key] = value
+        return Node(id=node_id, labels=labels, properties=properties)
+
+    def _merge_rel(self, rel_id: int, contribs: Counter) -> Relationship:
+        rel_type = None
+        endpoints = None
+        properties: Dict = {}
+        for (contrib_type, src, trg, contrib_props), _count in contribs.items():
+            if rel_type is None:
+                rel_type, endpoints = contrib_type, (src, trg)
+            elif (contrib_type, (src, trg)) != (rel_type, endpoints):
+                raise GraphUnionError(
+                    f"relationship {rel_id} has conflicting type/endpoints "
+                    "across the window"
+                )
+            for key, value in contrib_props:
+                if key in properties and properties[key] != value:
+                    raise GraphUnionError(
+                        f"relationship {rel_id} has conflicting values for "
+                        f"property {key!r} across the window"
+                    )
+                properties[key] = value
+        return Relationship(
+            id=rel_id,
+            type=rel_type,
+            src=endpoints[0],
+            trg=endpoints[1],
+            properties=properties,
+        )
 
     # -- snapshot construction -----------------------------------------------
 
     def graph(self) -> PropertyGraph:
-        """The current snapshot graph (cached until the next mutation)."""
+        """The current snapshot graph (cached until the next mutation).
+
+        When a cached snapshot exists, only the entities touched since
+        the last build are re-merged and patched in
+        (:meth:`~repro.graph.model.PropertyGraph.patched`) — the
+        per-evaluation maintenance step is O(delta), not O(window).
+        """
         if not self._dirty:
             return self._cached
-        nodes: List[Node] = []
-        for node_id, contribs in self._node_contribs.items():
-            labels = None
-            properties: Dict = {}
-            for (contrib_labels, contrib_props), _count in contribs.items():
-                if labels is None:
-                    labels = contrib_labels
-                elif contrib_labels != labels:
-                    raise GraphUnionError(
-                        f"node {node_id} has conflicting labels across the window"
-                    )
-                for key, value in contrib_props:
-                    if key in properties and properties[key] != value:
-                        raise GraphUnionError(
-                            f"node {node_id} has conflicting values for "
-                            f"property {key!r} across the window"
-                        )
-                    properties[key] = value
-            nodes.append(Node(id=node_id, labels=labels, properties=properties))
-        relationships: List[Relationship] = []
-        for rel_id, contribs in self._rel_contribs.items():
-            rel_type = None
-            endpoints = None
-            properties = {}
-            for (contrib_type, src, trg, contrib_props), _count in contribs.items():
-                if rel_type is None:
-                    rel_type, endpoints = contrib_type, (src, trg)
-                elif (contrib_type, (src, trg)) != (rel_type, endpoints):
-                    raise GraphUnionError(
-                        f"relationship {rel_id} has conflicting type/endpoints "
-                        "across the window"
-                    )
-                for key, value in contrib_props:
-                    if key in properties and properties[key] != value:
-                        raise GraphUnionError(
-                            f"relationship {rel_id} has conflicting values for "
-                            f"property {key!r} across the window"
-                        )
-                    properties[key] = value
-            relationships.append(
-                Relationship(
-                    id=rel_id,
-                    type=rel_type,
-                    src=endpoints[0],
-                    trg=endpoints[1],
-                    properties=properties,
+        touched = len(self._dirty_nodes) + len(self._dirty_rels)
+        live = len(self._node_contribs) + len(self._rel_contribs)
+        if not self._has_cache or 2 * touched >= live:
+            # No base to patch (or most of it changed): build from scratch.
+            nodes = [
+                self._merge_node(node_id, contribs)
+                for node_id, contribs in self._node_contribs.items()
+            ]
+            relationships = [
+                self._merge_rel(rel_id, contribs)
+                for rel_id, contribs in self._rel_contribs.items()
+            ]
+            self._cached = PropertyGraph.of(nodes, relationships)
+        else:
+            self._cached = self._cached.patched(
+                    nodes=[
+                        self._merge_node(node_id, self._node_contribs[node_id])
+                        for node_id in self._dirty_nodes
+                        if node_id in self._node_contribs
+                    ],
+                    relationships=[
+                        self._merge_rel(rel_id, self._rel_contribs[rel_id])
+                        for rel_id in self._dirty_rels
+                        if rel_id in self._rel_contribs
+                    ],
+                    removed_nodes=[
+                        node_id
+                        for node_id in self._dirty_nodes
+                        if node_id not in self._node_contribs
+                        and node_id in self._cached.nodes
+                    ],
+                    removed_rels=[
+                        rel_id
+                        for rel_id in self._dirty_rels
+                        if rel_id not in self._rel_contribs
+                        and rel_id in self._cached.relationships
+                    ],
                 )
-            )
-        self._cached = PropertyGraph.of(nodes, relationships)
+        self._has_cache = True
         self._dirty = False
+        self._dirty_nodes.clear()
+        self._dirty_rels.clear()
         return self._cached
 
     def is_empty(self) -> bool:

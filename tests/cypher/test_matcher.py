@@ -195,6 +195,66 @@ class TestShortestPath:
         )
         assert rows == []  # c is 2 hops away
 
+    @pytest.fixture
+    def chain_with_shortcut(self):
+        """a -R-> b -R-> c -R-> d, plus the direct shortcut a -R-> d."""
+        builder = GraphBuilder()
+        a = builder.add_node(["N"], {"name": "a"}, node_id=1)
+        b = builder.add_node(["N"], {"name": "b"}, node_id=2)
+        c = builder.add_node(["N"], {"name": "c"}, node_id=3)
+        d = builder.add_node(["N"], {"name": "d"}, node_id=4)
+        builder.add_relationship(a, "R", b, rel_id=1)
+        builder.add_relationship(b, "R", c, rel_id=2)
+        builder.add_relationship(c, "R", d, rel_id=3)
+        builder.add_relationship(a, "R", d, rel_id=4)
+        return builder.build()
+
+    def test_lower_bound_beyond_shortest_distance(self, chain_with_shortcut):
+        # Regression: the target is 1 hop away, but the pattern demands at
+        # least 3 — BFS must keep exploring past the early sub-low visit
+        # of the target instead of returning no match.
+        rows = matches(
+            chain_with_shortcut,
+            "p = shortestPath((a {name:'a'})-[:R*3..]->(d {name:'d'}))",
+        )
+        assert len(rows) == 1
+        assert rows[0]["p"].length == 3
+
+    def test_all_shortest_paths_with_lower_bound(self, chain_with_shortcut):
+        rows = matches(
+            chain_with_shortcut,
+            "p = allShortestPaths((a {name:'a'})-[:R*2..]->(d {name:'d'}))",
+        )
+        # Shortest admissible length is 3 (the chain); the 1-hop shortcut
+        # is below the bound and there is no 2-hop walk.
+        assert [row["p"].length for row in rows] == [3]
+
+    def test_lower_bound_with_both_bounds(self, chain_with_shortcut):
+        rows = matches(
+            chain_with_shortcut,
+            "p = shortestPath((a {name:'a'})-[:R*2..3]->(d {name:'d'}))",
+        )
+        assert len(rows) == 1
+        assert rows[0]["p"].length == 3
+
+    def test_lower_bound_cycle_back_to_start(self, triangle):
+        # A cycle a->b->c->a: the start node is its own target at depth 3.
+        rows = matches(
+            triangle,
+            "p = shortestPath((a {name:'a'})-[:R*1..]->(b {name:'a'}))",
+        )
+        assert len(rows) == 1
+        assert rows[0]["p"].length == 3
+
+    def test_lower_bound_still_unreachable(self, chain_with_shortcut):
+        # No walk of length ≥ 5 exists (only 4 relationships, trails
+        # cannot repeat one) — must terminate and return no match.
+        rows = matches(
+            chain_with_shortcut,
+            "p = shortestPath((a {name:'a'})-[:R*5..]->(d {name:'d'}))",
+        )
+        assert rows == []
+
 
 class TestHasMatch:
     def test_pattern_predicate_existence(self, social_graph):

@@ -153,3 +153,104 @@ class TestPath:
         a, b, rel = _pair()
         path = Path((b, a), (rel,))
         assert path.length == 1
+
+
+class TestLabelStats:
+    def _graph(self):
+        return PropertyGraph.of(
+            [
+                Node(id=1, labels=("A", "B")),
+                Node(id=2, labels=("A",)),
+                Node(id=3, labels=()),
+            ]
+        )
+
+    def test_label_count(self):
+        graph = self._graph()
+        assert graph.label_count("A") == 2
+        assert graph.label_count("B") == 1
+        assert graph.label_count("missing") == 0
+
+    def test_label_counts(self):
+        assert self._graph().label_counts() == {"A": 2, "B": 1}
+
+
+class TestPatched:
+    def _base(self):
+        return PropertyGraph.of(
+            [
+                Node(id=1, labels=("A",)),
+                Node(id=2, labels=("B",)),
+                Node(id=3, labels=("A",)),
+            ],
+            [
+                Relationship(id=1, type="R", src=1, trg=2),
+                Relationship(id=2, type="R", src=2, trg=3),
+            ],
+        )
+
+    def test_equals_rebuilt_graph(self):
+        base = self._base()
+        patched = base.patched(
+            nodes=[Node(id=4, labels=("B",)), Node(id=1, labels=("A",),
+                                                   properties={"x": 1})],
+            relationships=[Relationship(id=3, type="S", src=3, trg=4)],
+            removed_rels=[1],
+        )
+        rebuilt = PropertyGraph.of(
+            [
+                Node(id=1, labels=("A",), properties={"x": 1}),
+                Node(id=2, labels=("B",)),
+                Node(id=3, labels=("A",)),
+                Node(id=4, labels=("B",)),
+            ],
+            [
+                Relationship(id=2, type="R", src=2, trg=3),
+                Relationship(id=3, type="S", src=3, trg=4),
+            ],
+        )
+        assert patched == rebuilt
+        assert patched.label_counts() == rebuilt.label_counts()
+        assert sorted(r.id for r in patched.incident(3)) == [2, 3]
+
+    def test_original_graph_unchanged(self):
+        base = self._base()
+        base.patched(removed_rels=[1, 2], removed_nodes=[2])
+        assert set(base.relationships) == {1, 2}
+        assert set(base.nodes) == {1, 2, 3}
+
+    def test_node_removal_updates_label_index(self):
+        base = self._base()
+        patched = base.patched(removed_rels=[1, 2], removed_nodes=[3])
+        assert patched.label_count("A") == 1
+        assert set(patched.nodes) == {1, 2}
+
+    def test_label_change_updates_index(self):
+        base = self._base()
+        patched = base.patched(nodes=[Node(id=1, labels=("B",))])
+        assert patched.label_count("A") == 1
+        assert patched.label_count("B") == 2
+
+    def test_endpoint_change_updates_adjacency(self):
+        base = self._base()
+        patched = base.patched(
+            relationships=[Relationship(id=1, type="R", src=3, trg=2)]
+        )
+        assert [r.id for r in patched.outgoing(1)] == []
+        assert sorted(r.id for r in patched.outgoing(3)) == [1]
+
+    def test_remove_node_with_live_relationship_raises(self):
+        with pytest.raises(GraphConsistencyError):
+            self._base().patched(removed_nodes=[2])
+
+    def test_upsert_rel_with_dangling_endpoint_raises(self):
+        with pytest.raises(GraphConsistencyError):
+            self._base().patched(
+                relationships=[Relationship(id=9, type="R", src=1, trg=99)]
+            )
+
+    def test_remove_unknown_entities_raise(self):
+        with pytest.raises(GraphConsistencyError):
+            self._base().patched(removed_nodes=[42])
+        with pytest.raises(GraphConsistencyError):
+            self._base().patched(removed_rels=[42])

@@ -1,0 +1,274 @@
+"""Unit tests for the delta-driven incremental evaluation layer
+(:mod:`repro.seraph.delta`)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Node, PropertyGraph, Relationship
+from repro.seraph import CollectingSink, SeraphEngine, parse_seraph
+from repro.seraph.delta import (
+    WindowDelta,
+    delta_ineligibility,
+    dirty_neighborhood,
+    pattern_hops,
+)
+from repro.stream.stream import StreamElement
+
+
+def query_of(body):
+    return parse_seraph(
+        "REGISTER QUERY q STARTING AT 1970-01-01T00:00\n{\n"
+        + body
+        + "\n}"
+    )
+
+
+def knows_element(index, instant=None):
+    left = Node(id=2 * index, labels=("Person",), properties=())
+    right = Node(id=2 * index + 1, labels=("Person",), properties=())
+    rel = Relationship(
+        id=index, type="KNOWS", src=left.id, trg=right.id, properties=()
+    )
+    return StreamElement(
+        graph=PropertyGraph.of([left, right], [rel]),
+        instant=instant if instant is not None else index + 1,
+    )
+
+
+class TestEligibility:
+    def test_simple_continuous_match_is_eligible(self):
+        query = query_of(
+            "MATCH (a:Person)-[k:KNOWS]->(b) WITHIN PT10S\n"
+            "EMIT id(a) AS a SNAPSHOT EVERY PT2S"
+        )
+        assert delta_ineligibility(query) is None
+
+    def test_bounded_var_length_is_eligible(self):
+        query = query_of(
+            "MATCH (a)-[:KNOWS*1..3]->(b) WITHIN PT10S\n"
+            "EMIT id(a) AS a, id(b) AS b SNAPSHOT EVERY PT2S"
+        )
+        assert delta_ineligibility(query) is None
+
+    def test_aggregates_are_eligible(self):
+        # Aggregates recompute from the merged assignment set.
+        query = query_of(
+            "MATCH (a)-[r:KNOWS]->(b) WITHIN PT10S\n"
+            "EMIT id(a) AS a, count(r) AS n ON ENTERING EVERY PT2S"
+        )
+        assert delta_ineligibility(query) is None
+
+    @pytest.mark.parametrize(
+        "body, reason_part",
+        [
+            (
+                "MATCH (n) WITHIN PT10S\nRETURN id(n) AS n",
+                "RETURN-terminal",
+            ),
+            (
+                "MATCH (n) WITHIN PT10S\n"
+                "EMIT id(n) AS n, win_start AS s SNAPSHOT EVERY PT2S",
+                "win_start",
+            ),
+            (
+                "MATCH (a)-[]->(b) WITHIN PT10S\n"
+                "MATCH (b)-[]->(c) WITHIN PT10S\n"
+                "EMIT id(a) AS a SNAPSHOT EVERY PT2S",
+                "single MATCH",
+            ),
+            (
+                "OPTIONAL MATCH (a)-[]->(b) WITHIN PT10S\n"
+                "EMIT id(a) AS a SNAPSHOT EVERY PT2S",
+                "OPTIONAL",
+            ),
+            (
+                "MATCH (a)-[]->(b), (c)-[]->(d) WITHIN PT10S\n"
+                "EMIT id(a) AS a SNAPSHOT EVERY PT2S",
+                "multi-path",
+            ),
+            (
+                "MATCH p = shortestPath((a)-[*..3]->(b)) WITHIN PT10S\n"
+                "EMIT id(a) AS a SNAPSHOT EVERY PT2S",
+                "shortestPath",
+            ),
+            (
+                "MATCH (a)-[:KNOWS*2..]->(b) WITHIN PT10S\n"
+                "EMIT id(a) AS a SNAPSHOT EVERY PT2S",
+                "unbounded",
+            ),
+            (
+                "MATCH (a) WITHIN PT10S WHERE (a)-[:KNOWS]->()\n"
+                "EMIT id(a) AS a SNAPSHOT EVERY PT2S",
+                "pattern predicate",
+            ),
+        ],
+    )
+    def test_ineligible_constructs(self, body, reason_part):
+        query = query_of(body)
+        reason = delta_ineligibility(query)
+        assert reason is not None
+        assert reason_part.lower() in reason.lower()
+
+
+class TestDeltaHelpers:
+    def test_window_delta_dirty_entities_and_seeds(self):
+        delta = WindowDelta(
+            added=(knows_element(1),), removed=(knows_element(5),)
+        )
+        dirty = delta.dirty_entities()
+        assert ("n", 2) in dirty and ("n", 3) in dirty
+        assert ("n", 10) in dirty and ("n", 11) in dirty
+        assert ("r", 1) in dirty and ("r", 5) in dirty
+        assert delta.seed_node_ids() == {2, 3, 10, 11}
+
+    def test_empty_delta(self):
+        assert WindowDelta().is_empty
+        assert not WindowDelta(added=(knows_element(1),)).is_empty
+
+    def test_pattern_hops(self):
+        query = query_of(
+            "MATCH (a)-[:A]->(b)-[:B*2..4]->(c) WITHIN PT10S\n"
+            "EMIT id(a) AS a SNAPSHOT EVERY PT2S"
+        )
+        path = query.body[0].match.pattern.paths[0]
+        assert pattern_hops(path) == 5
+
+    def test_dirty_neighborhood_radius(self):
+        builder = GraphBuilder()
+        ids = [builder.add_node([], {}, node_id=i) for i in range(5)]
+        for left, right in zip(ids, ids[1:]):
+            builder.add_relationship(left, "R", right)
+        graph = builder.build()
+        assert dirty_neighborhood(graph, {0}, 0) == {0}
+        assert dirty_neighborhood(graph, {0}, 2) == {0, 1, 2}
+        assert dirty_neighborhood(graph, {2}, 1) == {1, 2, 3}
+        # Seeds absent from the current graph are ignored.
+        assert dirty_neighborhood(graph, {99}, 3) == set()
+
+
+class TestEngineDeltaPath:
+    QUERY = """
+    REGISTER QUERY q STARTING AT 1970-01-01T00:00:00
+    {
+      MATCH (a:Person)-[k:KNOWS]->(b:Person) WITHIN PT10S
+      EMIT id(a) AS src, id(b) AS dst SNAPSHOT EVERY PT2S
+    }
+    """
+
+    def run(self, delta_eval):
+        engine = SeraphEngine(delta_eval=delta_eval)
+        sink = CollectingSink()
+        registered = engine.register(self.QUERY, sink=sink)
+        engine.run_stream([knows_element(i) for i in range(1, 30)], until=30)
+        return registered, sink
+
+    def test_delta_counters_and_transparency(self):
+        with_delta, sink_delta = self.run(True)
+        without, sink_full = self.run(False)
+        assert with_delta.delta_reason is None
+        assert with_delta.delta_evaluations > 0
+        assert with_delta.assignments_retained > 0
+        assert without.delta_evaluations == 0
+        assert len(sink_delta.emissions) == len(sink_full.emissions)
+        for left, right in zip(sink_delta.emissions, sink_full.emissions):
+            assert left.table.bag_equals(right.table)
+
+    def test_status_reports_delta_counters(self):
+        registered, _ = self.run(True)
+        engine_status_keys = {"delta", "delta_full_refreshes", "delta_reason"}
+        engine = SeraphEngine(delta_eval=True)
+        engine.register(self.QUERY, sink=CollectingSink())
+        status = engine.status()
+        assert engine_status_keys <= set(status["queries"]["q"])
+        assert status["delta_eval"] is True
+
+    def test_ineligible_query_falls_back(self):
+        engine = SeraphEngine(delta_eval=True)
+        sink = CollectingSink()
+        registered = engine.register(
+            """
+            REGISTER QUERY sp STARTING AT 1970-01-01T00:00:00
+            {
+              MATCH p = shortestPath((a:Person)-[*..3]->(b:Person)) WITHIN PT10S
+              EMIT id(a) AS a, id(b) AS b SNAPSHOT EVERY PT2S
+            }
+            """,
+            sink=sink,
+        )
+        engine.run_stream([knows_element(i) for i in range(1, 10)], until=10)
+        assert registered.delta_reason is not None
+        assert registered.delta_state is None
+        assert registered.delta_evaluations == 0
+        assert any(not emission.is_empty() for emission in sink.emissions)
+
+    def test_toggling_delta_eval_off_invalidates_state(self):
+        engine = SeraphEngine(delta_eval=True)
+        sink = CollectingSink()
+        registered = engine.register(self.QUERY, sink=sink)
+        elements = [knows_element(i) for i in range(1, 30)]
+        for element in elements[:10]:
+            engine.advance_to(element.instant - 1)
+            engine.ingest_element(element)
+        engine.advance_to(10)
+        assert registered.delta_state.valid
+        engine.delta_eval = False
+        for element in elements[10:20]:
+            engine.advance_to(element.instant - 1)
+            engine.ingest_element(element)
+        engine.advance_to(20)
+        assert not registered.delta_state.valid
+        engine.delta_eval = True
+        for element in elements[20:]:
+            engine.advance_to(element.instant - 1)
+            engine.ingest_element(element)
+        emissions = engine.advance_to(30)
+        assert registered.delta_state.valid
+        # Still bag-equal to the always-full run.
+        _, full_sink = self.run(False)
+        assert len(sink.emissions) == len(full_sink.emissions)
+        for left, right in zip(sink.emissions, full_sink.emissions):
+            assert left.table.bag_equals(right.table)
+
+    def test_checkpoint_roundtrip_preserves_delta_config(self):
+        from repro.runtime.checkpoint import engine_from_json, checkpoint_to_json
+
+        engine = SeraphEngine(delta_eval=False)
+        engine.register(self.QUERY, sink=CollectingSink())
+        restored = engine_from_json(checkpoint_to_json(engine))
+        assert restored.delta_eval is False
+
+    def test_checkpoint_without_delta_key_defaults_on(self):
+        import json
+
+        from repro.runtime.checkpoint import checkpoint_to_json, engine_from_json
+
+        engine = SeraphEngine()
+        engine.register(self.QUERY, sink=CollectingSink())
+        document = json.loads(checkpoint_to_json(engine))
+        del document["config"]["delta_eval"]
+        restored = engine_from_json(json.dumps(document))
+        assert restored.delta_eval is True
+
+
+class TestExplainDeltaLine:
+    def test_eligible(self):
+        from repro.seraph.explain import explain
+
+        text = explain(TestEngineDeltaPath.QUERY)
+        assert "delta eval" in text
+        assert "eligible (incremental re-matching applies)" in text
+
+    def test_ineligible_shows_reason(self):
+        from repro.seraph.explain import explain
+
+        text = explain(
+            """
+            REGISTER QUERY w STARTING AT 1970-01-01T00:00:00
+            {
+              MATCH (n) WITHIN PT10S
+              EMIT id(n) AS n, win_end AS e SNAPSHOT EVERY PT2S
+            }
+            """
+        )
+        assert "full re-evaluation" in text
+        assert "win_start/win_end" in text

@@ -114,3 +114,83 @@ class TestEngineEvictionIntegration:
         for emission in sink.emissions:
             (record,) = list(emission.table)
             assert record["n"] <= 2
+
+
+def graph_element(instant, node_id):
+    from repro.graph.model import Node
+
+    node = Node(id=node_id, labels=("N",), properties=())
+    return StreamElement(graph=PropertyGraph.of([node], []), instant=instant)
+
+
+class TestEvictionAfterQueryLifecycle:
+    """Regression: the engine used to retain stream elements and shared
+    window states forever once every query was done or deregistered."""
+
+    CONTINUOUS = """
+    REGISTER QUERY live STARTING AT 1970-01-01T00:01
+    {
+      MATCH (n) WITHIN PT2M
+      EMIT id(n) AS n SNAPSHOT EVERY PT1M
+    }
+    """
+    ONESHOT = """
+    REGISTER QUERY once STARTING AT 1970-01-01T00:01
+    {
+      MATCH (n) WITHIN PT2M
+      RETURN id(n) AS n
+    }
+    """
+
+    def test_retained_zero_after_oneshot_completes(self):
+        engine = SeraphEngine()
+        engine.register(self.ONESHOT, sink=CollectingSink())
+        elements = [graph_element(30 * step, step) for step in range(1, 8)]
+        emissions = engine.run_stream(elements)
+        assert any(not emission.is_empty() for emission in emissions)
+        assert engine.registered("once").done
+        assert engine.retained_elements == 0
+
+    def test_retained_zero_after_deregister(self):
+        engine = SeraphEngine()
+        engine.register(self.CONTINUOUS, sink=CollectingSink())
+        elements = [graph_element(30 * step, step) for step in range(1, 8)]
+        engine.run_stream(elements)
+        assert engine.retained_elements > 0
+        engine.deregister("live")
+        assert engine.retained_elements == 0
+
+    def test_deregister_prunes_shared_window_states(self):
+        engine = SeraphEngine()
+        engine.register(self.CONTINUOUS, sink=CollectingSink())
+        assert len(engine._shared_windows) == 1
+        engine.deregister("live")
+        assert engine._shared_windows == {}
+
+    def test_done_query_releases_shared_window_state(self):
+        engine = SeraphEngine()
+        engine.register(self.ONESHOT, sink=CollectingSink())
+        elements = [graph_element(30 * step, step) for step in range(1, 8)]
+        engine.run_stream(elements)
+        assert engine.registered("once").done
+        assert engine._shared_windows == {}
+
+    def test_unread_stream_is_fully_evicted(self):
+        """A stream no live query reads holds nothing any future
+        evaluation can reach."""
+        engine = SeraphEngine()
+        engine.register(self.CONTINUOUS, sink=CollectingSink())
+        for step in range(1, 6):
+            engine.ingest_element(graph_element(30 * step, step), "other")
+            engine.ingest_element(graph_element(30 * step, 100 + step))
+        engine.advance_to(150)
+        assert len(engine._streams["other"].elements) == 0
+        assert len(engine._streams["default"].elements) > 0
+
+    def test_live_query_still_pins_its_stream(self):
+        engine = SeraphEngine()
+        engine.register(self.CONTINUOUS, sink=CollectingSink())
+        elements = [graph_element(30 * step, step) for step in range(1, 8)]
+        engine.run_stream(elements)
+        retained = engine.retained_elements
+        assert 0 < retained <= 5
