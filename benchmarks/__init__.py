@@ -1,0 +1,1 @@
+"""Performance benches (pytest-benchmark); see conftest.py."""

@@ -8,9 +8,22 @@ a correctness run.
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
 from repro.usecases.micromobility import figure1_stream, figure2_graph
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_worker_processes():
+    """Every pool a bench starts must be shut down by session end."""
+    yield
+    children = multiprocessing.active_children()
+    assert not children, (
+        f"worker processes leaked by the benchmark session: "
+        f"{[child.pid for child in children]}"
+    )
 
 
 @pytest.fixture(scope="session")

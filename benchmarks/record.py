@@ -1,0 +1,48 @@
+"""Write benchmark result artifacts (``BENCH_*.json``) at the repo root.
+
+Benches that produce paper-style numbers (speedups, latency breakdowns)
+persist them through :func:`record_results`, so a performance run leaves
+a machine-readable artifact next to the tables it reproduces.  The file
+is rewritten whole on every call — results are keyed, so independent
+benches writing to the same artifact merge instead of clobbering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Any, Dict
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def artifact_path(name: str) -> str:
+    """Absolute path of a ``BENCH_<name>.json`` artifact at the repo root."""
+    return os.path.join(_REPO_ROOT, f"BENCH_{name}.json")
+
+
+def record_results(name: str, key: str, results: Dict[str, Any]) -> str:
+    """Merge ``results`` under ``key`` into ``BENCH_<name>.json``.
+
+    Returns the path written.  Existing keys from other benches are
+    preserved; a rerun of the same key replaces its previous entry.
+    """
+    path = artifact_path(name)
+    document: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            document = {}
+    document.setdefault("environment", {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    })
+    document.setdefault("results", {})[key] = results
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -61,6 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "baseline, docs/INCREMENTAL.md)",
     )
     run.add_argument(
+        "--parallel", nargs="?", const=0, type=int, default=None,
+        metavar="N",
+        help="offload expensive evaluations to N worker processes "
+        "(bare --parallel sizes the pool to the CPU count; emissions "
+        "are identical to the serial engine, docs/PARALLEL.md)",
+    )
+    run.add_argument(
         "--resilient", action="store_true",
         help="run behind the fault-tolerant runtime "
         "(poison quarantine, reordering, sink isolation)",
@@ -135,10 +142,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = SeraphEngine(
         policy=_POLICIES[args.policy],
         delta_eval=args.incremental_eval,
+        parallel=args.parallel,
     )
     sink = CollectingSink()
     engine.register(query, sink=sink)
-    engine.run_stream(elements, until=until)
+    try:
+        engine.run_stream(elements, until=until)
+    finally:
+        if args.parallel is not None:
+            engine.close()
+            print(engine.parallel_metrics.render(), file=sys.stderr)
     _print_emissions(args, sink)
     return 0
 
@@ -158,6 +171,7 @@ def _cmd_run_resilient(args: argparse.Namespace) -> int:
             SeraphEngine(
                 policy=_POLICIES[args.policy],
                 delta_eval=args.incremental_eval,
+                parallel=args.parallel,
             ),
             allowed_lateness=args.allowed_lateness,
             poison_policy=poison,
@@ -170,7 +184,13 @@ def _cmd_run_resilient(args: argparse.Namespace) -> int:
     # aborting the whole load.
     items = [line for line in _read(args.stream).splitlines()
              if line.strip()]
-    engine.run_stream(items, until=until)
+    try:
+        engine.run_stream(items, until=until)
+    finally:
+        inner = getattr(engine, "engine", None)
+        if hasattr(inner, "close"):
+            inner.close()
+            print(inner.parallel_metrics.render(), file=sys.stderr)
     sink = engine.sink(query.name)
     _print_emissions(args, sink)
     print(engine.metrics.render(), file=sys.stderr)

@@ -12,7 +12,11 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.cypher import ast
 from repro.cypher.aggregates import compute_aggregate
-from repro.cypher.expressions import ExpressionEvaluator, contains_aggregate
+from repro.cypher.expressions import (
+    ExpressionEvaluator,
+    compile_expression,
+    contains_aggregate,
+)
 from repro.cypher.functions import AGGREGATE_NAMES
 from repro.cypher.matcher import PatternMatcher
 from repro.errors import CypherEvaluationError
@@ -27,6 +31,13 @@ class QueryEvaluator:
     ``base_scope`` provides implicit variables visible to every expression
     even when not projected by WITH — Seraph injects the reserved
     ``win_start``/``win_end`` names through it (Definition 5.6).
+
+    ``compile_cache`` threads a per-query expression-compilation cache
+    (see :func:`repro.cypher.expressions.compile_expression`): the Seraph
+    engine passes one dict per registered query so hot-path expressions
+    are compiled once per query lifetime, not once per snapshot.
+    ``compile_expressions=False`` forces the tree-walking interpreter
+    (the ablation arm; results are identical).
     """
 
     def __init__(
@@ -35,6 +46,8 @@ class QueryEvaluator:
         parameters: Optional[Mapping[str, Any]] = None,
         base_scope: Optional[Mapping[str, Any]] = None,
         optimize: bool = True,
+        compile_cache: Optional[dict] = None,
+        compile_expressions: bool = True,
     ):
         self.graph = graph
         self.base_scope = dict(base_scope or {})
@@ -42,6 +55,22 @@ class QueryEvaluator:
         self.evaluator = ExpressionEvaluator(graph, parameters=parameters)
         self.matcher = PatternMatcher(graph, self.evaluator)
         self.evaluator._pattern_checker = self.matcher.has_match
+        if compile_expressions:
+            self._compile_cache: Optional[dict] = (
+                compile_cache if compile_cache is not None else {}
+            )
+        else:
+            self._compile_cache = None
+
+    def _compiled(self, expression: ast.Expression):
+        """A ``fn(expr_evaluator, scope)`` closure for ``expression``.
+
+        Compiled (and cached per query) on the default path; a thin
+        interpreter shim when expression compilation is disabled.
+        """
+        if self._compile_cache is not None:
+            return compile_expression(expression, self._compile_cache)
+        return lambda ev, scope: ev.evaluate(expression, scope)
 
     # -- public API ------------------------------------------------------------
 
@@ -114,6 +143,9 @@ class QueryEvaluator:
 
             bound = frozenset(self.base_scope) | table.fields
             pattern = plan_pattern(pattern, self.graph, bound)
+        where_fn = (
+            self._compiled(clause.where) if clause.where is not None else None
+        )
         out: List[Record] = []
         for record in table:
             scope = self._scope(record)
@@ -123,9 +155,9 @@ class QueryEvaluator:
                 # as they are; the match only adds the genuinely new names,
                 # so merged.domain == out_fields by construction.
                 merged = record.merged(Record(new_bindings))
-                if clause.where is not None:
-                    verdict = self.evaluator.truth(
-                        clause.where, self._scope(merged)
+                if where_fn is not None:
+                    verdict = Ternary.of(
+                        where_fn(self.evaluator, self._scope(merged))
                     )
                     if verdict is not Ternary.TRUE:
                         continue
@@ -143,9 +175,10 @@ class QueryEvaluator:
 
     def _apply_unwind(self, clause: ast.Unwind, table: Table) -> Table:
         out_fields = set(table.fields) | {clause.alias}
+        source_fn = self._compiled(clause.source)
         out: List[Record] = []
         for record in table:
-            value = self.evaluator.evaluate(clause.source, self._scope(record))
+            value = source_fn(self.evaluator, self._scope(record))
             if value is NULL:
                 continue
             items = value if isinstance(value, list) else [value]
@@ -177,10 +210,11 @@ class QueryEvaluator:
             projected, pair_rows = self._project_plain(table, items, star)
 
         if where is not None:
+            where_fn = self._compiled(where)
             kept = []
             for out_record, in_record in pair_rows:
                 scope = self._order_scope(out_record, in_record)
-                if self.evaluator.truth(where, scope) is Ternary.TRUE:
+                if Ternary.of(where_fn(self.evaluator, scope)) is Ternary.TRUE:
                     kept.append((out_record, in_record))
             pair_rows = kept
 
@@ -217,16 +251,18 @@ class QueryEvaluator:
             names.extend(sorted(table.fields))
         for item in items:
             names.append(item.output_name())
+        item_fns = [
+            (item.output_name(), self._compiled(item.expression))
+            for item in items
+        ]
         pair_rows: List[Tuple[Record, Record]] = []
         for record in table:
             scope = self._scope(record)
             values: Dict[str, Any] = {}
             if star:
                 values.update(record)
-            for item in items:
-                values[item.output_name()] = self.evaluator.evaluate(
-                    item.expression, scope
-                )
+            for name, item_fn in item_fns:
+                values[name] = item_fn(self.evaluator, scope)
             pair_rows.append((Record(values), record))
         return set(names), pair_rows
 
@@ -241,12 +277,11 @@ class QueryEvaluator:
         aggregating = [item for item in items if contains_aggregate(item.expression)]
         names = {item.output_name() for item in items}
 
+        grouping_fns = [self._compiled(item.expression) for item in grouping]
         groups: Dict[Tuple, Dict[str, Any]] = {}
         for record in table:
             scope = self._scope(record)
-            key_values = [
-                self.evaluator.evaluate(item.expression, scope) for item in grouping
-            ]
+            key_values = [fn(self.evaluator, scope) for fn in grouping_fns]
             key = tuple(hashable(value) for value in key_values)
             bucket = groups.setdefault(
                 key, {"values": key_values, "rows": [], "first": record}
@@ -382,10 +417,12 @@ class QueryEvaluator:
     ) -> List[Tuple[Record, Record]]:
         decorated = list(pair_rows)
         for item in reversed(order_by):
-            def sort_key(pair, item=item):
+            item_fn = self._compiled(item.expression)
+
+            def sort_key(pair, item_fn=item_fn):
                 out_record, in_record = pair
                 scope = self._order_scope(out_record, in_record)
-                return order_key(self.evaluator.evaluate(item.expression, scope))
+                return order_key(item_fn(self.evaluator, scope))
 
             decorated.sort(key=sort_key, reverse=item.descending)
         return decorated
@@ -405,16 +442,19 @@ def run_cypher(
     parameters: Optional[Mapping[str, Any]] = None,
     base_scope: Optional[Mapping[str, Any]] = None,
     optimize: bool = True,
+    compile_expressions: bool = True,
 ) -> Table:
     """Parse (if needed) and evaluate a core-Cypher query over a graph.
 
     This is ``output(Q, G)`` of Section 3.2.  ``optimize=False`` disables
-    the pattern planner (the ablation arm; results are identical).
+    the pattern planner, ``compile_expressions=False`` the expression
+    compiler (the ablation arms; results are identical).
     """
     from repro.cypher.parser import parse_cypher
 
     if isinstance(query, str):
         query = parse_cypher(query)
     return QueryEvaluator(
-        graph, parameters=parameters, base_scope=base_scope, optimize=optimize
+        graph, parameters=parameters, base_scope=base_scope, optimize=optimize,
+        compile_expressions=compile_expressions,
     ).run(query)

@@ -8,6 +8,7 @@ predicates and ``startNode``/``endNode``).
 
 from __future__ import annotations
 
+import re
 from typing import Any, Callable, Mapping, Optional
 
 from repro.cypher import ast
@@ -94,6 +95,51 @@ def contains_aggregate(expression: ast.Expression) -> bool:
             parts.extend((when, then))
         return any(contains_aggregate(part) for part in parts if part is not None)
     return False
+
+
+def apply_binary(op: str, left: Any, right: Any) -> Any:
+    """Apply a non-null binary arithmetic/concatenation operator."""
+    if op == "+":
+        if isinstance(left, str) and isinstance(right, str):
+            return left + right
+        if isinstance(left, list) and isinstance(right, list):
+            return left + right
+        if isinstance(left, list):
+            return left + [right]
+        if isinstance(right, list):
+            return [left] + right
+        _require_numbers(op, left, right)
+        return left + right
+    _require_numbers(op, left, right)
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise CypherEvaluationError("division by zero")
+        if isinstance(left, int) and isinstance(right, int):
+            return int(left / right)  # Cypher truncates toward zero
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise CypherEvaluationError("modulo by zero")
+        # Cypher % keeps the dividend's sign (like Java), not Python's.
+        result = abs(left) % abs(right)
+        result = -result if left < 0 else result
+        if isinstance(left, int) and isinstance(right, int):
+            return int(result)
+        return result
+    if op == "^":
+        return float(left) ** float(right)
+    raise CypherEvaluationError(f"unknown operator {op}")
+
+
+def _require_numbers(op: str, left: Any, right: Any) -> None:
+    if not is_numeric(left) or not is_numeric(right):
+        raise CypherTypeError(
+            f"operator {op} expects numbers, got {left!r} and {right!r}"
+        )
 
 
 class ExpressionEvaluator:
@@ -207,41 +253,7 @@ class ExpressionEvaluator:
         right = self.evaluate(node.right, scope)
         if left is NULL or right is NULL:
             return NULL
-        op = node.op
-        if op == "+":
-            if isinstance(left, str) and isinstance(right, str):
-                return left + right
-            if isinstance(left, list) and isinstance(right, list):
-                return left + right
-            if isinstance(left, list):
-                return left + [right]
-            if isinstance(right, list):
-                return [left] + right
-            self._require_numbers(op, left, right)
-            return left + right
-        self._require_numbers(op, left, right)
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                raise CypherEvaluationError("division by zero")
-            if isinstance(left, int) and isinstance(right, int):
-                return int(left / right)  # Cypher truncates toward zero
-            return left / right
-        if op == "%":
-            if right == 0:
-                raise CypherEvaluationError("modulo by zero")
-            # Cypher % keeps the dividend's sign (like Java), not Python's.
-            result = abs(left) % abs(right)
-            result = -result if left < 0 else result
-            if isinstance(left, int) and isinstance(right, int):
-                return int(result)
-            return result
-        if op == "^":
-            return float(left) ** float(right)
-        raise CypherEvaluationError(f"unknown operator {op}")
+        return apply_binary(node.op, left, right)
 
     @staticmethod
     def _require_numbers(op: str, left: Any, right: Any) -> None:
@@ -448,6 +460,268 @@ class ExpressionEvaluator:
                 "pattern predicates are not available in this context"
             )
         return self._pattern_checker(node.pattern, scope)
+
+
+# -- compiled expressions -----------------------------------------------------
+#
+# The interpreter above re-walks the AST for every candidate row.  For
+# per-query hot paths (WHERE predicates, projection items, sort keys) we
+# compile an expression once into a closure ``fn(ev, scope)`` — ``ev`` is
+# the ExpressionEvaluator carrying graph/parameters, so one compiled tree
+# is reusable across evaluation instants and snapshots.  Node kinds with
+# rare or complex semantics fall back to the interpreter; the compiled
+# form is semantically identical by construction (it binds the same
+# helpers the interpreter calls).
+
+CompiledExpr = Callable[["ExpressionEvaluator", Mapping[str, Any]], Any]
+
+#: Cache shape: ``id(ast_node) -> (ast_node, compiled_fn)``.  The strong
+#: reference to the node keeps the id() key from being recycled.
+ExprCache = "dict[int, tuple[ast.Expression, CompiledExpr]]"
+
+
+def compile_expression(
+    node: ast.Expression,
+    cache: Optional[dict] = None,
+) -> CompiledExpr:
+    """Compile ``node`` into a closure ``fn(evaluator, scope)``.
+
+    With a ``cache`` dict, repeated calls for the same AST node return the
+    same closure — callers thread one cache per registered query so each
+    WHERE/projection expression is compiled exactly once per query
+    lifetime instead of re-walked per row.
+    """
+    if cache is not None:
+        hit = cache.get(id(node))
+        if hit is not None and hit[0] is node:
+            return hit[1]
+    fn = _compile(node, cache)
+    if cache is not None:
+        cache[id(node)] = (node, fn)
+    return fn
+
+
+def _compile(node: ast.Expression, cache: Optional[dict]) -> CompiledExpr:
+    if isinstance(node, ast.Literal):
+        value = node.value
+        return lambda ev, scope: value
+
+    if isinstance(node, ast.Variable):
+        name = node.name
+
+        def var_fn(ev, scope, _name=name):
+            try:
+                return scope[_name]
+            except KeyError:
+                raise CypherEvaluationError(f"unknown variable {_name}") from None
+
+        return var_fn
+
+    if isinstance(node, ast.Parameter):
+        name = node.name
+
+        def param_fn(ev, scope, _name=name):
+            if _name not in ev.parameters:
+                raise CypherEvaluationError(f"missing parameter ${_name}")
+            return ev.parameters[_name]
+
+        return param_fn
+
+    if isinstance(node, ast.PropertyAccess):
+        subject_fn = compile_expression(node.subject, cache)
+        key = node.key
+
+        def prop_fn(ev, scope):
+            subject = subject_fn(ev, scope)
+            if subject is NULL:
+                return NULL
+            if isinstance(subject, (Node, Relationship)):
+                return subject.property(key)
+            if isinstance(subject, dict):
+                return subject.get(key, NULL)
+            raise CypherTypeError(
+                f"cannot access property {key!r} on {subject!r}"
+            )
+
+        return prop_fn
+
+    if isinstance(node, ast.Comparison):
+        first_fn = compile_expression(node.first, cache)
+        rest = tuple(
+            (op, compile_expression(operand, cache)) for op, operand in node.rest
+        )
+        compare = ExpressionEvaluator._compare
+
+        def cmp_fn(ev, scope):
+            result = Ternary.TRUE
+            left = first_fn(ev, scope)
+            for op, operand_fn in rest:
+                right = operand_fn(ev, scope)
+                result = and3(result, compare(op, left, right))
+                if result is Ternary.FALSE:
+                    return False
+                left = right
+            return result.to_value()
+
+        return cmp_fn
+
+    if isinstance(node, (ast.And, ast.Or, ast.Xor)):
+        op3 = {ast.And: and3, ast.Or: or3, ast.Xor: xor3}[type(node)]
+        left_fn = compile_expression(node.left, cache)
+        right_fn = compile_expression(node.right, cache)
+
+        def logic_fn(ev, scope):
+            return op3(
+                Ternary.of(left_fn(ev, scope)), Ternary.of(right_fn(ev, scope))
+            ).to_value()
+
+        return logic_fn
+
+    if isinstance(node, ast.Not):
+        operand_fn = compile_expression(node.operand, cache)
+        return lambda ev, scope: not3(Ternary.of(operand_fn(ev, scope))).to_value()
+
+    if isinstance(node, ast.IsNull):
+        operand_fn = compile_expression(node.operand, cache)
+        negated = node.negated
+
+        def isnull_fn(ev, scope):
+            result = operand_fn(ev, scope) is NULL
+            return (not result) if negated else result
+
+        return isnull_fn
+
+    if isinstance(node, ast.InList):
+        item_fn = compile_expression(node.item, cache)
+        container_fn = compile_expression(node.container, cache)
+
+        def inlist_fn(ev, scope):
+            item = item_fn(ev, scope)
+            container = container_fn(ev, scope)
+            if container is NULL:
+                return NULL
+            if not isinstance(container, list):
+                raise CypherTypeError(f"IN expects a list, got {container!r}")
+            saw_unknown = item is NULL and bool(container)
+            for element in container:
+                verdict = cypher_equals(item, element)
+                if verdict is Ternary.TRUE:
+                    return True
+                if verdict is Ternary.UNKNOWN:
+                    saw_unknown = True
+            return NULL if saw_unknown else False
+
+        return inlist_fn
+
+    if isinstance(node, ast.StringPredicate):
+        left_fn = compile_expression(node.left, cache)
+        right_fn = compile_expression(node.right, cache)
+        kind = node.kind
+        if (
+            kind == "=~"
+            and isinstance(node.right, ast.Literal)
+            and isinstance(node.right.value, str)
+        ):
+            # Constant pattern: pay the regex compile once, not per row.
+            pattern = re.compile(node.right.value)
+
+            def regex_fn(ev, scope):
+                left = left_fn(ev, scope)
+                if left is NULL:
+                    return NULL
+                if not isinstance(left, str):
+                    raise CypherTypeError(
+                        f"=~ expects strings, got {left!r} and "
+                        f"{pattern.pattern!r}"
+                    )
+                return pattern.fullmatch(left) is not None
+
+            return regex_fn
+        checks = {
+            "STARTS WITH": lambda l, r: l.startswith(r),
+            "ENDS WITH": lambda l, r: l.endswith(r),
+            "CONTAINS": lambda l, r: r in l,
+            "=~": lambda l, r: re.fullmatch(r, l) is not None,
+        }
+        check = checks.get(kind)
+        if check is None:
+            return lambda ev, scope: ev.evaluate(node, scope)
+
+        def strpred_fn(ev, scope):
+            left = left_fn(ev, scope)
+            right = right_fn(ev, scope)
+            if left is NULL or right is NULL:
+                return NULL
+            if not isinstance(left, str) or not isinstance(right, str):
+                raise CypherTypeError(
+                    f"{kind} expects strings, got {left!r} and {right!r}"
+                )
+            return check(left, right)
+
+        return strpred_fn
+
+    if isinstance(node, ast.BinaryOp):
+        left_fn = compile_expression(node.left, cache)
+        right_fn = compile_expression(node.right, cache)
+        op = node.op
+
+        def binop_fn(ev, scope):
+            left = left_fn(ev, scope)
+            right = right_fn(ev, scope)
+            if left is NULL or right is NULL:
+                return NULL
+            return apply_binary(op, left, right)
+
+        return binop_fn
+
+    if isinstance(node, ast.UnaryOp):
+        operand_fn = compile_expression(node.operand, cache)
+        negate = node.op == "-"
+        op = node.op
+
+        def unary_fn(ev, scope):
+            operand = operand_fn(ev, scope)
+            if operand is NULL:
+                return NULL
+            if not is_numeric(operand):
+                raise CypherTypeError(
+                    f"unary {op} expects a number, got {operand!r}"
+                )
+            return -operand if negate else +operand
+
+        return unary_fn
+
+    if isinstance(node, ast.ListLiteral):
+        item_fns = tuple(compile_expression(item, cache) for item in node.items)
+        return lambda ev, scope: [fn(ev, scope) for fn in item_fns]
+
+    if isinstance(node, ast.FunctionCall) and node.name not in AGGREGATE_NAMES:
+        arg_fns = tuple(compile_expression(arg, cache) for arg in node.args)
+        name = node.name
+        if name in ("startnode", "endnode"):
+            want_src = name == "startnode"
+
+            def endpoint_fn(ev, scope):
+                rel = arg_fns[0](ev, scope)
+                if rel is NULL:
+                    return NULL
+                if not isinstance(rel, Relationship):
+                    raise CypherTypeError(
+                        f"{name}() expects a relationship, got {rel!r}"
+                    )
+                return ev.graph.node(rel.src if want_src else rel.trg)
+
+            return endpoint_fn
+
+        def call_fn(ev, scope):
+            return call_function(name, [fn(ev, scope) for fn in arg_fns])
+
+        return call_fn
+
+    # Everything else (maps, slices, quantifiers, CASE, comprehensions,
+    # pattern predicates, aggregates-in-wrong-place errors) keeps the
+    # interpreter's exact behaviour.
+    return lambda ev, scope: ev.evaluate(node, scope)
 
 
 #: Precomputed expression-type → handler table (see evaluate()).

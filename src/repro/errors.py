@@ -60,6 +60,20 @@ class LateEventError(StreamError):
     """An element arrived later than the configured allowed lateness."""
 
 
+class PartitionError(StreamError):
+    """A partition classifier failed on a stream element.
+
+    Wraps the classifier's own exception (``__cause__``) and keeps the
+    offending ``item`` (stream element or relationship), so fault
+    policies can quarantine exactly the input that broke classification
+    instead of aborting the whole partitioned run.
+    """
+
+    def __init__(self, message: str, item: object = None):
+        super().__init__(message)
+        self.item = item
+
+
 class PoisonMessageError(IngestionError):
     """A stream payload could not be decoded into a valid element."""
 

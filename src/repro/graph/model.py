@@ -73,6 +73,11 @@ class Node:
     def has_label(self, label: str) -> bool:
         return label in self.labels
 
+    def __reduce__(self):
+        # Properties are mappingproxy views (not picklable); rebuild from
+        # plain dicts so nodes can cross process boundaries.
+        return (Node, (self.id, self.labels, dict(self.properties)))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Node) and other.id == self.id
 
@@ -109,6 +114,12 @@ class Relationship:
             return self.src
         raise GraphConsistencyError(
             f"node {node_id} is not an endpoint of relationship {self.id}"
+        )
+
+    def __reduce__(self):
+        return (
+            Relationship,
+            (self.id, self.type, self.src, self.trg, dict(self.properties)),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -403,8 +414,23 @@ class PropertyGraph:
     def __hash__(self) -> int:
         return hash((frozenset(self.nodes), frozenset(self.relationships)))
 
+    def __reduce__(self):
+        # mappingproxy fields are not picklable; rebuild (and re-index)
+        # from the element collections on the receiving side.
+        return (
+            _rebuild_graph,
+            (tuple(self.nodes.values()), tuple(self.relationships.values())),
+        )
+
     def __repr__(self) -> str:
         return f"PropertyGraph(order={self.order}, size={self.size})"
+
+
+def _rebuild_graph(
+    nodes: Tuple[Node, ...], relationships: Tuple[Relationship, ...]
+) -> "PropertyGraph":
+    """Unpickle target for :meth:`PropertyGraph.__reduce__`."""
+    return PropertyGraph.of(nodes, relationships)
 
 
 _EMPTY_GRAPH = PropertyGraph.of()

@@ -67,6 +67,64 @@ class ResilienceMetrics:
         )
 
 
+@dataclass
+class ParallelMetrics:
+    """Counters surfaced by the parallel execution layer.
+
+    One instance is owned by a
+    :class:`repro.runtime.parallel.ParallelEngine` (and by each
+    :class:`repro.runtime.parallel.ShardedEngine` replica set); it
+    answers "did parallelism fire, and what did the workers do?".
+    """
+
+    batches: int = 0                 # advance_to passes with ≥1 due query
+    offloaded_groups: int = 0        # window-signature groups sent to workers
+    offloaded_evaluations: int = 0   # evaluations computed in a worker
+    inline_evaluations: int = 0      # full evaluations computed in-parent
+    scheduler_serial: int = 0        # scheduler verdicts: stay serial
+    scheduler_parallel: int = 0      # scheduler verdicts: offload
+    max_queue_depth: int = 0         # most in-flight worker tasks at once
+    worker_seconds: Dict[int, float] = field(default_factory=dict)
+    worker_tasks: Dict[int, int] = field(default_factory=dict)
+
+    def observe_task(self, worker_id: int, seconds: float) -> None:
+        """Record one completed worker task (keyed by worker pid)."""
+        self.worker_seconds[worker_id] = (
+            self.worker_seconds.get(worker_id, 0.0) + seconds
+        )
+        self.worker_tasks[worker_id] = self.worker_tasks.get(worker_id, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "batches": self.batches,
+            "offloaded_groups": self.offloaded_groups,
+            "offloaded_evaluations": self.offloaded_evaluations,
+            "inline_evaluations": self.inline_evaluations,
+            "scheduler_serial": self.scheduler_serial,
+            "scheduler_parallel": self.scheduler_parallel,
+            "max_queue_depth": self.max_queue_depth,
+            "workers": {
+                str(worker_id): {
+                    "tasks": self.worker_tasks.get(worker_id, 0),
+                    "busy_seconds": round(seconds, 6),
+                }
+                for worker_id, seconds in sorted(self.worker_seconds.items())
+            },
+        }
+
+    def render(self) -> str:
+        """One-line human summary."""
+        return (
+            f"parallel: {self.offloaded_evaluations} offloaded "
+            f"({self.offloaded_groups} groups) / "
+            f"{self.inline_evaluations} inline over {self.batches} batches; "
+            f"scheduler {self.scheduler_parallel} parallel / "
+            f"{self.scheduler_serial} serial; "
+            f"{len(self.worker_tasks)} workers, "
+            f"peak queue depth {self.max_queue_depth}"
+        )
+
+
 @dataclass(frozen=True)
 class EvaluationSample:
     """One evaluation's measurements."""

@@ -35,6 +35,13 @@ from repro.runtime.faults import (
     InjectedSinkFailure,
 )
 from repro.runtime.guard import GuardedIngestionPipeline, message_from_payload
+from repro.runtime.parallel import (
+    ParallelEngine,
+    ShardedEngine,
+    dead_letter_partition_handler,
+    merge_emissions,
+    run_partitioned,
+)
 from repro.runtime.policies import FaultPolicy
 from repro.runtime.reorder import ReorderBuffer
 from repro.runtime.resilient_sink import (
@@ -53,11 +60,16 @@ __all__ = [
     "FlakySource",
     "GuardedIngestionPipeline",
     "InjectedSinkFailure",
+    "ParallelEngine",
     "ReorderBuffer",
     "ResilientEngine",
     "ResilientSink",
     "RetryPolicy",
+    "ShardedEngine",
+    "dead_letter_partition_handler",
     "decode_item",
+    "merge_emissions",
+    "run_partitioned",
     "engine_from_dict",
     "engine_from_json",
     "engine_to_dict",

@@ -138,6 +138,8 @@ def engine_to_dict(engine: SeraphEngine) -> Dict[str, Any]:
                 graph_to_dict(engine.static_graph)
                 if engine.static_graph is not None else None
             ),
+            # Set for ParallelEngine instances; None restores serial.
+            "parallel_workers": getattr(engine, "workers", None),
         },
         "watermark": engine._watermark,
         "streams": {
@@ -197,6 +199,8 @@ def engine_from_dict(
             share_windows=config["share_windows"],
             # Absent in version-1 documents written before the delta path.
             delta_eval=config.get("delta_eval", True),
+            # Non-None restores a ParallelEngine with that worker count.
+            parallel=config.get("parallel_workers"),
         )
         for name, stream_data in data["streams"].items():
             state = engine._stream_state(name)

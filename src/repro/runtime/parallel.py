@@ -1,0 +1,681 @@
+"""Parallel sharded execution: process-pool workers behind the engine.
+
+Seraph's Section 6 defers "optimizations regarding concurrent queries";
+future-work item (ii) sketches logical sub-streams.  This module turns
+both hooks into wall-clock speedup without changing a single emitted
+byte, along two independent axes:
+
+* **query-level parallelism** — :class:`ParallelEngine` (a
+  :class:`~repro.seraph.engine.SeraphEngine` subclass).  At each
+  evaluation pass it advances windows serially, then groups the due
+  *full* evaluations by their shared-window signature, ships each
+  group's pickled snapshot graphs to a worker process once, and computes
+  the group's tables there.  Window maintenance, the reuse memo, the
+  delta path, report policies, and sink delivery all stay in the parent,
+  applied in the exact serial firing order — emissions are byte-identical
+  to the serial engine (docs/PARALLEL.md gives the determinism argument).
+
+* **partition-level parallelism** — :class:`ShardedEngine` /
+  :func:`run_partitioned`.  A stream is routed through
+  :func:`repro.stream.partition.partition_elements` into logical
+  sub-streams, sub-streams are assigned to N shards (first-seen order,
+  round-robin), each shard runs a full engine replica over its share —
+  in worker processes when ``workers > 1`` — and per-shard emissions are
+  recombined by :func:`merge_emissions` (same (instant, query) tables
+  bag-united in shard order).  Shard runs carry their replica state
+  through :mod:`repro.runtime.checkpoint` documents, so the whole thing
+  checkpoints/restores like any other engine.
+
+A cost-model scheduler (:func:`repro.cypher.planner.pattern_cost`)
+decides serial vs. parallel per evaluation: small snapshots never pay
+the IPC tax.  :class:`repro.metrics.ParallelMetrics` counts what
+happened.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cypher.planner import pattern_cost
+from repro.errors import CheckpointError, EngineError, PartitionError
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.graph.table import Table
+from repro.graph.temporal import TimeInstant
+from repro.metrics import ParallelMetrics
+from repro.runtime.deadletter import DeadLetterQueue
+from repro.seraph import semantics
+from repro.seraph.engine import SeraphEngine, _PendingEvaluation
+from repro.seraph.ast import SeraphMatch
+from repro.seraph.parser import parse_seraph
+from repro.seraph.sinks import Emission
+from repro.stream.partition import partition_elements
+from repro.stream.stream import StreamElement
+from repro.stream.timeline import TimeInterval
+from repro.stream.tvt import WIN_END, WIN_START, TimeAnnotatedTable
+from repro.stream.window import ActiveSubstreamPolicy
+
+#: Estimated matching cost (see :func:`pattern_cost`) above which one
+#: evaluation is worth a round-trip to a worker process.  Calibrated so
+#: the unit-test graphs (tens of nodes, fixed-length patterns) stay
+#: serial while variable-length/shortestPath workloads offload.
+DEFAULT_OFFLOAD_THRESHOLD = 5_000.0
+
+# -- worker-side tasks --------------------------------------------------------
+#
+# Worker payloads carry query *text* (not ASTs): each worker keeps a
+# parse cache and a compiled-expression cache keyed by text, so repeated
+# evaluations of the same query reuse the same AST and compiled closures
+# across tasks (AST node identity is the expression-cache key).
+
+_PARSE_CACHE: Dict[str, object] = {}
+_EXPR_CACHES: Dict[str, dict] = {}
+
+
+def _parse_cached(text: str):
+    query = _PARSE_CACHE.get(text)
+    if query is None:
+        query = parse_seraph(text)
+        _PARSE_CACHE[text] = query
+    return query
+
+
+def _worker_evaluate_group(payload) -> Tuple[int, float, List[Table]]:
+    """Evaluate one shared-window group of full evaluations.
+
+    ``payload`` is ``(graphs, tasks)`` where ``graphs`` maps
+    ``(stream, width)`` to the group's snapshot graphs (pickled once per
+    group) and each task is ``(query_text, interval_start, interval_end)``.
+    Pure: reads the snapshots, returns the output tables.
+    """
+    graphs, tasks = payload
+    started = time.perf_counter()
+    tables: List[Table] = []
+    for text, lo, hi in tasks:
+        query = _parse_cached(text)
+        tables.append(
+            semantics.execute_body(
+                query,
+                lambda stream, width: graphs[(stream, width)],
+                TimeInterval(lo, hi),
+                expr_cache=_EXPR_CACHES.setdefault(text, {}),
+            )
+        )
+    return os.getpid(), time.perf_counter() - started, tables
+
+
+def _worker_run_shard(payload):
+    """Run one shard replica over its sub-stream slice.
+
+    ``payload`` is ``(state, query_texts, options, elements, until)``;
+    ``state`` is a prior checkpoint document (or None for a fresh
+    replica).  Returns the emissions plus the replica's new checkpoint
+    document so the parent stays the single source of shard state.
+    """
+    from repro.runtime.checkpoint import engine_from_dict, engine_to_dict
+
+    state, query_texts, options, elements, until = payload
+    started = time.perf_counter()
+    if state is not None:
+        engine = engine_from_dict(state)
+    else:
+        engine = SeraphEngine(**options)
+        for text in query_texts:
+            engine.register(text, validate=False)
+    emissions = engine.run_stream(elements, until=until)
+    return (
+        os.getpid(),
+        time.perf_counter() - started,
+        emissions,
+        engine_to_dict(engine),
+    )
+
+
+# -- query-level parallelism ---------------------------------------------------
+
+class ParallelEngine(SeraphEngine):
+    """A SeraphEngine that offloads full evaluations to worker processes.
+
+    Construct directly, or via ``SeraphEngine(parallel=N)``.  ``workers``
+    (alias ``parallel``) sizes the process pool; ``0`` means
+    ``os.cpu_count()``.  The pool is created lazily on the first offload
+    and released by :meth:`close` (the engine is also a context
+    manager); ``pool`` injects an externally managed executor instead —
+    the engine then never shuts it down.
+
+    Emissions are byte-identical to the serial engine: only the pure
+    snapshot evaluation (:func:`repro.seraph.semantics.execute_body`)
+    moves to a worker, and results are applied in serial firing order.
+    """
+
+    def __init__(
+        self,
+        *args,
+        parallel: Optional[int] = None,
+        workers: Optional[int] = None,
+        pool: Optional[ProcessPoolExecutor] = None,
+        offload_threshold: float = DEFAULT_OFFLOAD_THRESHOLD,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        resolved = workers if workers is not None else parallel
+        if resolved is None or resolved <= 0:
+            resolved = os.cpu_count() or 1
+        self.workers = int(resolved)
+        self.offload_threshold = float(offload_threshold)
+        self.parallel_metrics = ParallelMetrics()
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for injected pools)."""
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown(wait=True)
+        if self._owns_pool:
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation loop -----------------------------------------------------
+
+    def advance_to(self, instant: TimeInstant) -> List[Emission]:
+        """Serial-identical firing, batched computation.
+
+        Each pass collects the same due set, in the same order, as the
+        serial loop; window advancement and emission delivery stay
+        serial, only the pure table computations fan out.
+        """
+        emissions: List[Emission] = []
+        while True:
+            due = [
+                registered
+                for registered in self._queries.values()
+                if not registered.done and registered.next_eval <= instant
+            ]
+            if not due:
+                break
+            due.sort(key=lambda registered: registered.next_eval)
+            self.parallel_metrics.batches += 1
+            pendings = [
+                self._begin_evaluation(registered) for registered in due
+            ]
+            tables = self._compute_batch(pendings)
+            for pending, table in zip(pendings, tables):
+                emissions.append(self._finish_evaluation(pending, table))
+        self._evict()
+        return emissions
+
+    def _compute_batch(
+        self, pendings: List[_PendingEvaluation]
+    ) -> List[Table]:
+        """Compute one pass's tables, offloading where it pays off."""
+        tables: List[Optional[Table]] = [None] * len(pendings)
+        graph_cache: Dict[int, object] = {}
+        offload: List[int] = []
+        for index, pending in enumerate(pendings):
+            if not self._needs_full_evaluation(pending):
+                # Reuse memo / delta path: cheap and stateful — in-parent.
+                tables[index] = self._compute_table(pending)
+            elif self._should_offload(pending, graph_cache):
+                self.parallel_metrics.scheduler_parallel += 1
+                offload.append(index)
+            else:
+                self.parallel_metrics.scheduler_serial += 1
+                tables[index] = self._compute_table(pending)
+                self.parallel_metrics.inline_evaluations += 1
+        if offload:
+            self._offload(pendings, offload, graph_cache, tables)
+        return tables  # type: ignore[return-value]
+
+    def _should_offload(
+        self, pending: _PendingEvaluation, graph_cache: Dict[int, object]
+    ) -> bool:
+        """Cost-model verdict: is this evaluation worth the IPC tax?"""
+        return self._estimated_cost(pending, graph_cache) \
+            >= self.offload_threshold
+
+    def _estimated_cost(
+        self, pending: _PendingEvaluation, graph_cache: Dict[int, object]
+    ) -> float:
+        bound = frozenset((WIN_START, WIN_END))
+        total = 0.0
+        for clause in pending.registered.query.body:
+            if not isinstance(clause, SeraphMatch):
+                continue
+            state = pending.registered.windows.get(
+                (clause.stream_name, clause.within)
+            )
+            if state is None:
+                continue
+            graph = self._batch_graph(state, graph_cache)
+            total += pattern_cost(clause.match.pattern, graph, bound)
+        return total
+
+    @staticmethod
+    def _batch_graph(state, graph_cache: Dict[int, object]):
+        """One snapshot per window state per pass (advance is done)."""
+        graph = graph_cache.get(id(state))
+        if graph is None:
+            graph = state.graph()
+            graph_cache[id(state)] = graph
+        return graph
+
+    def _offload(
+        self,
+        pendings: List[_PendingEvaluation],
+        offload: List[int],
+        graph_cache: Dict[int, object],
+        tables: List[Optional[Table]],
+    ) -> None:
+        """Ship offloaded evaluations to the pool, grouped by signature.
+
+        Queries sharing the same window states (and instant) land in one
+        task, so each group's snapshots are pickled exactly once.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        for index in offload:
+            pending = pendings[index]
+            signature = (
+                tuple(
+                    sorted(
+                        (key, id(state))
+                        for key, state in pending.registered.windows.items()
+                    )
+                ),
+                pending.instant,
+            )
+            groups.setdefault(signature, []).append(index)
+        pool = self._ensure_pool()
+        futures: List[Tuple[Future, List[int]]] = []
+        for indices in groups.values():
+            first = pendings[indices[0]]
+            graphs = {
+                key: self._batch_graph(state, graph_cache)
+                for key, state in first.registered.windows.items()
+            }
+            tasks = [
+                (
+                    pendings[i].registered.query.render(),
+                    pendings[i].interval.start,
+                    pendings[i].interval.end,
+                )
+                for i in indices
+            ]
+            futures.append(
+                (pool.submit(_worker_evaluate_group, (graphs, tasks)), indices)
+            )
+            self.parallel_metrics.offloaded_groups += 1
+        self.parallel_metrics.max_queue_depth = max(
+            self.parallel_metrics.max_queue_depth, len(futures)
+        )
+        for future, indices in futures:
+            worker_pid, elapsed, group_tables = future.result()
+            self.parallel_metrics.observe_task(worker_pid, elapsed)
+            for i, table in zip(indices, group_tables):
+                registered = pendings[i].registered
+                if registered.delta_state is not None:
+                    # Same bookkeeping the serial full path performs: an
+                    # eligible query evaluated outside the delta path no
+                    # longer tracks the window content.
+                    registered.delta_state.invalidate()
+                tables[i] = table
+                self.parallel_metrics.offloaded_evaluations += 1
+
+    def status(self) -> Dict[str, object]:
+        info = super().status()
+        info["parallel"] = dict(
+            self.parallel_metrics.as_dict(), workers=self.workers
+        )
+        return info
+
+
+# -- partition-level parallelism -----------------------------------------------
+
+def dead_letter_partition_handler(
+    dead_letters: DeadLetterQueue,
+) -> Callable[[StreamElement, PartitionError], None]:
+    """An ``on_error`` callback routing classifier failures to a DLQ."""
+
+    def handle(element: StreamElement, error: PartitionError) -> None:
+        dead_letters.append(
+            element,
+            reason=str(error),
+            error=error.__cause__ if error.__cause__ is not None else error,
+            instant=element.instant,
+        )
+
+    return handle
+
+
+def merge_emissions(
+    per_shard: List[List[Emission]], query_order: List[str]
+) -> List[Emission]:
+    """K-way merge of per-shard emission streams.
+
+    Emissions are ordered by (evaluation instant, query registration
+    order); the same (instant, query) fired on several shards merges into
+    one emission whose table is the bag union of the shard tables, taken
+    in shard order.  The result is deterministic for any shard count —
+    ``merge_emissions([e], ...)`` is the identity on a single shard.
+    """
+    rank = {name: position for position, name in enumerate(query_order)}
+    buckets: Dict[Tuple[TimeInstant, int], List[Emission]] = {}
+    for emissions in per_shard:  # shard order → deterministic union order
+        for emission in emissions:
+            if emission.query_name not in rank:
+                raise EngineError(
+                    f"emission from unregistered query "
+                    f"{emission.query_name!r}"
+                )
+            key = (emission.instant, rank[emission.query_name])
+            buckets.setdefault(key, []).append(emission)
+    merged: List[Emission] = []
+    for (instant, position) in sorted(buckets):
+        entries = buckets[(instant, position)]
+        table = entries[0].table.table
+        for emission in entries[1:]:
+            table = table.bag_union(emission.table.table)
+        merged.append(
+            Emission(
+                query_name=query_order[position],
+                instant=instant,
+                table=TimeAnnotatedTable(
+                    table=table, interval=entries[0].table.interval
+                ),
+            )
+        )
+    return merged
+
+
+SHARDED_CHECKPOINT_VERSION = 1
+
+
+class ShardedEngine:
+    """N engine replicas over logical sub-streams of one input stream.
+
+    ``classify`` routes each element to a logical sub-stream name
+    (:func:`repro.stream.partition.partition_elements`); sub-streams are
+    assigned to ``shards`` shards in first-seen round-robin order, and
+    each shard runs a full :class:`SeraphEngine` replica with every
+    query registered.  ``workers > 1`` runs shard slices in a process
+    pool; ``workers=1`` runs them in-process — the merged emissions are
+    identical either way (:func:`merge_emissions` defines the order).
+
+    The sharded run equals a single-engine run over the union stream
+    exactly when the workload decomposes along the classifier — no
+    pattern match spans two sub-streams (e.g. per-tenant components).
+    That is the deployment the paper's future-work item (ii) describes;
+    the classifier choice is the operator's correctness obligation.
+
+    Classifier failures follow the runtime's dead-letter policy: with a
+    ``dead_letters`` queue the offending element is quarantined and the
+    run continues; without one the wrapped :class:`PartitionError`
+    propagates (fail-fast).
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[str],
+        classify: Callable[[StreamElement], str],
+        shards: int = 2,
+        workers: int = 1,
+        engine_options: Optional[dict] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        pool: Optional[ProcessPoolExecutor] = None,
+    ):
+        if shards <= 0:
+            raise EngineError("shards must be positive")
+        self.queries = [
+            query if isinstance(query, str) else query.render()
+            for query in queries
+        ]
+        self.classify = classify
+        self.shards = int(shards)
+        self.workers = int(workers)
+        self.engine_options = dict(engine_options or {})
+        self.dead_letters = dead_letters
+        self.parallel_metrics = ParallelMetrics()
+        self._pool = pool
+        self._owns_pool = pool is None
+        #: logical sub-stream name → shard id, in first-seen order.
+        self.assignment: Dict[str, int] = {}
+        self._shard_states: List[Optional[dict]] = [None] * self.shards
+        self._query_order = [
+            parse_seraph(text).name for text in self.queries
+        ]
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, self.shards)
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown(wait=True)
+        if self._owns_pool:
+            self._pool = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing -------------------------------------------------------------
+
+    def _shard_of(self, partition: str) -> int:
+        shard = self.assignment.get(partition)
+        if shard is None:
+            shard = len(self.assignment) % self.shards
+            self.assignment[partition] = shard
+        return shard
+
+    def _route(
+        self, elements: Iterable[StreamElement]
+    ) -> List[List[StreamElement]]:
+        """Partition, assign, and merge back into one slice per shard.
+
+        Within a shard, elements are ordered by (instant, partition
+        assignment order) — a deterministic interleaving that keeps each
+        sub-stream's arrival order intact.
+        """
+        on_error = (
+            dead_letter_partition_handler(self.dead_letters)
+            if self.dead_letters is not None else None
+        )
+        partitions = partition_elements(
+            elements, self.classify, on_error=on_error
+        )
+        slices: List[List[Tuple[int, int, StreamElement]]] = [
+            [] for _ in range(self.shards)
+        ]
+        for order, (partition, routed) in enumerate(partitions.items()):
+            shard = self._shard_of(partition)
+            for element in routed:
+                slices[shard].append((element.instant, order, element))
+        out: List[List[StreamElement]] = []
+        for slice_entries in slices:
+            slice_entries.sort(key=lambda entry: (entry[0], entry[1]))
+            out.append([element for _i, _o, element in slice_entries])
+        return out
+
+    # -- running -------------------------------------------------------------
+
+    def run(
+        self,
+        elements: Iterable[StreamElement],
+        until: Optional[TimeInstant] = None,
+    ) -> List[Emission]:
+        """Route a (finite) stream through the shard replicas and merge.
+
+        Callable repeatedly: replica state persists across calls (via
+        checkpoint documents when running in workers)."""
+        slices = self._route(elements)
+        if until is None:
+            instants = [
+                slice_elements[-1].instant
+                for slice_elements in slices if slice_elements
+            ]
+            until = max(instants) if instants else None
+        self.parallel_metrics.batches += 1
+        if self.workers > 1:
+            per_shard = self._run_in_workers(slices, until)
+        else:
+            per_shard = self._run_inline(slices, until)
+        return merge_emissions(per_shard, self._query_order)
+
+    def _payload(self, shard: int, slice_elements, until):
+        return (
+            self._shard_states[shard],
+            self.queries,
+            self.engine_options,
+            slice_elements,
+            until,
+        )
+
+    def _run_inline(self, slices, until) -> List[List[Emission]]:
+        per_shard: List[List[Emission]] = []
+        for shard, slice_elements in enumerate(slices):
+            _pid, elapsed, emissions, state = _worker_run_shard(
+                self._payload(shard, slice_elements, until)
+            )
+            self.parallel_metrics.inline_evaluations += len(emissions)
+            self.parallel_metrics.observe_task(shard, elapsed)
+            self._shard_states[shard] = state
+            per_shard.append(emissions)
+        return per_shard
+
+    def _run_in_workers(self, slices, until) -> List[List[Emission]]:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _worker_run_shard, self._payload(shard, slice_elements, until)
+            )
+            for shard, slice_elements in enumerate(slices)
+        ]
+        self.parallel_metrics.max_queue_depth = max(
+            self.parallel_metrics.max_queue_depth, len(futures)
+        )
+        per_shard: List[List[Emission]] = []
+        for shard, future in enumerate(futures):
+            worker_pid, elapsed, emissions, state = future.result()
+            self.parallel_metrics.observe_task(worker_pid, elapsed)
+            self.parallel_metrics.offloaded_evaluations += len(emissions)
+            self.parallel_metrics.offloaded_groups += 1
+            self._shard_states[shard] = state
+            per_shard.append(emissions)
+        return per_shard
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe checkpoint: shard assignment + per-replica state.
+
+        The classifier is code, not data — restoring requires passing
+        the same ``classify`` to :meth:`from_dict`.
+        """
+        options = dict(self.engine_options)
+        policy = options.get("policy")
+        if isinstance(policy, ActiveSubstreamPolicy):
+            options["policy"] = policy.name
+        static = options.get("static_graph")
+        if static is not None:
+            options["static_graph"] = graph_to_dict(static)
+        return {
+            "version": SHARDED_CHECKPOINT_VERSION,
+            "shards": self.shards,
+            "workers": self.workers,
+            "queries": list(self.queries),
+            "engine_options": options,
+            "assignment": dict(self.assignment),
+            "shard_states": list(self._shard_states),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: dict,
+        classify: Callable[[StreamElement], str],
+        dead_letters: Optional[DeadLetterQueue] = None,
+        workers: Optional[int] = None,
+    ) -> "ShardedEngine":
+        try:
+            version = data["version"]
+            if version != SHARDED_CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"unsupported sharded checkpoint version {version!r}"
+                )
+            options = dict(data["engine_options"])
+            if isinstance(options.get("policy"), str):
+                options["policy"] = ActiveSubstreamPolicy[options["policy"]]
+            if options.get("static_graph") is not None:
+                options["static_graph"] = graph_from_dict(
+                    options["static_graph"]
+                )
+            engine = cls(
+                queries=data["queries"],
+                classify=classify,
+                shards=int(data["shards"]),
+                workers=int(workers if workers is not None
+                            else data["workers"]),
+                engine_options=options,
+                dead_letters=dead_letters,
+            )
+            engine.assignment = {
+                name: int(shard)
+                for name, shard in data["assignment"].items()
+            }
+            states = list(data["shard_states"])
+            if len(states) != engine.shards:
+                raise CheckpointError(
+                    "shard state count does not match shard count"
+                )
+            engine._shard_states = states
+            return engine
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed sharded checkpoint document: {exc!r}"
+            ) from exc
+
+
+def run_partitioned(
+    queries: Iterable[str],
+    elements: Iterable[StreamElement],
+    classify: Callable[[StreamElement], str],
+    shards: int = 2,
+    workers: int = 1,
+    until: Optional[TimeInstant] = None,
+    engine_options: Optional[dict] = None,
+    dead_letters: Optional[DeadLetterQueue] = None,
+) -> List[Emission]:
+    """One-shot partition-parallel run (the future-work item ii entry
+    point): route ``elements`` into logical sub-streams, evaluate every
+    query on each shard, and k-way-merge the emissions."""
+    with ShardedEngine(
+        queries=queries,
+        classify=classify,
+        shards=shards,
+        workers=workers,
+        engine_options=engine_options,
+        dead_letters=dead_letters,
+    ) as engine:
+        return engine.run(elements, until=until)

@@ -53,7 +53,7 @@ from repro.stream.timeline import TimeInterval
 from repro.stream.tvt import WIN_END, WIN_START
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowDelta:
     """What one window advance changed: elements in, elements out."""
 
@@ -90,7 +90,7 @@ class WindowDelta:
         return seeds
 
 
-@dataclass
+@dataclass(slots=True)
 class DeltaStats:
     """Outcome of one :func:`evaluate_delta` call."""
 
@@ -99,7 +99,7 @@ class DeltaStats:
     recomputed: int
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryDeltaState:
     """The previous assignment set of one delta-eligible query.
 
@@ -213,6 +213,7 @@ def evaluate_delta(
     graph: PropertyGraph,
     delta: WindowDelta,
     interval: TimeInterval,
+    expr_cache: Optional[dict] = None,
 ) -> Tuple[Table, DeltaStats]:
     """One evaluation through the incremental path.
 
@@ -221,11 +222,16 @@ def evaluate_delta(
     guarantees :func:`delta_ineligibility` returned None for ``query``.
     """
     base_scope = {WIN_START: interval.start, WIN_END: interval.end}
-    evaluator = QueryEvaluator(graph, base_scope=base_scope)
+    evaluator = QueryEvaluator(graph, base_scope=base_scope,
+                               compile_cache=expr_cache)
     clause = query.body[0].match
     out_fields = frozenset(clause.pattern.free_variables())
     pattern = plan_pattern(
         clause.pattern, graph, frozenset(base_scope)
+    )
+
+    where_fn = (
+        evaluator._compiled(clause.where) if clause.where is not None else None
     )
 
     def matches(first_candidates=None):
@@ -233,10 +239,12 @@ def evaluate_delta(
         for bindings, footprint in evaluator.matcher.match_pattern_traced(
             pattern, base_scope, first_candidates=first_candidates
         ):
-            if clause.where is not None:
+            if where_fn is not None:
                 scope = dict(base_scope)
                 scope.update(bindings)
-                if evaluator.evaluator.truth(clause.where, scope) is not Ternary.TRUE:
+                if Ternary.of(
+                    where_fn(evaluator.evaluator, scope)
+                ) is not Ternary.TRUE:
                     continue
             found.append((Record(bindings).project(out_fields), footprint))
         return found

@@ -213,10 +213,38 @@ class RegisteredQuery:
     done: bool = False
     _last_fingerprint: Optional[Tuple] = None
     _last_table: Optional[Table] = None
+    #: Per-query compiled-expression cache (see repro.cypher.expressions);
+    #: threaded through every evaluation so hot-path expressions compile
+    #: once per query lifetime.
+    _expr_cache: dict = field(default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.query.name
+
+
+@dataclass
+class _PendingEvaluation:
+    """One due evaluation after window advancement, before computing.
+
+    Splitting :meth:`SeraphEngine._evaluate` around this value lets the
+    parallel engine offload the expensive middle (:meth:`_compute_table`)
+    to worker processes while keeping window maintenance and emission
+    delivery serial and deterministic.
+    """
+
+    registered: RegisteredQuery
+    instant: TimeInstant
+    interval: "object"
+    fingerprint: Tuple
+    reusable: bool
+    deltas: List[Tuple[_WindowState, WindowDelta]]
+
+    @property
+    def takes_delta_path(self) -> bool:
+        return (
+            self.registered.delta_state is not None and len(self.deltas) == 1
+        )
 
 
 class SeraphEngine:
@@ -244,7 +272,24 @@ class SeraphEngine:
         window delta's dirty entities and re-match anchored on the dirty
         neighbourhood only (:mod:`repro.seraph.delta`).  Semantically
         transparent; settable to False for the ablation.
+    parallel:
+        ``None`` (default) keeps evaluation on the calling thread.  An
+        integer requests a :class:`repro.runtime.parallel.ParallelEngine`
+        instead — ``SeraphEngine(parallel=N)`` *returns* a ParallelEngine
+        offloading full evaluations to a pool of N worker processes
+        (``0`` → ``os.cpu_count()``).  Emissions are byte-identical to
+        the serial engine (see docs/PARALLEL.md).
     """
+
+    def __new__(cls, *args, parallel: Optional[int] = None, **kwargs):
+        if parallel is not None and cls is SeraphEngine:
+            # Factory hook (the pathlib.Path pattern): constructing the
+            # base class with parallel= yields the parallel subclass;
+            # type.__call__ then runs ParallelEngine.__init__.
+            from repro.runtime.parallel import ParallelEngine
+
+            return object.__new__(ParallelEngine)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -254,6 +299,7 @@ class SeraphEngine:
         reuse_unchanged_windows: bool = True,
         share_windows: bool = True,
         delta_eval: bool = True,
+        parallel: Optional[int] = None,
     ):
         self.policy = policy
         self.incremental = incremental
@@ -452,6 +498,14 @@ class SeraphEngine:
     # -- internals -------------------------------------------------------------------
 
     def _evaluate(self, registered: RegisteredQuery) -> Emission:
+        pending = self._begin_evaluation(registered)
+        table = self._compute_table(pending)
+        return self._finish_evaluation(pending, table)
+
+    def _begin_evaluation(
+        self, registered: RegisteredQuery
+    ) -> _PendingEvaluation:
+        """Advance windows and classify the evaluation (serial, stateful)."""
         query = registered.query
         instant = registered.next_eval
         deltas: List[Tuple[_WindowState, WindowDelta]] = []
@@ -470,40 +524,66 @@ class SeraphEngine:
             and registered._last_table is not None
             and fingerprint == registered._last_fingerprint
         )
-        if reusable:
-            table = registered._last_table
+        return _PendingEvaluation(
+            registered=registered,
+            instant=instant,
+            interval=interval,
+            fingerprint=fingerprint,
+            reusable=reusable,
+            deltas=deltas,
+        )
+
+    def _needs_full_evaluation(self, pending: _PendingEvaluation) -> bool:
+        """True when this evaluation will run the full (pure) body — the
+        part a worker process can compute from pickled snapshots."""
+        return not pending.reusable and not (
+            self.delta_eval and pending.takes_delta_path
+        )
+
+    def _compute_table(self, pending: _PendingEvaluation) -> Table:
+        """The evaluation work itself: reuse / delta / full execution."""
+        registered = pending.registered
+        if pending.reusable:
             registered.reused_evaluations += 1
-        else:
-            table = None
-            if (
-                self.delta_eval
-                and registered.delta_state is not None
-                and len(deltas) == 1
-            ):
-                window_state, delta = deltas[0]
-                table, stats = evaluate_delta(
-                    query,
-                    registered.delta_state,
-                    window_state.graph(),
-                    delta,
-                    interval,
-                )
-                if stats.full_refresh:
-                    registered.delta_full_refreshes += 1
-                else:
-                    registered.delta_evaluations += 1
-                registered.assignments_retained += stats.retained
-                registered.assignments_recomputed += stats.recomputed
-            if table is None:
-                if registered.delta_state is not None:
-                    # An eligible query evaluated outside the delta path
-                    # (e.g. delta_eval toggled off): its assignment set
-                    # no longer tracks the window content.
-                    registered.delta_state.invalidate()
-                table = semantics.execute_body(
-                    query, self._graph_provider(registered), interval
-                )
-        registered._last_fingerprint = fingerprint
+            return registered._last_table
+        if self.delta_eval and pending.takes_delta_path:
+            window_state, delta = pending.deltas[0]
+            table, stats = evaluate_delta(
+                registered.query,
+                registered.delta_state,
+                window_state.graph(),
+                delta,
+                pending.interval,
+                expr_cache=registered._expr_cache,
+            )
+            if stats.full_refresh:
+                registered.delta_full_refreshes += 1
+            else:
+                registered.delta_evaluations += 1
+            registered.assignments_retained += stats.retained
+            registered.assignments_recomputed += stats.recomputed
+            return table
+        if registered.delta_state is not None:
+            # An eligible query evaluated outside the delta path (e.g.
+            # delta_eval toggled off): its assignment set no longer
+            # tracks the window content.
+            registered.delta_state.invalidate()
+        return semantics.execute_body(
+            registered.query,
+            self._graph_provider(registered),
+            pending.interval,
+            expr_cache=registered._expr_cache,
+        )
+
+    def _finish_evaluation(
+        self, pending: _PendingEvaluation, table: Table
+    ) -> Emission:
+        """Apply report policy, deliver to the sink, advance ET (serial)."""
+        registered = pending.registered
+        query = registered.query
+        instant = pending.instant
+        interval = pending.interval
+        registered._last_fingerprint = pending.fingerprint
         registered._last_table = table
 
         if registered.report is not None:

@@ -61,12 +61,16 @@ def execute_body(
     query: SeraphQuery,
     graph_for: Callable[[str, int], PropertyGraph],
     interval: TimeInterval,
+    expr_cache: Optional[dict] = None,
 ) -> Table:
     """Run the clause pipeline with per-MATCH snapshot graphs.
 
     ``graph_for(stream, width)`` supplies the snapshot graph for each
     (stream, WITHIN width) pair; the reserved ``win_start``/``win_end``
     names are injected into every expression scope (Definition 5.6).
+    ``expr_cache`` (optional) is a compiled-expression cache shared across
+    evaluations of the same query — see
+    :func:`repro.cypher.expressions.compile_expression`.
     """
     base_scope = {WIN_START: interval.start, WIN_END: interval.end}
     evaluators: Dict[tuple, QueryEvaluator] = {}
@@ -75,7 +79,9 @@ def execute_body(
         key = (stream, width)
         if key not in evaluators:
             evaluators[key] = QueryEvaluator(
-                graph_for(stream, width), base_scope=base_scope
+                graph_for(stream, width),
+                base_scope=base_scope,
+                compile_cache=expr_cache,
             )
         return evaluators[key]
 

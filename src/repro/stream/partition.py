@@ -14,22 +14,49 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.errors import PartitionError
 from repro.graph.model import PropertyGraph, Relationship
 from repro.stream.stream import StreamElement
+
+#: Classifier-error callback: receives the offending element and the
+#: wrapping :class:`PartitionError`.  The element is skipped; the
+#: callback decides what else happens (dead-letter, log, count).
+OnPartitionError = Callable[[StreamElement, PartitionError], None]
 
 
 def partition_elements(
     elements: Iterable[StreamElement],
     classify: Callable[[StreamElement], str],
+    on_error: Optional[OnPartitionError] = None,
 ) -> Dict[str, List[StreamElement]]:
     """Route whole events into named sub-streams.
 
     Every element lands in exactly one partition; arrival order (and
     therefore non-decreasing timestamps) is preserved within each.
+
+    A raising classifier no longer aborts the whole run with its raw
+    exception: the failure is wrapped in a typed :class:`PartitionError`.
+    Without ``on_error`` that error propagates (fail-fast); with it, the
+    element is handed to the callback (e.g. a dead-letter queue — see
+    :func:`repro.runtime.parallel.dead_letter_partition_handler`) and the
+    remaining elements are still routed.
     """
     partitions: Dict[str, List[StreamElement]] = {}
     for element in elements:
-        partitions.setdefault(classify(element), []).append(element)
+        try:
+            name = classify(element)
+        except Exception as exc:
+            error = PartitionError(
+                f"partition classifier failed on element at "
+                f"{element.instant}: {exc}",
+                item=element,
+            )
+            error.__cause__ = exc
+            if on_error is None:
+                raise error
+            on_error(element, error)
+            continue
+        partitions.setdefault(name, []).append(element)
     return partitions
 
 
@@ -49,7 +76,16 @@ def split_element(
     buckets: Dict[str, Dict[str, dict]] = {}
     referenced = set()
     for rel in element.graph.relationships.values():
-        partition = classify(rel)
+        try:
+            partition = classify(rel)
+        except Exception as exc:
+            error = PartitionError(
+                f"partition classifier failed on relationship {rel.id} "
+                f"in element at {element.instant}: {exc}",
+                item=element,
+            )
+            error.__cause__ = exc
+            raise error
         if partition is None:
             continue
         bucket = buckets.setdefault(partition, {"nodes": {}, "rels": {}})
@@ -81,6 +117,7 @@ def partition_stream(
     keep_isolated_nodes_in: Optional[str] = None,
     include_empty: bool = False,
     partitions: Optional[Iterable[str]] = None,
+    on_error: Optional[OnPartitionError] = None,
 ) -> Dict[str, List[StreamElement]]:
     """Split a whole stream content-wise into named sub-streams.
 
@@ -88,7 +125,9 @@ def partition_stream(
     it.  With ``include_empty=True`` every partition named in
     ``partitions`` (required in that mode) receives one element per
     source event, empty when nothing was routed to it — preserving the
-    source's event grid in each sub-stream.
+    source's event grid in each sub-stream.  ``on_error`` receives
+    elements whose classification raised (wrapped in
+    :class:`PartitionError`); those elements are skipped entirely.
     """
     if include_empty and partitions is None:
         raise ValueError(
@@ -98,7 +137,13 @@ def partition_stream(
         name: [] for name in (partitions or ())
     }
     for element in elements:
-        pieces = split_element(element, classify, keep_isolated_nodes_in)
+        try:
+            pieces = split_element(element, classify, keep_isolated_nodes_in)
+        except PartitionError as error:
+            if on_error is None:
+                raise
+            on_error(element, error)
+            continue
         if include_empty:
             for name in out:
                 piece = pieces.get(

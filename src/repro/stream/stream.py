@@ -19,9 +19,14 @@ from repro.graph.temporal import TimeInstant
 from repro.stream.timeline import TimeInterval
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamElement:
-    """One stream pair (G, ω)."""
+    """One stream pair (G, ω).
+
+    ``slots=True``: the engine holds one instance per retained event and
+    windows reference them again, so the per-instance dict is measurable
+    overhead at stream scale.
+    """
 
     graph: PropertyGraph
     instant: TimeInstant

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.usecases.micromobility import figure1_stream, figure2_graph
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_worker_processes():
+    """Guardrail for the parallel execution layer: every pool a test
+    starts must be shut down by the time the session ends — a leaked
+    worker process fails the whole run."""
+    yield
+    children = multiprocessing.active_children()
+    assert not children, (
+        f"worker processes leaked by the test session: "
+        f"{[child.pid for child in children]}"
+    )
 
 
 @pytest.fixture

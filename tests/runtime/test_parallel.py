@@ -1,0 +1,404 @@
+"""Parallel sharded execution: determinism, scheduling, checkpointing.
+
+The contract under test (docs/PARALLEL.md): every parallel configuration
+emits **byte-identically** to the serial engine — parallelism may only
+change wall-clock time, never a result.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import CheckpointError, EngineError, PartitionError
+from repro.graph.model import Node, PropertyGraph, Relationship
+from repro.graph.table import Record, Table
+from repro.runtime import (
+    DeadLetterQueue,
+    ParallelEngine,
+    ShardedEngine,
+    engine_from_dict,
+    engine_to_dict,
+    merge_emissions,
+    run_partitioned,
+)
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.seraph.sinks import Emission
+from repro.stream.stream import StreamElement
+from repro.stream.timeline import TimeInterval
+from repro.stream.tvt import TimeAnnotatedTable
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+CHAIN_QUERY = """
+REGISTER QUERY chains STARTING AT 1970-01-01T00:00
+{
+  MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WITHIN PT40S
+  EMIT id(a) AS src, id(c) AS dst SNAPSHOT EVERY PT10S
+}
+"""
+
+# shortestPath is delta-ineligible, so this one always takes the full
+# evaluation path — the offloadable case.
+ROUTE_QUERY = """
+REGISTER QUERY routes STARTING AT 1970-01-01T00:00
+{
+  MATCH p = shortestPath((a:Person)-[:KNOWS*..4]->(c:Person)) WITHIN PT60S
+  WHERE id(a) <> id(c)
+  EMIT id(a) AS src, id(c) AS dst, length(p) AS hops
+  SNAPSHOT EVERY PT20S
+}
+"""
+
+
+def _element(index, tenant=0, instant=None):
+    base = 10_000 * tenant + 3 * index
+    nodes = [
+        Node(id=base + offset, labels=("Person",),
+             properties=(("tenant", tenant),))
+        for offset in range(3)
+    ]
+    rels = [
+        Relationship(id=2 * (1000 * tenant + index), type="KNOWS",
+                     src=base, trg=base + 1, properties=()),
+        Relationship(id=2 * (1000 * tenant + index) + 1, type="KNOWS",
+                     src=base + 1, trg=base + 2, properties=()),
+    ]
+    return StreamElement(
+        graph=PropertyGraph.of(nodes, rels),
+        instant=instant if instant is not None else 10 * (index + 1),
+    )
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return [_element(index) for index in range(8)]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        yield executor
+
+
+def _run(engine, stream, queries=(CHAIN_QUERY, ROUTE_QUERY)):
+    sinks = [CollectingSink() for _ in queries]
+    for text, sink in zip(queries, sinks):
+        engine.register(text, sink=sink)
+    engine.run_stream(stream)
+    return [e.render() for sink in sinks for e in sink.emissions]
+
+
+class TestFactory:
+    def test_parallel_kwarg_builds_parallel_engine(self):
+        engine = SeraphEngine(parallel=2)
+        assert isinstance(engine, ParallelEngine)
+        assert engine.workers == 2
+        engine.close()
+
+    def test_plain_construction_stays_serial(self):
+        assert not isinstance(SeraphEngine(), ParallelEngine)
+
+    def test_parallel_zero_means_cpu_count(self):
+        engine = SeraphEngine(parallel=0)
+        assert engine.workers >= 1
+        engine.close()
+
+    def test_direct_construction_keeps_engine_options(self):
+        engine = ParallelEngine(workers=3, delta_eval=False)
+        assert engine.workers == 3
+        assert engine.delta_eval is False
+        engine.close()
+
+
+class TestByteIdenticalEmissions:
+    @pytest.mark.parametrize("delta_eval", [True, False])
+    def test_forced_offload_equals_serial(self, stream, pool, delta_eval):
+        serial = _run(SeraphEngine(delta_eval=delta_eval), stream)
+        engine = ParallelEngine(
+            workers=2, pool=pool, offload_threshold=0.0,
+            delta_eval=delta_eval,
+        )
+        assert _run(engine, stream) == serial
+        assert engine.parallel_metrics.offloaded_evaluations > 0
+        if delta_eval:
+            # The delta-eligible query stays on its in-parent delta path;
+            # only the shortestPath query crosses the process boundary.
+            assert engine.parallel_metrics.inline_evaluations == 0
+
+    def test_default_threshold_equals_serial(self, stream):
+        serial = _run(SeraphEngine(), stream)
+        with ParallelEngine(workers=2) as engine:
+            assert _run(engine, stream) == serial
+            # Tiny snapshots: the cost model kept everything in-parent
+            # and the pool was never created.
+            assert engine.parallel_metrics.offloaded_evaluations == 0
+            assert engine.parallel_metrics.scheduler_parallel == 0
+            assert engine._pool is None
+
+    def test_shared_window_queries_group_into_one_task(self, stream, pool):
+        # Same stream, same WITHIN → one window signature → the whole
+        # batch ships as a single group per pass.
+        variant = ROUTE_QUERY.replace(
+            "REGISTER QUERY routes", "REGISTER QUERY routes_b"
+        )
+        engine = ParallelEngine(workers=2, pool=pool, offload_threshold=0.0)
+        serial = _run(
+            SeraphEngine(), stream, queries=(ROUTE_QUERY, variant)
+        )
+        assert _run(engine, stream, queries=(ROUTE_QUERY, variant)) == serial
+        metrics = engine.parallel_metrics
+        assert metrics.offloaded_evaluations == 2 * metrics.offloaded_groups
+
+    def test_metrics_counters_and_status(self, stream, pool):
+        engine = ParallelEngine(workers=2, pool=pool, offload_threshold=0.0)
+        _run(engine, stream, queries=(ROUTE_QUERY,))
+        metrics = engine.parallel_metrics
+        assert metrics.batches > 0
+        assert metrics.max_queue_depth >= 1
+        assert sum(metrics.worker_tasks.values()) == metrics.offloaded_groups
+        assert metrics.scheduler_parallel == metrics.offloaded_evaluations
+        info = engine.status()
+        assert info["parallel"]["workers"] == 2
+        assert info["parallel"]["offloaded_evaluations"] \
+            == metrics.offloaded_evaluations
+        assert metrics.render().startswith("parallel:")
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_parallelism(self, stream):
+        with ParallelEngine(workers=3) as engine:
+            sink = CollectingSink()
+            engine.register(CHAIN_QUERY, sink=sink)
+            engine.run_stream(stream[:4])
+            document = engine_to_dict(engine)
+        assert document["config"]["parallel_workers"] == 3
+        restored = engine_from_dict(document)
+        try:
+            assert isinstance(restored, ParallelEngine)
+            assert restored.workers == 3
+        finally:
+            restored.close()
+
+    def test_serial_checkpoint_restores_serial(self, stream):
+        engine = SeraphEngine()
+        engine.register(CHAIN_QUERY)
+        engine.run_stream(stream[:4])
+        document = engine_to_dict(engine)
+        assert document["config"]["parallel_workers"] is None
+        assert not isinstance(engine_from_dict(document), ParallelEngine)
+
+    def test_restored_parallel_engine_continues_like_serial(self, stream):
+        def finish(engine, sink):
+            engine.run_stream(stream[4:])
+            return [e.render() for e in sink.emissions]
+
+        serial_engine = SeraphEngine()
+        serial_sink = CollectingSink()
+        serial_engine.register(CHAIN_QUERY, sink=serial_sink)
+        serial_engine.run_stream(stream[:4])
+        expected = finish(serial_engine, serial_sink)
+
+        with ParallelEngine(workers=2, offload_threshold=0.0) as engine:
+            sink = CollectingSink()
+            engine.register(CHAIN_QUERY, sink=sink)
+            engine.run_stream(stream[:4])
+            head = [e.render() for e in sink.emissions]
+            document = engine_to_dict(engine)
+        tail_sink = CollectingSink()
+        restored = engine_from_dict(document, sinks={"chains": tail_sink})
+        try:
+            restored.offload_threshold = 0.0
+            restored.run_stream(stream[4:])
+            resumed = head + [e.render() for e in tail_sink.emissions]
+        finally:
+            restored.close()
+        assert resumed == expected
+
+
+class TestMergeEmissions:
+    @staticmethod
+    def _emission(name, instant, rows):
+        table = Table([Record({"v": value}) for value in rows], fields=["v"])
+        return Emission(
+            query_name=name,
+            instant=instant,
+            table=TimeAnnotatedTable(
+                table=table, interval=TimeInterval(instant - 10, instant)
+            ),
+        )
+
+    def test_orders_by_instant_then_registration(self):
+        merged = merge_emissions(
+            [
+                [self._emission("b", 20, [1])],
+                [self._emission("a", 10, [2]), self._emission("a", 20, [3])],
+            ],
+            query_order=["a", "b"],
+        )
+        assert [(e.query_name, e.instant) for e in merged] == [
+            ("a", 10), ("a", 20), ("b", 20),
+        ]
+
+    def test_same_key_tables_bag_union_in_shard_order(self):
+        merged = merge_emissions(
+            [
+                [self._emission("a", 10, [1, 2])],
+                [self._emission("a", 10, [3])],
+            ],
+            query_order=["a"],
+        )
+        assert len(merged) == 1
+        assert [record["v"] for record in merged[0].table.table] == [1, 2, 3]
+
+    def test_single_shard_is_identity(self):
+        emissions = [self._emission("a", 10, [1]),
+                     self._emission("a", 20, [2])]
+        merged = merge_emissions([emissions], query_order=["a"])
+        assert [e.render() for e in merged] == [e.render() for e in emissions]
+
+    def test_unregistered_query_raises(self):
+        with pytest.raises(EngineError, match="unregistered"):
+            merge_emissions(
+                [[self._emission("ghost", 10, [1])]], query_order=["a"]
+            )
+
+
+def _classify_tenant(element):
+    return f"tenant-{min(element.graph.nodes) // 10_000}"
+
+
+def _assert_bag_equivalent(left, right):
+    """Same emission sequence, tables compared as bags.
+
+    Replica state travels between ``run()`` calls as checkpoint
+    documents, and the checkpoint contract (runtime/checkpoint.py) is
+    bag-equal — a restored replica rebuilds its snapshot union from
+    scratch, which may enumerate rows in a different order."""
+    assert [(e.query_name, e.instant) for e in left] \
+        == [(e.query_name, e.instant) for e in right]
+    for one, other in zip(left, right):
+        assert one.table.table.bag_equals(other.table.table)
+
+
+@pytest.fixture(scope="module")
+def tenant_stream():
+    return [
+        _tenant
+        for index in range(10)
+        for _tenant in (
+            _element(index, tenant=0, instant=10 * index + 1),
+            _element(index, tenant=1, instant=10 * index + 2),
+            _element(index, tenant=2, instant=10 * index + 3),
+        )
+    ]
+
+
+class TestShardedEngine:
+    def test_workers_equals_inline(self, tenant_stream, pool):
+        def run(workers, injected=None):
+            with ShardedEngine(
+                queries=[CHAIN_QUERY], classify=_classify_tenant,
+                shards=3, workers=workers, pool=injected,
+            ) as engine:
+                return [e.render() for e in engine.run(tenant_stream)]
+
+        assert run(2, injected=pool) == run(1)
+
+    def test_decomposable_workload_equals_single_engine(self, tenant_stream):
+        engine = SeraphEngine()
+        sink = CollectingSink()
+        engine.register(CHAIN_QUERY, sink=sink)
+        engine.run_stream(tenant_stream)
+        merged = run_partitioned(
+            [CHAIN_QUERY], tenant_stream, _classify_tenant, shards=2
+        )
+        assert len(merged) == len(sink.emissions)
+        for left, right in zip(merged, sink.emissions):
+            assert left.query_name == right.query_name
+            assert left.instant == right.instant
+            assert left.table.table.bag_equals(right.table.table)
+
+    def test_assignment_is_first_seen_round_robin(self, tenant_stream):
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=_classify_tenant, shards=2
+        ) as engine:
+            engine.run(tenant_stream)
+            assert engine.assignment == {
+                "tenant-0": 0, "tenant-1": 1, "tenant-2": 0,
+            }
+
+    def test_incremental_runs_accumulate_state(self, tenant_stream):
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=_classify_tenant, shards=2
+        ) as engine:
+            first = engine.run(tenant_stream[:15], until=51)
+            second = engine.run(tenant_stream[15:])
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=_classify_tenant, shards=2
+        ) as engine:
+            whole = engine.run(tenant_stream)
+        _assert_bag_equivalent(first + second, whole)
+
+    def test_checkpoint_roundtrip_resumes(self, tenant_stream):
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=_classify_tenant, shards=2
+        ) as engine:
+            head = engine.run(tenant_stream[:15], until=51)
+            document = engine.to_dict()
+        with ShardedEngine.from_dict(document, _classify_tenant) as restored:
+            assert restored.assignment == {
+                "tenant-0": 0, "tenant-1": 1, "tenant-2": 0,
+            }
+            tail = restored.run(tenant_stream[15:])
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=_classify_tenant, shards=2
+        ) as engine:
+            whole = engine.run(tenant_stream)
+        _assert_bag_equivalent(head + tail, whole)
+
+    def test_checkpoint_rejects_bad_documents(self):
+        with pytest.raises(CheckpointError, match="version"):
+            ShardedEngine.from_dict({"version": 99}, _classify_tenant)
+        with pytest.raises(CheckpointError, match="malformed"):
+            ShardedEngine.from_dict({"version": 1}, _classify_tenant)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(EngineError, match="positive"):
+            ShardedEngine(queries=[CHAIN_QUERY],
+                          classify=_classify_tenant, shards=0)
+
+
+class TestPartitionFaults:
+    @staticmethod
+    def _classify_flaky(element):
+        if element.instant == 21:
+            raise ValueError("boom")
+        return _classify_tenant(element)
+
+    def test_classifier_failure_fails_fast_without_queue(self, tenant_stream):
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=self._classify_flaky, shards=2
+        ) as engine:
+            with pytest.raises(PartitionError, match="classifier failed"):
+                engine.run(tenant_stream)
+
+    def test_classifier_failure_routes_to_dead_letters(self, tenant_stream):
+        queue = DeadLetterQueue()
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=self._classify_flaky,
+            shards=2, dead_letters=queue,
+        ) as engine:
+            merged = engine.run(tenant_stream)
+        assert len(queue) == 1
+        entry = queue.entries[0]
+        assert entry.instant == 21
+        assert "boom" in entry.reason
+        # The surviving elements still produced the other tenants' output.
+        assert merged
+
+        clean = [e for e in tenant_stream if e.instant != 21]
+        with ShardedEngine(
+            queries=[CHAIN_QUERY], classify=_classify_tenant, shards=2,
+        ) as engine:
+            expected = engine.run(clean, until=tenant_stream[-1].instant)
+        assert [e.render() for e in merged] == [e.render() for e in expected]

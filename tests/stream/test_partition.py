@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import PartitionError
 from repro.graph.builder import GraphBuilder
 from repro.seraph import CollectingSink, SeraphEngine
 from repro.stream.partition import (
@@ -152,3 +153,79 @@ class TestPartitionStream:
         with pytest.raises(ValueError):
             partition_stream(figure1_stream(), by_relationship_type(),
                              include_empty=True)
+
+
+class TestClassifierFailures:
+    """Raising classifiers surface as typed PartitionError, optionally
+    routed to an ``on_error`` callback (dead-letter policy)."""
+
+    @staticmethod
+    def _flaky_element_classifier(element):
+        if element.instant == 2:
+            raise KeyError("no route")
+        return "ok"
+
+    def test_partition_elements_wraps_in_partition_error(self):
+        elements = [simple_element(t, ["A"]) for t in (1, 2)]
+        with pytest.raises(PartitionError) as info:
+            partition_elements(elements, self._flaky_element_classifier)
+        assert "classifier failed" in str(info.value)
+        assert info.value.item is elements[1]
+        assert isinstance(info.value.__cause__, KeyError)
+
+    def test_partition_elements_on_error_skips_and_continues(self):
+        elements = [simple_element(t, ["A"]) for t in (1, 2, 3)]
+        failures = []
+        partitions = partition_elements(
+            elements, self._flaky_element_classifier,
+            on_error=lambda element, error: failures.append((element, error)),
+        )
+        assert [e.instant for e in partitions["ok"]] == [1, 3]
+        assert len(failures) == 1
+        element, error = failures[0]
+        assert element.instant == 2
+        assert isinstance(error, PartitionError)
+
+    def test_split_element_wraps_in_partition_error(self):
+        element = simple_element(7, ["A", "B"])
+
+        def classify(rel):
+            raise RuntimeError("bad relationship")
+
+        with pytest.raises(PartitionError) as info:
+            split_element(element, classify)
+        assert info.value.item is element
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_partition_stream_fails_fast_without_on_error(self):
+        def classify(rel):
+            if rel.type == "B":
+                raise RuntimeError("bad relationship")
+            return rel.type
+
+        elements = [simple_element(1, ["A"]), simple_element(2, ["A", "B"])]
+        with pytest.raises(PartitionError):
+            partition_stream(elements, classify)
+
+    def test_partition_stream_on_error_skips_whole_element(self):
+        def classify(rel):
+            if rel.type == "B":
+                raise RuntimeError("bad relationship")
+            return rel.type
+
+        elements = [simple_element(1, ["A"]), simple_element(2, ["A", "B"]),
+                    simple_element(3, ["A"])]
+        failures = []
+        partitions = partition_stream(
+            elements, classify,
+            on_error=lambda element, error: failures.append(element.instant),
+        )
+        # The failing element contributes to no partition at all.
+        assert [e.instant for e in partitions["A"]] == [1, 3]
+        assert failures == [2]
+
+    def test_partition_error_is_stream_error(self):
+        from repro.errors import ReproError, StreamError
+
+        assert issubclass(PartitionError, StreamError)
+        assert issubclass(PartitionError, ReproError)
