@@ -7,7 +7,8 @@ detector flags only racks behind faulted routers before timing.
 
 import pytest
 
-from repro.seraph import CollectingSink, SeraphEngine
+from repro import build_engine
+from repro.seraph import CollectingSink
 from repro.usecases.network import (
     NetworkConfig,
     NetworkStreamGenerator,
@@ -26,7 +27,7 @@ def stream(generator):
 
 
 def _run(stream):
-    engine = SeraphEngine()
+    engine = build_engine()
     sink = CollectingSink()
     engine.register(anomalous_routes_query(), sink=sink)
     engine.run_stream(stream)

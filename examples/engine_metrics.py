@@ -9,7 +9,7 @@ the engine with and without the unchanged-window reuse optimization
 Run:  python examples/engine_metrics.py
 """
 
-from repro import SeraphEngine, instrumented_run
+from repro import EngineConfig, build_engine, instrumented_run
 from repro.usecases.micromobility import (
     RentalStreamConfig,
     RentalStreamGenerator,
@@ -18,7 +18,7 @@ from repro.usecases.micromobility import (
 
 
 def run(reuse: bool, stream):
-    engine = SeraphEngine(reuse_unchanged_windows=reuse)
+    engine = build_engine(EngineConfig(reuse_unchanged_windows=reuse))
     engine.register(student_trick_query(every="PT1M"))
     return instrumented_run(engine, stream)
 

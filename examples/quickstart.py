@@ -8,7 +8,7 @@ of the public API.
 Run:  python examples/quickstart.py
 """
 
-from repro import GraphBuilder, SeraphEngine
+from repro import GraphBuilder, build_engine
 from repro.graph.temporal import format_hhmm, hhmm
 from repro.seraph import PrintingSink
 
@@ -41,7 +41,7 @@ def transfer_event(rel_id, sender, receiver, amount):
 
 
 def main():
-    engine = SeraphEngine()
+    engine = build_engine()
     engine.register(QUERY, sink=PrintingSink())
 
     events = [

@@ -13,16 +13,22 @@ Public API highlights
 * :func:`repro.seraph.parse_seraph`, :class:`repro.seraph.SeraphEngine` —
   the Seraph language and its continuous engine (Sections 5–6).
 
+* :class:`repro.EngineConfig`, :func:`repro.build_engine` — the one
+  front door composing the serial/parallel core, the fault-tolerant
+  wrapper, and the observability layer (docs/OBSERVABILITY.md).
+
 Quickstart::
 
-    from repro import SeraphEngine, parse_seraph
-    engine = SeraphEngine()
+    from repro import EngineConfig, build_engine, parse_seraph
+    engine = build_engine(EngineConfig(observability=True))
     engine.register(parse_seraph(QUERY_TEXT))
     emissions = engine.run_stream(stream_elements)
 """
 
+from repro.api import EngineConfig, build_engine
 from repro.cypher import parse_cypher, run_cypher, run_update
 from repro.metrics import RunReport, instrumented_run
+from repro.obs import Observability
 from repro.graph import (
     GraphBuilder,
     Node,
@@ -55,6 +61,9 @@ __all__ = [
     "ActiveSubstreamPolicy",
     "CollectingSink",
     "Emission",
+    "EngineConfig",
+    "Observability",
+    "build_engine",
     "GraphBuilder",
     "Node",
     "Path",

@@ -1,0 +1,183 @@
+"""The one front door: :class:`EngineConfig` + :func:`build_engine`.
+
+The engine stack grew three construction idioms — ``SeraphEngine(...)``,
+the ``SeraphEngine(parallel=N)`` factory hook, and hand-wrapping in
+:class:`~repro.runtime.ResilientEngine` — each threading its own metrics
+object.  :func:`build_engine` replaces all of them: one declarative
+config selects the layers (serial / parallel core, optional resilient
+wrapper, optional observability bundle), and every layer shares the same
+:class:`~repro.obs.Observability` (tracer + metrics registry)::
+
+    from repro import EngineConfig, build_engine
+
+    engine = build_engine(EngineConfig(
+        delta_eval=True,
+        parallel_workers=4,
+        resilient=True,
+        allowed_lateness=2,
+        observability=True,
+    ))
+    engine.register(QUERY_TEXT)
+    engine.run_stream(elements)
+    print(engine.unified_status()["obs"]["metrics"])
+
+The legacy constructors keep working but are deprecation-shimmed
+(``SeraphEngine(parallel=N)``, ``ResilientEngine(**engine_kwargs)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Optional, Union
+
+from repro.errors import EngineError
+from repro.graph.model import PropertyGraph
+from repro.obs import NOOP_OBS, Observability
+from repro.runtime.engine import ResilientEngine
+from repro.runtime.policies import FaultPolicy
+from repro.runtime.resilient_sink import RetryPolicy
+from repro.seraph.engine import SeraphEngine
+from repro.stream.window import ActiveSubstreamPolicy
+
+
+@dataclass
+class EngineConfig:
+    """Declarative description of one engine stack.
+
+    Core evaluation
+    ---------------
+    ``policy``, ``incremental``, ``static_graph``,
+    ``reuse_unchanged_windows``, ``share_windows``, ``delta_eval`` map
+    one-to-one onto :class:`~repro.seraph.engine.SeraphEngine` knobs.
+
+    Parallelism
+    -----------
+    ``parallel_workers=None`` (default) keeps evaluation serial; ``N >=
+    1`` builds a :class:`~repro.runtime.parallel.ParallelEngine` with an
+    ``N``-process pool, ``0`` sizes the pool to ``os.cpu_count()``.
+    ``offload_threshold`` overrides the cost-model cutoff.
+
+    Resilience
+    ----------
+    ``resilient=True`` wraps the core in a
+    :class:`~repro.runtime.ResilientEngine`; the lateness/policy/retry
+    fields configure it and are ignored (validated untouched) otherwise.
+
+    Observability
+    -------------
+    ``observability=True`` creates a fresh
+    :class:`~repro.obs.Observability` bundle shared by every layer; an
+    existing bundle is accepted as-is (e.g. one registry across several
+    engines); ``False`` (default) installs the shared no-op bundle —
+    instrumented sites then cost one attribute check each.
+    """
+
+    # -- core -----------------------------------------------------------
+    policy: ActiveSubstreamPolicy = ActiveSubstreamPolicy.TRAILING
+    incremental: bool = True
+    static_graph: Optional[PropertyGraph] = None
+    reuse_unchanged_windows: bool = True
+    share_windows: bool = True
+    delta_eval: bool = True
+    # -- parallelism ----------------------------------------------------
+    parallel_workers: Optional[int] = None
+    offload_threshold: Optional[float] = None
+    # -- resilience -----------------------------------------------------
+    resilient: bool = False
+    allowed_lateness: int = 0
+    poison_policy: FaultPolicy = FaultPolicy.DEAD_LETTER
+    late_policy: FaultPolicy = FaultPolicy.DEAD_LETTER
+    sink_policy: FaultPolicy = FaultPolicy.DEAD_LETTER
+    retry: Optional[RetryPolicy] = None
+    dead_letter_capacity: Optional[int] = None
+    fallback_factory: Optional[Callable] = None
+    # -- observability --------------------------------------------------
+    observability: Union[bool, Observability] = False
+    span_limit: int = 100_000
+    reservoir: int = 512
+
+    def __post_init__(self) -> None:
+        if self.parallel_workers is not None and self.parallel_workers < 0:
+            raise EngineError(
+                "parallel_workers must be None (serial), 0 (cpu count), "
+                f"or positive, got {self.parallel_workers}"
+            )
+        if self.allowed_lateness < 0:
+            raise EngineError("allowed_lateness must be >= 0")
+        if self.span_limit < 0 or self.reservoir < 1:
+            raise EngineError("span_limit must be >= 0, reservoir >= 1")
+
+    def resolve_observability(self) -> Observability:
+        """The bundle this config denotes (shared no-op when disabled)."""
+        if isinstance(self.observability, Observability):
+            return self.observability
+        if self.observability:
+            return Observability.create(
+                span_limit=self.span_limit, reservoir=self.reservoir
+            )
+        return NOOP_OBS
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (config objects stay usable
+        after build)."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update(changes)
+        return EngineConfig(**values)
+
+
+def build_engine(
+    config: Optional[EngineConfig] = None, **overrides
+) -> Union[SeraphEngine, ResilientEngine]:
+    """Build the engine stack ``config`` describes.
+
+    ``overrides`` are field-level shortcuts —
+    ``build_engine(delta_eval=False)`` equals
+    ``build_engine(EngineConfig(delta_eval=False))``.  Returns the
+    outermost layer: a :class:`~repro.runtime.ResilientEngine` when
+    ``resilient=True``, the (serial or parallel) core engine otherwise.
+    Every layer shares one observability bundle, reachable as ``.obs``
+    on whatever comes back.
+    """
+    if config is None:
+        config = EngineConfig(**overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    obs = config.resolve_observability()
+    core_kwargs = dict(
+        policy=config.policy,
+        incremental=config.incremental,
+        static_graph=config.static_graph,
+        reuse_unchanged_windows=config.reuse_unchanged_windows,
+        share_windows=config.share_windows,
+        delta_eval=config.delta_eval,
+        obs=obs,
+    )
+    if config.parallel_workers is None:
+        engine: SeraphEngine = SeraphEngine(**core_kwargs)
+    else:
+        from repro.runtime.parallel import (
+            DEFAULT_OFFLOAD_THRESHOLD,
+            ParallelEngine,
+        )
+
+        engine = ParallelEngine(
+            workers=config.parallel_workers,
+            offload_threshold=(
+                config.offload_threshold
+                if config.offload_threshold is not None
+                else DEFAULT_OFFLOAD_THRESHOLD
+            ),
+            **core_kwargs,
+        )
+    if not config.resilient:
+        return engine
+    return ResilientEngine(
+        engine,
+        allowed_lateness=config.allowed_lateness,
+        poison_policy=config.poison_policy,
+        late_policy=config.late_policy,
+        sink_policy=config.sink_policy,
+        retry=config.retry,
+        dead_letter_capacity=config.dead_letter_capacity,
+        fallback_factory=config.fallback_factory,
+    )

@@ -18,11 +18,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import EngineConfig, build_engine
 from repro.cypher import run_cypher
 from repro.errors import ReproError
 from repro.graph.io import graph_from_json, stream_from_jsonl
 from repro.graph.temporal import parse_datetime
-from repro.seraph import CollectingSink, SeraphEngine, parse_seraph
+from repro.seraph import CollectingSink, parse_seraph
 from repro.seraph.explain import explain
 from repro.stream.window import ActiveSubstreamPolicy
 
@@ -101,6 +102,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint instead of a fresh engine "
         "(implies --resilient)",
     )
+    run.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the unified status document after the run — JSON by "
+        "default, Prometheus text exposition when PATH ends in .prom "
+        "(implies observability; docs/OBSERVABILITY.md)",
+    )
+    run.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the run's trace (span forest) as schema-stamped "
+        "JSON (implies observability)",
+    )
+    run.add_argument(
+        "--explain-analyze", action="store_true",
+        help="print EXPLAIN plus observed per-stage timings to stderr "
+        "after the run (implies observability)",
+    )
+    run.add_argument(
+        "--profile", nargs="?", const="", metavar="PATH", default=None,
+        help="profile the run with cProfile: print the top functions to "
+        "stderr, and dump binary pstats data to PATH when given",
+    )
 
     exp = commands.add_parser("explain", help="show the execution outline")
     exp.add_argument("query", help="path to a REGISTER QUERY file")
@@ -133,26 +155,44 @@ def _wants_resilient(args: argparse.Namespace) -> bool:
     )
 
 
+def _wants_observability(args: argparse.Namespace) -> bool:
+    return bool(args.metrics_out or args.trace_out or args.explain_analyze)
+
+
+def _run_config(args: argparse.Namespace) -> EngineConfig:
+    """One declarative config for everything the run flags describe."""
+    from repro.runtime import FaultPolicy
+
+    return EngineConfig(
+        policy=_POLICIES[args.policy],
+        delta_eval=args.incremental_eval,
+        parallel_workers=args.parallel,
+        resilient=_wants_resilient(args),
+        allowed_lateness=args.allowed_lateness,
+        poison_policy=FaultPolicy.parse(args.on_poison),
+        late_policy=FaultPolicy.parse(args.on_late),
+        observability=_wants_observability(args),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if _wants_resilient(args):
         return _cmd_run_resilient(args)
     query = parse_seraph(_read(args.query))
     elements = stream_from_jsonl(_read(args.stream))
     until = parse_datetime(args.until) if args.until else None
-    engine = SeraphEngine(
-        policy=_POLICIES[args.policy],
-        delta_eval=args.incremental_eval,
-        parallel=args.parallel,
-    )
+    engine = build_engine(_run_config(args))
     sink = CollectingSink()
     engine.register(query, sink=sink)
     try:
-        engine.run_stream(elements, until=until)
+        with _maybe_profiled(args):
+            engine.run_stream(elements, until=until)
     finally:
         if args.parallel is not None:
             engine.close()
             print(engine.parallel_metrics.render(), file=sys.stderr)
     _print_emissions(args, sink)
+    _write_observability(args, engine, query.name)
     return 0
 
 
@@ -160,23 +200,12 @@ def _cmd_run_resilient(args: argparse.Namespace) -> int:
     from repro.runtime import FaultPolicy, ResilientEngine
 
     until = parse_datetime(args.until) if args.until else None
-    poison = FaultPolicy.parse(args.on_poison)
-    late = FaultPolicy.parse(args.on_late)
     if args.restore:
         engine = ResilientEngine.load_checkpoint(args.restore)
-        engine.poison_policy = poison
-        engine.late_policy = late
+        engine.poison_policy = FaultPolicy.parse(args.on_poison)
+        engine.late_policy = FaultPolicy.parse(args.on_late)
     else:
-        engine = ResilientEngine(
-            SeraphEngine(
-                policy=_POLICIES[args.policy],
-                delta_eval=args.incremental_eval,
-                parallel=args.parallel,
-            ),
-            allowed_lateness=args.allowed_lateness,
-            poison_policy=poison,
-            late_policy=late,
-        )
+        engine = build_engine(_run_config(args))
     query = parse_seraph(_read(args.query))
     if query.name not in engine.query_names:
         engine.register(query)
@@ -185,7 +214,8 @@ def _cmd_run_resilient(args: argparse.Namespace) -> int:
     items = [line for line in _read(args.stream).splitlines()
              if line.strip()]
     try:
-        engine.run_stream(items, until=until)
+        with _maybe_profiled(args):
+            engine.run_stream(items, until=until)
     finally:
         inner = getattr(engine, "engine", None)
         if hasattr(inner, "close"):
@@ -206,7 +236,44 @@ def _cmd_run_resilient(args: argparse.Namespace) -> int:
         engine.save_checkpoint(args.checkpoint_out)
         print(f"-- checkpoint saved to {args.checkpoint_out}",
               file=sys.stderr)
+    _write_observability(args, engine, query.name)
     return 0
+
+
+def _maybe_profiled(args: argparse.Namespace):
+    """A cProfile context when ``--profile`` was given, else a no-op."""
+    from contextlib import nullcontext
+
+    if args.profile is None:
+        return nullcontext()
+    from repro.obs.profile import profiled
+
+    return profiled(
+        path=args.profile or None, out=sys.stderr, top=15
+    )
+
+
+def _write_observability(
+    args: argparse.Namespace, engine, query_name: str
+) -> None:
+    """Honor --metrics-out / --trace-out / --explain-analyze."""
+    if not _wants_observability(args):
+        return
+    from repro.obs.export import trace_document, write_json, write_prometheus
+    from repro.obs.schema import unified_status
+    from repro.seraph.explain import explain_analyze
+
+    if args.metrics_out:
+        if args.metrics_out.endswith(".prom"):
+            write_prometheus(args.metrics_out, engine.obs.registry)
+        else:
+            write_json(args.metrics_out, unified_status(engine))
+        print(f"-- metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        write_json(args.trace_out, trace_document(engine.obs.tracer))
+        print(f"-- trace written to {args.trace_out}", file=sys.stderr)
+    if args.explain_analyze:
+        print(explain_analyze(engine, query_name), file=sys.stderr)
 
 
 def _print_emissions(args: argparse.Namespace, sink: CollectingSink) -> None:

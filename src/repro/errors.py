@@ -142,3 +142,11 @@ class CircuitOpenError(SinkDeliveryError):
 
 class CheckpointError(ReproError):
     """An engine checkpoint document is malformed or incompatible."""
+
+
+class MetricsError(ReproError):
+    """A metrics query was invalid (bad percentile, kind mismatch)."""
+
+
+class ObservabilityError(ReproError):
+    """An observability document failed schema validation."""

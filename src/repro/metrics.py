@@ -12,7 +12,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.errors import MetricsError
 from repro.graph.temporal import TimeInstant
+from repro.obs import format as obs_format
 from repro.seraph.engine import SeraphEngine
 from repro.seraph.sinks import Emission
 from repro.stream.stream import StreamElement
@@ -60,10 +62,8 @@ class ResilienceMetrics:
     def render(self) -> str:
         """One-line human summary of the non-zero counters."""
         shown = {k: v for k, v in self.as_dict().items() if v}
-        if not shown:
-            return "resilience: all counters zero"
-        return "resilience: " + ", ".join(
-            f"{name}={value}" for name, value in shown.items()
+        return obs_format.render_counters(
+            "resilience", shown, empty="all counters zero"
         )
 
 
@@ -113,15 +113,9 @@ class ParallelMetrics:
         }
 
     def render(self) -> str:
-        """One-line human summary."""
-        return (
-            f"parallel: {self.offloaded_evaluations} offloaded "
-            f"({self.offloaded_groups} groups) / "
-            f"{self.inline_evaluations} inline over {self.batches} batches; "
-            f"scheduler {self.scheduler_parallel} parallel / "
-            f"{self.scheduler_serial} serial; "
-            f"{len(self.worker_tasks)} workers, "
-            f"peak queue depth {self.max_queue_depth}"
+        """One-line human summary (nested worker stats flattened)."""
+        return obs_format.render_counters(
+            "parallel", self.as_dict(), empty="no batches"
         )
 
 
@@ -172,7 +166,16 @@ class RunReport:
         )
 
     def latency_percentile(self, percentile: float) -> float:
-        """Nearest-rank latency percentile in seconds (0 < p ≤ 1)."""
+        """Nearest-rank latency percentile in seconds.
+
+        A percentile outside (0, 1] raises
+        :class:`~repro.errors.MetricsError`; an empty report yields 0.0
+        (no samples, no latency).
+        """
+        if not 0.0 < percentile <= 1.0:
+            raise MetricsError(
+                f"percentile must be in (0, 1], got {percentile!r}"
+            )
         if not self.samples:
             return 0.0
         ordered = sorted(sample.latency_seconds for sample in self.samples)
@@ -191,16 +194,30 @@ class RunReport:
             grouped.setdefault(sample.query_name, []).append(sample)
         return grouped
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe summary (feeds ``MetricsRegistry.absorb("run", ...)``)."""
+        return {
+            "evaluations": self.evaluations,
+            "ingested_elements": self.ingested_elements,
+            "wall_seconds": self.wall_seconds,
+            "mean_latency": self.mean_latency,
+            "p95_latency": self.latency_percentile(0.95),
+            "total_rows": self.total_rows,
+            "reuse_ratio": self.reuse_ratio,
+            "delta_ratio": self.delta_ratio,
+        }
+
     def render(self) -> str:
         """One-paragraph human summary."""
-        return (
-            f"{self.evaluations} evaluations over "
-            f"{self.ingested_elements} events in {self.wall_seconds:.3f}s; "
-            f"mean latency {self.mean_latency * 1000:.2f}ms, "
-            f"p95 {self.latency_percentile(0.95) * 1000:.2f}ms; "
-            f"{self.total_rows} rows emitted; "
-            f"reuse ratio {self.reuse_ratio:.0%}; "
-            f"delta ratio {self.delta_ratio:.0%}"
+        return obs_format.render_run_report(
+            evaluations=self.evaluations,
+            ingested_elements=self.ingested_elements,
+            wall_seconds=self.wall_seconds,
+            mean_latency=self.mean_latency,
+            p95_latency=self.latency_percentile(0.95),
+            total_rows=self.total_rows,
+            reuse_ratio=self.reuse_ratio,
+            delta_ratio=self.delta_ratio,
         )
 
 

@@ -1,0 +1,106 @@
+"""Unified observability: tracing + metrics registry for every layer.
+
+The engine stack (core :class:`~repro.seraph.engine.SeraphEngine`, the
+delta path, :class:`~repro.runtime.parallel.ParallelEngine`,
+:class:`~repro.runtime.ResilientEngine`) shares one
+:class:`Observability` bundle — a :class:`~repro.obs.trace.Tracer` plus
+a :class:`~repro.obs.registry.MetricsRegistry` — threaded through
+construction (``build_engine(EngineConfig(observability=True))``).
+
+One evaluation produces one ``evaluate`` root span with the stage
+children::
+
+    evaluate(query, instant)
+      ├─ window_advance
+      ├─ snapshot_build          (per window, inside the match stage)
+      ├─ reuse | match_delta | match_full | worker_evaluate
+      ├─ report
+      └─ sink
+          └─ sink_attempt*       (retries, from ResilientSink)
+
+``ingest`` spans are separate roots.  Pool workers return span
+fragments that the parent stitches in as ``worker_evaluate`` children
+(:mod:`repro.runtime.parallel`), so one trace covers both sides of the
+process boundary.  Stage durations also feed per-query histograms in
+the registry under :func:`stage_metric` names — that is what ``EXPLAIN
+ANALYZE`` (:func:`repro.seraph.explain.explain_analyze`) reads.
+
+When observability is off (the default), every instrumented site is
+guarded by a single ``if obs.enabled:`` branch and the shared
+:data:`NOOP_OBS` bundle records nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+)
+
+#: Stage names in pipeline order (trace span names == stage names).
+STAGES = (
+    "window_advance",
+    "snapshot_build",
+    "reuse",
+    "match_delta",
+    "match_full",
+    "worker_evaluate",
+    "report",
+    "sink",
+    "total",
+)
+
+
+def stage_metric(query_name: str, stage: str) -> str:
+    """Registry histogram name of one query's stage timings (seconds)."""
+    return f"query.{query_name}.stage.{stage}"
+
+
+@dataclass
+class Observability:
+    """The bundle every engine layer carries: tracer + registry."""
+
+    tracer: Tracer
+    registry: MetricsRegistry
+    enabled: bool = True
+
+    @classmethod
+    def create(cls, span_limit: int = 100_000,
+               reservoir: int = 512) -> "Observability":
+        return cls(
+            tracer=Tracer(limit=span_limit),
+            registry=MetricsRegistry(reservoir=reservoir),
+            enabled=True,
+        )
+
+    def record_stage(self, query_name: str, stage: str,
+                     seconds: float) -> None:
+        self.registry.observe(stage_metric(query_name, stage), seconds)
+
+
+#: The disabled bundle (shared; never written to).
+NOOP_OBS = Observability(
+    tracer=NOOP_TRACER, registry=MetricsRegistry(), enabled=False
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_OBS",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Observability",
+    "STAGES",
+    "Span",
+    "Tracer",
+    "stage_metric",
+]

@@ -1,0 +1,134 @@
+"""Exporters: JSON documents, Prometheus text format, human render.
+
+Three schema-stamped JSON documents exist (all validated by
+:mod:`repro.obs.schema`, including from the command line):
+
+* the **unified status** document — :func:`repro.obs.schema.unified_status`;
+* the **metrics** document — :func:`metrics_document` over a registry;
+* the **trace** document — :func:`trace_document` over a tracer.
+
+:func:`to_prometheus` renders a registry in the Prometheus text
+exposition format (counters/gauges as-is, histograms as summaries with
+p50/p95/p99 quantiles); :func:`parse_prometheus` parses that text back
+into sample values, which is how the round-trip tests close the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Mapping
+
+from repro.obs import format as obs_format
+from repro.obs.registry import MetricsRegistry
+from repro.obs.schema import (
+    METRICS_SCHEMA,
+    SCHEMA_VERSION,
+    TRACE_SCHEMA,
+)
+from repro.obs.trace import Tracer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+
+
+def metrics_document(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Schema-stamped JSON-safe dump of a registry."""
+    document: Dict[str, Any] = {
+        "schema": {"name": METRICS_SCHEMA, "version": SCHEMA_VERSION},
+    }
+    document.update(registry.snapshot())
+    return document
+
+
+def trace_document(tracer: Tracer) -> Dict[str, Any]:
+    """Schema-stamped JSON-safe dump of a tracer's span forest."""
+    return {
+        "schema": {"name": TRACE_SCHEMA, "version": SCHEMA_VERSION},
+        "span_count": tracer.created,
+        "dropped": tracer.dropped,
+        "spans": tracer.to_dicts(),
+    }
+
+
+def write_json(path: str, document: Mapping[str, Any]) -> str:
+    """Write any exported document as pretty, sorted JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+def sanitize_metric_name(name: str) -> str:
+    """Dots and other separators become underscores (Prometheus rules)."""
+    return _NAME_RE.sub("_", name)
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    snapshot = registry.snapshot()
+    lines = []
+    for name, value in snapshot["counters"].items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot["gauges"].items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_sample(value)}")
+    for name, hist in snapshot["histograms"].items():
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("0.99", "p99")):
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_sample(hist[key])}"
+            )
+        lines.append(f"{metric}_sum {_format_sample(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_sample(value: float) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse Prometheus exposition text back into sample values.
+
+    Returns ``{metric_name: {label_string: value}}`` with ``""`` as the
+    label string for unlabelled samples — enough to assert a round-trip.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        value = float(match.group("value"))
+        samples.setdefault(match.group("name"), {})[
+            match.group("labels") or ""
+        ] = value
+    return samples
+
+
+def write_prometheus(path: str, registry: MetricsRegistry,
+                     prefix: str = "repro") -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(registry, prefix=prefix))
+    return path
+
+
+def render(registry: MetricsRegistry) -> str:
+    """Human-readable multi-line dump (delegates to the one formatter)."""
+    return obs_format.render_registry(registry.snapshot())

@@ -1,0 +1,131 @@
+"""The one human-readable formatter for every metrics surface.
+
+``ResilienceMetrics.render()``, ``ParallelMetrics.render()``,
+``RunReport.render()``, the registry's ``render()`` exporter, and the
+unified status renderer all delegate here, so counter formatting
+(``name=value`` pairs, millisecond latencies, percentages) is decided in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+
+def format_value(value: Any) -> str:
+    """Compact scalar formatting: trimmed floats, plain ints/strings."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_counters(namespace: str, fields: Mapping[str, Any],
+                    empty: str = "no data") -> str:
+    """One-line ``namespace: k=v, k=v`` summary (nested dicts flatten)."""
+    flat: Dict[str, Any] = {}
+
+    def _flatten(prefix: str, mapping: Mapping[str, Any]) -> None:
+        for key, value in mapping.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, Mapping):
+                _flatten(name, value)
+            else:
+                flat[name] = value
+
+    _flatten("", fields)
+    if not flat:
+        return f"{namespace}: {empty}"
+    return f"{namespace}: " + ", ".join(
+        f"{name}={format_value(value)}" for name, value in flat.items()
+    )
+
+
+def render_run_report(evaluations: int, ingested_elements: int,
+                      wall_seconds: float, mean_latency: float,
+                      p95_latency: float, total_rows: int,
+                      reuse_ratio: float, delta_ratio: float) -> str:
+    """The instrumented-run paragraph (``RunReport.render``)."""
+    return (
+        f"{evaluations} evaluations over "
+        f"{ingested_elements} events in {wall_seconds:.3f}s; "
+        f"mean latency {mean_latency * 1000:.2f}ms, "
+        f"p95 {p95_latency * 1000:.2f}ms; "
+        f"{total_rows} rows emitted; "
+        f"reuse ratio {reuse_ratio:.0%}; "
+        f"delta ratio {delta_ratio:.0%}"
+    )
+
+
+def render_histogram(name: str, snapshot: Mapping[str, Any]) -> str:
+    """One-line latency histogram summary (seconds → milliseconds)."""
+    return (
+        f"{name}: n={snapshot['count']} "
+        f"mean={snapshot['mean'] * 1000:.3f}ms "
+        f"p50={snapshot['p50'] * 1000:.3f}ms "
+        f"p95={snapshot['p95'] * 1000:.3f}ms "
+        f"max={snapshot['max'] * 1000:.3f}ms"
+    )
+
+
+def render_registry(snapshot: Mapping[str, Any]) -> str:
+    """Multi-line dump of a :meth:`MetricsRegistry.snapshot` document."""
+    lines: List[str] = []
+    if snapshot.get("counters"):
+        lines.append(render_counters("counters", snapshot["counters"]))
+    if snapshot.get("gauges"):
+        lines.append(render_counters("gauges", snapshot["gauges"]))
+    for name, hist in (snapshot.get("histograms") or {}).items():
+        lines.append("  " + render_histogram(name, hist))
+    return "\n".join(lines) if lines else "metrics: no data"
+
+
+def render_status(status: Mapping[str, Any]) -> str:
+    """Human summary of a unified status document
+    (:func:`repro.obs.schema.unified_status`)."""
+    lines: List[str] = []
+    engine = status.get("engine", {})
+    queries = engine.get("queries", {})
+    lines.append(
+        render_counters(
+            "engine",
+            {
+                "queries": len(queries),
+                "watermark": engine.get("watermark"),
+                "policy": engine.get("policy"),
+                "delta_eval": engine.get("delta_eval"),
+            },
+        )
+    )
+    for name, info in queries.items():
+        lines.append(
+            "  " + render_counters(
+                f"query.{name}",
+                {
+                    key: info[key]
+                    for key in (
+                        "evaluations", "reused", "delta", "done",
+                    )
+                    if key in info
+                },
+            )
+        )
+    for section in ("parallel", "resilience"):
+        fields = status.get(section)
+        if fields:
+            lines.append(render_counters(section, fields))
+    obs = status.get("obs") or {}
+    if obs.get("enabled"):
+        trace = obs.get("trace") or {}
+        lines.append(
+            render_counters(
+                "obs",
+                {"spans": trace.get("spans", 0),
+                 "dropped": trace.get("dropped", 0)},
+            )
+        )
+        metrics = obs.get("metrics") or {}
+        for name, hist in (metrics.get("histograms") or {}).items():
+            lines.append("  " + render_histogram(name, hist))
+    return "\n".join(lines)

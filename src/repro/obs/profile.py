@@ -1,0 +1,31 @@
+"""cProfile hook around engine evaluation (the CLI's ``--profile``)."""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+
+@contextmanager
+def profiled(path: Optional[str] = None, out: Optional[IO[str]] = None,
+             top: int = 20, sort: str = "cumulative") -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block.
+
+    ``path`` dumps binary pstats data (inspect with ``python -m pstats``
+    or snakeviz); ``out`` prints the ``top`` functions by ``sort`` order
+    to a text stream.  Either may be omitted.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        if path is not None:
+            profiler.dump_stats(path)
+        if out is not None:
+            stats = pstats.Stats(profiler, stream=out)
+            stats.sort_stats(sort)
+            stats.print_stats(top)

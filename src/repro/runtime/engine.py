@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.errors import PoisonMessageError, ReproError
@@ -121,6 +122,11 @@ class ResilientEngine:
     sleep / clock:
         Injectable time for deterministic tests (backoff sleeping and
         breaker recovery timing).
+
+    The wrapper shares the wrapped engine's observability bundle
+    (``self.obs is self.engine.obs``): sink retries show up as
+    ``sink_attempt`` child spans under the engine's ``sink`` span, and
+    reorder/poison counters land in the same registry.
     """
 
     def __init__(
@@ -141,8 +147,17 @@ class ResilientEngine:
         clock: Callable[[], float] = time.monotonic,
         **engine_kwargs,
     ):
+        if engine is None and engine_kwargs:
+            warnings.warn(
+                "ResilientEngine(**engine_kwargs) is deprecated; build the "
+                "inner engine via repro.build_engine(EngineConfig(...)) and "
+                "pass it explicitly",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.engine = engine if engine is not None \
             else SeraphEngine(**engine_kwargs)
+        self.obs = self.engine.obs
         self.allowed_lateness = allowed_lateness
         self.poison_policy = poison_policy
         self.late_policy = late_policy
@@ -196,6 +211,7 @@ class ResilientEngine:
             dead_letters=self.dead_letters,
             metrics=self.metrics,
             sleep=self.sleep,
+            tracer=self.obs.tracer if self.obs.enabled else None,
         )
 
     def deregister(self, name: str) -> None:
@@ -226,6 +242,7 @@ class ResilientEngine:
                 dead_letters=self.dead_letters,
                 metrics=self.metrics,
                 stream=stream,
+                registry=self.obs.registry if self.obs.enabled else None,
             )
             self._buffers[stream] = buffer
         return buffer
@@ -253,6 +270,8 @@ class ResilientEngine:
             element = decode_item(item)
         except PoisonMessageError as exc:
             self.metrics.poison_rejected += 1
+            if self.obs.enabled:
+                self.obs.registry.inc("resilience.poison_rejected")
             if self.poison_policy is FaultPolicy.FAIL_FAST:
                 raise
             if self.poison_policy is FaultPolicy.SKIP:
@@ -460,6 +479,13 @@ class ResilientEngine:
             "metrics": self.metrics.as_dict(),
         }
         return status
+
+    def unified_status(self) -> Dict[str, Any]:
+        """The namespaced, schema-stamped status document
+        (:func:`repro.obs.schema.unified_status`)."""
+        from repro.obs.schema import unified_status
+
+        return unified_status(self)
 
     def __repr__(self) -> str:
         return (f"ResilientEngine(lateness={self.allowed_lateness}, "

@@ -82,18 +82,25 @@ def _parse_cached(text: str):
     return query
 
 
-def _worker_evaluate_group(payload) -> Tuple[int, float, List[Table]]:
+def _worker_evaluate_group(
+    payload,
+) -> Tuple[int, float, List[Table], List[Tuple[float, float]]]:
     """Evaluate one shared-window group of full evaluations.
 
     ``payload`` is ``(graphs, tasks)`` where ``graphs`` maps
     ``(stream, width)`` to the group's snapshot graphs (pickled once per
     group) and each task is ``(query_text, interval_start, interval_end)``.
-    Pure: reads the snapshots, returns the output tables.
+    Pure: reads the snapshots, returns the output tables plus one
+    ``(start_offset, duration)`` timing fragment per task — the parent
+    stitches those into its trace as ``worker_evaluate`` spans, so one
+    trace covers both sides of the process boundary.
     """
     graphs, tasks = payload
     started = time.perf_counter()
     tables: List[Table] = []
+    timings: List[Tuple[float, float]] = []
     for text, lo, hi in tasks:
+        task_started = time.perf_counter()
         query = _parse_cached(text)
         tables.append(
             semantics.execute_body(
@@ -103,7 +110,10 @@ def _worker_evaluate_group(payload) -> Tuple[int, float, List[Table]]:
                 expr_cache=_EXPR_CACHES.setdefault(text, {}),
             )
         )
-    return os.getpid(), time.perf_counter() - started, tables
+        timings.append(
+            (task_started - started, time.perf_counter() - task_started)
+        )
+    return os.getpid(), time.perf_counter() - started, tables, timings
 
 
 def _worker_run_shard(payload):
@@ -322,9 +332,11 @@ class ParallelEngine(SeraphEngine):
             self.parallel_metrics.max_queue_depth, len(futures)
         )
         for future, indices in futures:
-            worker_pid, elapsed, group_tables = future.result()
+            worker_pid, elapsed, group_tables, timings = future.result()
             self.parallel_metrics.observe_task(worker_pid, elapsed)
-            for i, table in zip(indices, group_tables):
+            for position, (i, table) in enumerate(
+                zip(indices, group_tables)
+            ):
                 registered = pendings[i].registered
                 if registered.delta_state is not None:
                     # Same bookkeeping the serial full path performs: an
@@ -333,6 +345,20 @@ class ParallelEngine(SeraphEngine):
                     registered.delta_state.invalidate()
                 tables[i] = table
                 self.parallel_metrics.offloaded_evaluations += 1
+                if self.obs.enabled:
+                    offset, duration = timings[position]
+                    self.obs.tracer.add_completed(
+                        "worker_evaluate",
+                        duration,
+                        parent=pendings[i].span,
+                        start_offset=offset,
+                        pid=worker_pid,
+                        rows=len(table),
+                    )
+                    self.obs.record_stage(
+                        registered.name, "worker_evaluate", duration
+                    )
+                    self.obs.registry.inc("parallel.offloaded_evaluations")
 
     def status(self) -> Dict[str, object]:
         info = super().status()

@@ -42,6 +42,7 @@ class ReorderBuffer:
         dead_letters: Optional[DeadLetterQueue] = None,
         metrics: Optional[ResilienceMetrics] = None,
         stream: Optional[str] = None,
+        registry=None,
     ):
         if allowed_lateness < 0:
             raise ValueError("allowed lateness must be >= 0")
@@ -50,6 +51,9 @@ class ReorderBuffer:
         self.dead_letters = dead_letters
         self.metrics = metrics
         self.stream = stream
+        #: optional :class:`repro.obs.registry.MetricsRegistry` mirroring
+        #: the buffer's depth/watermark as live gauges.
+        self.registry = registry
         self._pending: List[Tuple[TimeInstant, int, StreamElement]] = []
         self._arrivals = 0
         self._watermark: Optional[TimeInstant] = None
@@ -96,7 +100,9 @@ class ReorderBuffer:
         self._arrivals += 1
         if self._watermark is None or element.instant > self._watermark:
             self._watermark = element.instant
-        return self._release_ripe()
+        released = self._release_ripe()
+        self._publish_gauges()
+        return released
 
     def flush(self) -> List[StreamElement]:
         """End-of-stream: release everything still buffered, in order."""
@@ -105,7 +111,20 @@ class ReorderBuffer:
             released.append(heapq.heappop(self._pending)[2])
         if released:
             self._advance_frontier(released[-1].instant)
+        self._publish_gauges()
         return released
+
+    def _publish_gauges(self) -> None:
+        if self.registry is None:
+            return
+        label = self.stream if self.stream is not None else "default"
+        self.registry.set(
+            f"resilience.buffer.{label}.pending", len(self._pending)
+        )
+        if self._watermark is not None:
+            self.registry.set(
+                f"resilience.buffer.{label}.watermark", self._watermark
+            )
 
     def _release_ripe(self) -> List[StreamElement]:
         ripe_until = self._watermark - self.allowed_lateness

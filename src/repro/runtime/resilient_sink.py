@@ -146,6 +146,10 @@ class ResilientSink(Sink):
     ``failure_policy`` governs an undeliverable emission with no
     fallback: FAIL_FAST re-raises :class:`SinkDeliveryError` /
     :class:`CircuitOpenError`, SKIP drops it, DEAD_LETTER quarantines it.
+
+    With a ``tracer`` (:class:`repro.obs.trace.Tracer`), every delivery
+    attempt opens a ``sink_attempt`` span — ambient-parented, so it
+    nests under the engine's ``sink`` span when one is open.
     """
 
     def __init__(
@@ -158,6 +162,7 @@ class ResilientSink(Sink):
         dead_letters: Optional[DeadLetterQueue] = None,
         metrics: Optional[ResilienceMetrics] = None,
         sleep: Callable[[float], None] = time.sleep,
+        tracer=None,
     ):
         self.inner = inner
         self.retry = retry if retry is not None else RetryPolicy()
@@ -169,6 +174,7 @@ class ResilientSink(Sink):
         self.failure_policy = failure_policy
         self.dead_letters = dead_letters
         self.sleep = sleep
+        self.tracer = tracer
 
     def receive(self, emission: Emission) -> None:
         if not self.breaker.allow():
@@ -189,7 +195,20 @@ class ResilientSink(Sink):
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             try:
-                self.inner.receive(emission)
+                if self.tracer is not None:
+                    with self.tracer.span(
+                        "sink_attempt", attempt=attempt + 1
+                    ) as span:
+                        try:
+                            self.inner.receive(emission)
+                        except Exception as exc:
+                            span.annotate(
+                                outcome="error", error=type(exc).__name__
+                            )
+                            raise
+                        span.annotate(outcome="delivered")
+                else:
+                    self.inner.receive(emission)
             except Exception as exc:  # noqa: BLE001 — isolate *any* sink bug
                 last_error = exc
                 if self.metrics is not None:

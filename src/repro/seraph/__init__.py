@@ -8,7 +8,7 @@ from repro.seraph.construct import (
     RelationshipSpec,
 )
 from repro.seraph.engine import RegisteredQuery, SeraphEngine
-from repro.seraph.explain import explain
+from repro.seraph.explain import explain, explain_analyze
 from repro.seraph.parser import SeraphParser, parse_seraph
 from repro.seraph.registry import QueryRegistry
 from repro.seraph.semantics import continuous_run, evaluate_at, execute_body
@@ -35,5 +35,6 @@ __all__ = [
     "evaluate_at",
     "execute_body",
     "explain",
+    "explain_analyze",
     "parse_seraph",
 ]

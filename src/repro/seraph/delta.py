@@ -214,12 +214,17 @@ def evaluate_delta(
     delta: WindowDelta,
     interval: TimeInterval,
     expr_cache: Optional[dict] = None,
+    span=None,
 ) -> Tuple[Table, DeltaStats]:
     """One evaluation through the incremental path.
 
     Maintains ``state`` (the assignment set) and returns the query's
     output table plus bookkeeping for the engine's counters.  The caller
     guarantees :func:`delta_ineligibility` returned None for ``query``.
+
+    ``span`` is an optional open trace span (:mod:`repro.obs.trace`);
+    the chosen path (full refresh / no-op / anchored re-match) and its
+    retain/recompute counts are annotated onto it.
     """
     base_scope = {WIN_START: interval.start, WIN_END: interval.end}
     evaluator = QueryEvaluator(graph, base_scope=base_scope,
@@ -294,6 +299,20 @@ def evaluate_delta(
                 retained=len(retained),
                 recomputed=len(fresh),
             )
+    if span is not None:
+        if stats.full_refresh:
+            path = "full_refresh"
+        elif stats.recomputed:
+            path = "anchored_rematch"
+        else:
+            path = "retained"
+        span.annotate(
+            path=path,
+            retained=stats.retained,
+            recomputed=stats.recomputed,
+            dirty_seeds=len(delta.seed_node_ids()) if not delta.is_empty
+            else 0,
+        )
     table = Table(
         (record for record, _footprint in state.assignments),
         fields=state.fields,

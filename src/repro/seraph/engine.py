@@ -29,10 +29,12 @@ output (tested, including property-based tests over random streams).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import EngineError, QueryRegistryError
+from repro.obs import NOOP_OBS, Observability
 from repro.graph.model import PropertyGraph
 from repro.graph.table import Table
 from repro.graph.temporal import TimeInstant
@@ -239,6 +241,8 @@ class _PendingEvaluation:
     fingerprint: Tuple
     reusable: bool
     deltas: List[Tuple[_WindowState, WindowDelta]]
+    #: Open per-evaluation trace root (None when observability is off).
+    span: Optional[object] = None
 
     @property
     def takes_delta_path(self) -> bool:
@@ -279,6 +283,15 @@ class SeraphEngine:
         offloading full evaluations to a pool of N worker processes
         (``0`` → ``os.cpu_count()``).  Emissions are byte-identical to
         the serial engine (see docs/PARALLEL.md).
+
+        .. deprecated:: 1.1
+            Construct composed engines through
+            :func:`repro.build_engine` instead.
+    obs:
+        An :class:`repro.obs.Observability` bundle (tracer + metrics
+        registry).  ``None`` (default) installs the shared no-op bundle:
+        every instrumented site then costs a single attribute check
+        (docs/OBSERVABILITY.md).
     """
 
     def __new__(cls, *args, parallel: Optional[int] = None, **kwargs):
@@ -286,8 +299,16 @@ class SeraphEngine:
             # Factory hook (the pathlib.Path pattern): constructing the
             # base class with parallel= yields the parallel subclass;
             # type.__call__ then runs ParallelEngine.__init__.
+            import warnings
+
             from repro.runtime.parallel import ParallelEngine
 
+            warnings.warn(
+                "SeraphEngine(parallel=N) is deprecated; use "
+                "repro.build_engine(EngineConfig(parallel_workers=N))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             return object.__new__(ParallelEngine)
         return object.__new__(cls)
 
@@ -300,6 +321,7 @@ class SeraphEngine:
         share_windows: bool = True,
         delta_eval: bool = True,
         parallel: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ):
         self.policy = policy
         self.incremental = incremental
@@ -307,6 +329,7 @@ class SeraphEngine:
         self.reuse_unchanged_windows = reuse_unchanged_windows
         self.share_windows = share_windows
         self.delta_eval = delta_eval
+        self.obs = obs if obs is not None else NOOP_OBS
         self._streams: Dict[str, _StreamState] = {}
         self._queries: Dict[str, RegisteredQuery] = {}
         self._shared_windows: Dict[Tuple, _WindowState] = {}
@@ -418,7 +441,15 @@ class SeraphEngine:
     def ingest_element(
         self, element: StreamElement, stream: str = DEFAULT_STREAM
     ) -> None:
-        self._stream_state(stream).append(element)
+        obs = self.obs
+        if obs.enabled:
+            with obs.tracer.span("ingest", stream=stream,
+                                 instant=element.instant):
+                self._stream_state(stream).append(element)
+            obs.registry.inc("engine.ingested")
+            obs.registry.inc(f"engine.stream.{stream}.ingested")
+        else:
+            self._stream_state(stream).append(element)
         if self._watermark is None or element.instant > self._watermark:
             self._watermark = element.instant
 
@@ -508,10 +539,25 @@ class SeraphEngine:
         """Advance windows and classify the evaluation (serial, stateful)."""
         query = registered.query
         instant = registered.next_eval
+        obs = self.obs
+        span = None
+        if obs.enabled:
+            # Explicit parenting: the parallel engine opens many
+            # evaluation roots per batch; they must not nest.
+            span = obs.tracer.start("evaluate", query=query.name,
+                                    instant=instant)
+            advance_started = time.perf_counter()
         deltas: List[Tuple[_WindowState, WindowDelta]] = []
         for (stream_name, _width), state in registered.windows.items():
             delta = state.advance(self._stream_state(stream_name), instant)
             deltas.append((state, delta))
+        if span is not None:
+            elapsed = time.perf_counter() - advance_started
+            obs.tracer.add_completed(
+                "window_advance", elapsed, parent=span,
+                windows=len(registered.windows),
+            )
+            obs.record_stage(query.name, "window_advance", elapsed)
 
         interval = semantics.reported_interval(query, instant, self.policy)
         fingerprint = tuple(
@@ -531,6 +577,7 @@ class SeraphEngine:
             fingerprint=fingerprint,
             reusable=reusable,
             deltas=deltas,
+            span=span,
         )
 
     def _needs_full_evaluation(self, pending: _PendingEvaluation) -> bool:
@@ -543,19 +590,42 @@ class SeraphEngine:
     def _compute_table(self, pending: _PendingEvaluation) -> Table:
         """The evaluation work itself: reuse / delta / full execution."""
         registered = pending.registered
+        obs = self.obs
         if pending.reusable:
             registered.reused_evaluations += 1
+            if obs.enabled:
+                obs.tracer.add_completed("reuse", 0.0, parent=pending.span)
+                obs.record_stage(registered.name, "reuse", 0.0)
             return registered._last_table
         if self.delta_eval and pending.takes_delta_path:
             window_state, delta = pending.deltas[0]
-            table, stats = evaluate_delta(
-                registered.query,
-                registered.delta_state,
-                window_state.graph(),
-                delta,
-                pending.interval,
-                expr_cache=registered._expr_cache,
-            )
+            if obs.enabled:
+                with obs.tracer.span("match_delta",
+                                     parent=pending.span) as stage:
+                    snapshot = self._timed_graph(
+                        window_state, registered.name, stage
+                    )
+                    table, stats = evaluate_delta(
+                        registered.query,
+                        registered.delta_state,
+                        snapshot,
+                        delta,
+                        pending.interval,
+                        expr_cache=registered._expr_cache,
+                        span=stage,
+                    )
+                obs.record_stage(
+                    registered.name, "match_delta", stage.duration_seconds
+                )
+            else:
+                table, stats = evaluate_delta(
+                    registered.query,
+                    registered.delta_state,
+                    window_state.graph(),
+                    delta,
+                    pending.interval,
+                    expr_cache=registered._expr_cache,
+                )
             if stats.full_refresh:
                 registered.delta_full_refreshes += 1
             else:
@@ -568,12 +638,48 @@ class SeraphEngine:
             # delta_eval toggled off): its assignment set no longer
             # tracks the window content.
             registered.delta_state.invalidate()
-        return semantics.execute_body(
-            registered.query,
-            self._graph_provider(registered),
-            pending.interval,
-            expr_cache=registered._expr_cache,
+        if not obs.enabled:
+            return semantics.execute_body(
+                registered.query,
+                self._graph_provider(registered),
+                pending.interval,
+                expr_cache=registered._expr_cache,
+            )
+        with obs.tracer.span("match_full", parent=pending.span) as stage:
+            table = semantics.execute_body(
+                registered.query,
+                self._traced_provider(registered, stage),
+                pending.interval,
+                expr_cache=registered._expr_cache,
+            )
+        obs.record_stage(
+            registered.name, "match_full", stage.duration_seconds
         )
+        return table
+
+    def _timed_graph(self, window_state: _WindowState, query_name: str,
+                     parent) -> PropertyGraph:
+        """Snapshot-build stage: one window state's graph, under a span."""
+        obs = self.obs
+        with obs.tracer.span("snapshot_build", parent=parent) as span:
+            graph = window_state.graph()
+            span.annotate(order=graph.order, size=graph.size)
+        obs.record_stage(query_name, "snapshot_build", span.duration_seconds)
+        return graph
+
+    def _traced_provider(self, registered: RegisteredQuery, parent):
+        """The graph provider with snapshot-build spans attached."""
+
+        def graph_for(stream_name: str, width: int) -> PropertyGraph:
+            state = registered.windows.get((stream_name, width))
+            if state is None:
+                raise EngineError(
+                    f"no window state for stream {stream_name!r} "
+                    f"width {width}"
+                )
+            return self._timed_graph(state, registered.name, parent)
+
+        return graph_for
 
     def _finish_evaluation(
         self, pending: _PendingEvaluation, table: Table
@@ -583,10 +689,21 @@ class SeraphEngine:
         query = registered.query
         instant = pending.instant
         interval = pending.interval
+        obs = self.obs
         registered._last_fingerprint = pending.fingerprint
         registered._last_table = table
 
-        if registered.report is not None:
+        if obs.enabled:
+            with obs.tracer.span("report", parent=pending.span,
+                                 policy=query.emit.policy.value
+                                 if registered.report is not None
+                                 else None) as stage:
+                if registered.report is not None:
+                    emitted = registered.report.apply(table)
+                else:
+                    emitted = table
+            obs.record_stage(query.name, "report", stage.duration_seconds)
+        elif registered.report is not None:
             emitted = registered.report.apply(table)
         else:
             emitted = table
@@ -600,7 +717,21 @@ class SeraphEngine:
         else:
             registered.done = True
         emission = Emission(query_name=query.name, instant=instant, table=annotated)
-        registered.sink.receive(emission)
+        if obs.enabled:
+            with obs.tracer.span("sink", parent=pending.span,
+                                 rows=len(annotated)) as stage:
+                registered.sink.receive(emission)
+            obs.record_stage(query.name, "sink", stage.duration_seconds)
+            span = pending.span
+            span.annotate(rows=len(annotated))
+            span.finish()
+            obs.record_stage(query.name, "total", span.duration_seconds)
+            obs.registry.inc("engine.evaluations")
+            obs.registry.observe(
+                f"query.{query.name}.rows", len(annotated)
+            )
+        else:
+            registered.sink.receive(emission)
         return emission
 
     def _graph_provider(self, registered: RegisteredQuery):
@@ -685,3 +816,10 @@ class SeraphEngine:
             "delta_eval": self.delta_eval,
             "shared_window_states": len(self._shared_windows),
         }
+
+    def unified_status(self) -> Dict[str, object]:
+        """The namespaced, schema-versioned status document
+        (docs/OBSERVABILITY.md; :mod:`repro.obs.schema`)."""
+        from repro.obs.schema import unified_status
+
+        return unified_status(self)

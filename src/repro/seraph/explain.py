@@ -1,9 +1,13 @@
 """EXPLAIN-style introspection for registered Seraph queries.
 
-Produces a human-readable execution outline: windows (per stream/width),
-evaluation cadence, report policy, clause pipeline, and which engine
-optimizations apply — the kind of plan surface the paper's Section 6
-optimization work would need.
+:func:`explain` produces a human-readable execution outline: windows
+(per stream/width), evaluation cadence, report policy, clause pipeline,
+and which engine optimizations apply — the kind of plan surface the
+paper's Section 6 optimization work would need.
+
+:func:`explain_analyze` appends *observed* per-stage timings to that
+outline, read from the engine's metrics registry (the stage histograms
+:meth:`repro.obs.Observability.record_stage` fills during evaluation).
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from typing import List, Union
 
 from repro.cypher import ast as cypher_ast
+from repro.errors import EngineError
 from repro.graph.temporal import format_datetime, format_duration
 from repro.seraph.ast import SeraphMatch, SeraphQuery
 from repro.seraph.parser import parse_seraph
@@ -80,4 +85,45 @@ def explain(query: Union[str, SeraphQuery]) -> str:
         lines.append(f"    {step}. Emit {items}")
     else:
         lines.append(f"    {step}. {query.final_return.render()}")
+    return "\n".join(lines)
+
+
+def explain_analyze(engine, query_name: str) -> str:
+    """EXPLAIN plus observed stage timings (``EXPLAIN ANALYZE``).
+
+    ``engine`` is any layer of the stack (:class:`SeraphEngine`,
+    :class:`ParallelEngine`, or a :class:`ResilientEngine` wrapper) that
+    ran ``query_name`` with observability enabled; each stage that fired
+    at least once gets a ``n/mean/p95/max`` line.  Raises
+    :class:`~repro.errors.EngineError` for an unregistered query; an
+    engine without observability gets the plain plan plus a hint.
+    """
+    from repro.obs import STAGES, stage_metric
+    from repro.obs.format import render_histogram
+
+    inner = engine.engine if hasattr(engine, "dead_letters") \
+        and hasattr(engine, "engine") else engine
+    if query_name not in inner.query_names:
+        raise EngineError(f"query {query_name!r} is not registered")
+    registered = inner.registered(query_name)
+    lines = [explain(registered.query)]
+    obs = inner.obs
+    if not obs.enabled:
+        lines.append(
+            "  analyze     : observability disabled "
+            "(build with EngineConfig(observability=True))"
+        )
+        return "\n".join(lines)
+    lines.append("  analyze     :")
+    observed = 0
+    for stage in STAGES:
+        instrument = obs.registry.get(stage_metric(query_name, stage))
+        if instrument is None or instrument.count == 0:
+            continue
+        observed += 1
+        lines.append(
+            "    " + render_histogram(stage, instrument.snapshot())
+        )
+    if not observed:
+        lines.append("    (no evaluations observed yet)")
     return "\n".join(lines)

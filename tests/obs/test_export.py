@@ -1,0 +1,127 @@
+"""Tests for the exporters: JSON documents, Prometheus, human render."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    metrics_document,
+    parse_prometheus,
+    render,
+    sanitize_metric_name,
+    to_prometheus,
+    trace_document,
+    write_json,
+    write_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    validate_metrics,
+    validate_trace,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.inc("engine.ingested", 5)
+    registry.set("resilience.buffer.default.pending", 2.0)
+    for value in (0.1, 0.2, 0.3, 0.4):
+        registry.observe("query.q.stage.total", value)
+    return registry
+
+
+class TestJsonDocuments:
+    def test_metrics_document_is_stamped_and_valid(self, registry):
+        document = metrics_document(registry)
+        assert document["schema"] == {
+            "name": "repro.metrics", "version": SCHEMA_VERSION,
+        }
+        validate_metrics(document)
+        assert document["counters"]["engine.ingested"] == 5
+
+    def test_trace_document_is_stamped_and_valid(self):
+        tracer = Tracer()
+        root = tracer.start("evaluate", query="q")
+        tracer.start("report", parent=root).finish()
+        root.finish()
+        document = trace_document(tracer)
+        assert document["schema"]["name"] == "repro.trace"
+        assert document["span_count"] == 2
+        assert document["dropped"] == 0
+        validate_trace(document)
+        (span,) = document["spans"]
+        assert [child["name"] for child in span["children"]] == ["report"]
+
+    def test_write_json_round_trips_sorted(self, registry, tmp_path):
+        path = tmp_path / "metrics.json"
+        returned = write_json(str(path), metrics_document(registry))
+        assert returned == str(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        loaded = json.loads(text)
+        assert loaded == metrics_document(registry)
+        validate_metrics(loaded)
+
+
+class TestPrometheus:
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("query.q.stage.total") \
+            == "query_q_stage_total"
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+        assert sanitize_metric_name("ok_name:x") == "ok_name:x"
+
+    def test_round_trip_through_the_parser(self, registry):
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples["repro_engine_ingested_total"][""] == 5.0
+        assert samples["repro_resilience_buffer_default_pending"][""] == 2.0
+        summary = samples["repro_query_q_stage_total"]
+        assert summary['quantile="0.5"'] == 0.2
+        assert summary['quantile="0.95"'] == 0.4
+        assert summary['quantile="0.99"'] == 0.4
+        assert samples["repro_query_q_stage_total_sum"][""] \
+            == pytest.approx(1.0)
+        assert samples["repro_query_q_stage_total_count"][""] == 4.0
+
+    def test_type_lines_declare_each_instrument(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_engine_ingested_total counter" in text
+        assert ("# TYPE repro_resilience_buffer_default_pending gauge"
+                in text)
+        assert "# TYPE repro_query_q_stage_total summary" in text
+
+    def test_custom_prefix(self, registry):
+        samples = parse_prometheus(to_prometheus(registry, prefix="seraph"))
+        assert "seraph_engine_ingested_total" in samples
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus("!!! not a sample")
+
+    def test_parser_skips_comments_and_blanks(self):
+        samples = parse_prometheus("# HELP x\n\nx_total 3\n")
+        assert samples == {"x_total": {"": 3.0}}
+
+    def test_write_prometheus(self, registry, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), registry)
+        samples = parse_prometheus(path.read_text())
+        assert samples["repro_engine_ingested_total"][""] == 5.0
+
+    def test_empty_registry_renders_to_a_bare_newline(self):
+        assert to_prometheus(MetricsRegistry()) == "\n"
+        assert parse_prometheus("\n") == {}
+
+
+class TestHumanRender:
+    def test_render_covers_every_section(self, registry):
+        text = render(registry)
+        assert "engine.ingested=5" in text
+        assert "resilience.buffer.default.pending=2" in text
+        assert "query.q.stage.total:" in text
+        assert "p95=" in text
+
+    def test_render_empty_registry(self):
+        assert render(MetricsRegistry()) == "metrics: no data"

@@ -1,0 +1,216 @@
+"""Cross-layer observability: stitched worker spans, sink retries,
+reorder gauges, EXPLAIN ANALYZE.
+
+These are the acceptance scenarios of the observability layer: one
+trace covers both sides of the process-pool boundary, retry spans land
+under the engine's sink span, and the analyze output reads the same
+histograms the exporters publish.
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import EngineConfig, build_engine
+from repro.errors import EngineError
+from repro.graph.generators import random_stream
+from repro.obs import Observability
+from repro.runtime import ParallelEngine, ResilientEngine
+from repro.runtime.faults import FailureSchedule, FlakySink
+from repro.runtime.resilient_sink import RetryPolicy
+from repro.seraph import CollectingSink, SeraphEngine, explain_analyze
+from repro.usecases.micromobility import LISTING5_SERAPH, _t, figure1_stream
+
+# shortestPath is delta-ineligible, so a zero threshold offloads every
+# evaluation to the pool — the stitching path under test.
+OFFLOADED_QUERY = """
+REGISTER QUERY paths STARTING AT 1970-01-01T00:00
+{
+  MATCH p = shortestPath((a)-[*..3]->(b)) WITHIN PT5M
+  WHERE id(a) <> id(b)
+  EMIT id(a) AS a, id(b) AS b SNAPSHOT EVERY PT1M
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def elements():
+    return random_stream(
+        random.Random(3), num_events=4, period=60, start=0,
+        nodes_per_event=3, relationships_per_event=3, shared_node_pool=5,
+    )
+
+
+class TestWorkerSpanStitching:
+    @pytest.fixture(scope="class")
+    def traced(self, pool, elements):
+        engine = ParallelEngine(
+            workers=2, pool=pool, offload_threshold=0.0,
+            obs=Observability.create(),
+        )
+        sink = CollectingSink()
+        engine.register(OFFLOADED_QUERY, sink=sink)
+        engine.run_stream(elements)
+        return engine, sink
+
+    def test_offloaded_evaluations_match_the_serial_engine(
+        self, traced, elements
+    ):
+        engine, sink = traced
+        serial = SeraphEngine()
+        serial_sink = CollectingSink()
+        serial.register(OFFLOADED_QUERY, sink=serial_sink)
+        serial.run_stream(elements)
+        assert [e.render() for e in sink.emissions] \
+            == [e.render() for e in serial_sink.emissions]
+
+    def test_worker_fragments_are_stitched_under_evaluate_roots(
+        self, traced
+    ):
+        engine, sink = traced
+        tracer = engine.obs.tracer
+        workers = tracer.find("worker_evaluate")
+        assert len(workers) == len(sink.emissions)
+        for root in tracer.roots:
+            if root.name != "evaluate":
+                continue
+            (fragment,) = [child for child in root.children
+                           if child.name == "worker_evaluate"]
+            # The fragment is placed inside its parent's time box and
+            # carries the worker-side identity.
+            assert fragment.start >= root.start
+            assert fragment.end is not None
+            assert fragment.tags["pid"] > 0
+            assert fragment.tags["rows"] >= 0
+
+    def test_worker_stage_feeds_the_registry(self, traced):
+        engine, sink = traced
+        registry = engine.obs.registry
+        hist = registry.get("query.paths.stage.worker_evaluate")
+        assert hist is not None
+        assert hist.count == len(sink.emissions)
+        assert registry.counter("parallel.offloaded_evaluations").value \
+            == len(sink.emissions)
+
+    def test_analyze_reports_the_worker_stage(self, traced):
+        engine, _ = traced
+        text = explain_analyze(engine, "paths")
+        assert "  analyze     :" in text
+        assert "worker_evaluate: n=" in text
+
+
+class TestSinkRetrySpans:
+    @pytest.fixture
+    def flaky_run(self):
+        inner = build_engine(EngineConfig(observability=True))
+        flaky = FlakySink(FailureSchedule.first(2))
+        engine = ResilientEngine(
+            inner, retry=RetryPolicy(max_attempts=4, seed=3),
+            sleep=lambda _: None,
+        )
+        engine.register(LISTING5_SERAPH, sink=flaky)
+        engine.run_stream(figure1_stream(), until=_t("15:40"))
+        return engine, flaky
+
+    def test_retries_nest_under_the_engines_sink_span(self, flaky_run):
+        engine, flaky = flaky_run
+        tracer = engine.obs.tracer
+        attempts = tracer.find("sink_attempt")
+        assert len(attempts) == flaky.failures + len(flaky.delivered)
+        for attempt in attempts:
+            assert attempt.tags["outcome"] in {"delivered", "error"}
+        # Every attempt is a child of a sink stage span, never a root.
+        sinks = tracer.find("sink")
+        nested = [child for span in sinks for child in span.children
+                  if child.name == "sink_attempt"]
+        assert sorted(map(id, nested)) == sorted(map(id, attempts))
+
+    def test_the_flaky_evaluation_shows_the_full_retry_story(
+        self, flaky_run
+    ):
+        engine, _ = flaky_run
+        (retried,) = [span for span in engine.obs.tracer.find("sink")
+                      if len(span.children) == 3]
+        outcomes = [child.tags["outcome"] for child in retried.children]
+        errors = [child.tags.get("error") for child in retried.children]
+        assert outcomes == ["error", "error", "delivered"]
+        assert errors[0] == "InjectedSinkFailure"
+        attempts = [child.tags["attempt"] for child in retried.children]
+        assert attempts == [1, 2, 3]
+
+
+class TestResilienceMetricsBridge:
+    def test_reorder_buffer_publishes_gauges(self):
+        engine = build_engine(EngineConfig(
+            resilient=True, allowed_lateness=3600, observability=True,
+        ))
+        engine.register(LISTING5_SERAPH)
+        stream = figure1_stream()
+        shuffled = [stream[1], stream[0]] + stream[2:]
+        engine.run_stream(shuffled, until=_t("15:40"))
+        assert engine.metrics.reordered > 0
+        registry = engine.obs.registry
+        pending = registry.get("resilience.buffer.default.pending")
+        watermark = registry.get("resilience.buffer.default.watermark")
+        assert pending is not None and watermark is not None
+        # The gauge mirrors the live buffer depth.
+        assert pending.value == len(engine._buffers["default"])
+
+    def test_poison_rejections_are_counted(self):
+        engine = build_engine(EngineConfig(
+            resilient=True, observability=True,
+        ))
+        engine.register(LISTING5_SERAPH)
+        engine.run_stream(["{this is not json"])
+        assert len(engine.dead_letters) == 1
+        assert engine.obs.registry.counter(
+            "resilience.poison_rejected"
+        ).value == 1
+
+
+class TestExplainAnalyze:
+    def test_enabled_engine_reports_observed_stages(self):
+        engine = build_engine(EngineConfig(observability=True))
+        engine.register(LISTING5_SERAPH)
+        engine.run_stream(figure1_stream(), until=_t("15:40"))
+        text = explain_analyze(engine, "student_trick")
+        assert text.startswith("ContinuousQuery student_trick")
+        assert "  analyze     :" in text
+        for stage in ("window_advance", "match_full", "reuse",
+                      "report", "sink", "total"):
+            assert f"{stage}: n=" in text
+        assert "p95=" in text
+
+    def test_wrapper_is_unwrapped_transparently(self):
+        engine = build_engine(EngineConfig(
+            resilient=True, observability=True,
+        ))
+        engine.register(LISTING5_SERAPH)
+        engine.run_stream(figure1_stream(), until=_t("15:40"))
+        assert "total: n=" in explain_analyze(engine, "student_trick")
+
+    def test_before_any_evaluation_says_so(self):
+        engine = build_engine(EngineConfig(observability=True))
+        engine.register(LISTING5_SERAPH)
+        text = explain_analyze(engine, "student_trick")
+        assert "(no evaluations observed yet)" in text
+
+    def test_disabled_engine_gets_the_plan_plus_a_hint(self):
+        engine = build_engine(EngineConfig())
+        engine.register(LISTING5_SERAPH)
+        engine.run_stream(figure1_stream(), until=_t("15:40"))
+        text = explain_analyze(engine, "student_trick")
+        assert "observability disabled" in text
+        assert "EngineConfig(observability=True)" in text
+
+    def test_unknown_query_raises(self):
+        engine = build_engine(EngineConfig(observability=True))
+        with pytest.raises(EngineError, match="not registered"):
+            explain_analyze(engine, "missing")

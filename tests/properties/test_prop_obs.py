@@ -1,0 +1,75 @@
+"""Property: observation never changes what the engine computes.
+
+Across random streams/queries and the delta × parallel × resilient
+composition matrix, a ``build_engine`` stack with observability enabled
+must emit exactly what the untraced serial engine emits — and actually
+record the run (every emission is covered by an ``evaluate`` root span).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineConfig, build_engine
+from repro.seraph import CollectingSink
+
+from .test_prop_parallel import _run_serial, scenario
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        yield executor
+
+
+def _run_traced(elements, texts, config, pool):
+    engine = build_engine(config)
+    inner = getattr(engine, "engine", engine)
+    if config.parallel_workers is not None:
+        # Reuse the module pool instead of spawning one per example
+        # (pools are created lazily, so nothing leaks).
+        inner._pool = pool
+        inner._owns_pool = False
+    if config.resilient:
+        for text in texts:
+            engine.register(text)
+        engine.run_stream(elements)
+        rendered = [
+            e.render()
+            for index in range(len(texts))
+            for e in engine.sink(f"q{index}").emissions
+        ]
+    else:
+        sinks = [CollectingSink() for _ in texts]
+        for text, sink in zip(texts, sinks):
+            engine.register(text, sink=sink)
+        engine.run_stream(elements)
+        rendered = [e.render()
+                    for sink in sinks for e in sink.emissions]
+    return engine, rendered
+
+
+@given(data=scenario(), parallel=st.booleans(), resilient=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_traced_stack_is_emission_equal_to_the_untraced_serial_engine(
+    data, parallel, resilient, pool
+):
+    elements, texts, delta_eval = data
+    baseline = _run_serial(elements, texts, delta_eval)
+    config = EngineConfig(
+        delta_eval=delta_eval,
+        parallel_workers=2 if parallel else None,
+        offload_threshold=0.0 if parallel else None,
+        resilient=resilient,
+        observability=True,
+    )
+    engine, traced = _run_traced(elements, texts, config, pool)
+    assert traced == baseline
+    tracer = engine.obs.tracer
+    evaluates = [root for root in tracer.roots if root.name == "evaluate"]
+    assert len(evaluates) == len(baseline)
+    assert all(span.end is not None for span in evaluates)
+    assert engine.obs.registry.counter("engine.evaluations").value \
+        == len(baseline)

@@ -1,0 +1,159 @@
+"""Tests for the unified front door: EngineConfig + build_engine."""
+
+import pytest
+
+from repro import EngineConfig, Observability, build_engine
+from repro.errors import EngineError
+from repro.obs import NOOP_OBS
+from repro.runtime import ParallelEngine, ResilientEngine
+from repro.runtime.policies import FaultPolicy
+from repro.seraph import SeraphEngine
+from repro.stream.window import ActiveSubstreamPolicy
+from repro.usecases.micromobility import LISTING5_SERAPH, _t, figure1_stream
+
+
+class TestEngineConfig:
+    def test_defaults_describe_the_plain_serial_engine(self):
+        config = EngineConfig()
+        assert config.policy is ActiveSubstreamPolicy.TRAILING
+        assert config.delta_eval is True
+        assert config.parallel_workers is None
+        assert config.resilient is False
+        assert config.observability is False
+
+    @pytest.mark.parametrize("bad", [
+        dict(parallel_workers=-1),
+        dict(allowed_lateness=-5),
+        dict(span_limit=-1),
+        dict(reservoir=0),
+    ])
+    def test_invalid_fields_raise_at_construction(self, bad):
+        with pytest.raises(EngineError):
+            EngineConfig(**bad)
+
+    def test_replace_copies_without_mutating(self):
+        config = EngineConfig()
+        changed = config.replace(resilient=True, allowed_lateness=30)
+        assert changed.resilient is True
+        assert changed.allowed_lateness == 30
+        assert config.resilient is False
+        assert changed is not config
+
+    def test_replace_revalidates(self):
+        with pytest.raises(EngineError):
+            EngineConfig().replace(parallel_workers=-2)
+
+    def test_resolve_observability_disabled_is_the_shared_noop(self):
+        assert EngineConfig().resolve_observability() is NOOP_OBS
+        assert NOOP_OBS.enabled is False
+
+    def test_resolve_observability_true_builds_a_fresh_bundle(self):
+        first = EngineConfig(observability=True).resolve_observability()
+        second = EngineConfig(observability=True).resolve_observability()
+        assert first.enabled and second.enabled
+        assert first is not second
+        assert first.registry is not second.registry
+
+    def test_resolve_observability_accepts_an_existing_bundle(self):
+        bundle = Observability.create()
+        config = EngineConfig(observability=bundle)
+        assert config.resolve_observability() is bundle
+
+    def test_bundle_knobs_are_honored(self):
+        bundle = EngineConfig(
+            observability=True, span_limit=5, reservoir=2,
+        ).resolve_observability()
+        assert bundle.tracer.limit == 5
+        assert bundle.registry.reservoir == 2
+
+
+class TestBuildEngine:
+    def test_default_is_a_serial_core_engine(self):
+        engine = build_engine()
+        assert type(engine) is SeraphEngine
+        assert engine.obs is NOOP_OBS
+
+    def test_parallel_workers_selects_the_parallel_engine(self):
+        engine = build_engine(EngineConfig(parallel_workers=2))
+        try:
+            assert isinstance(engine, ParallelEngine)
+            assert engine.workers == 2
+        finally:
+            engine.close()
+
+    def test_resilient_wraps_the_core(self):
+        engine = build_engine(EngineConfig(
+            resilient=True, allowed_lateness=45,
+            late_policy=FaultPolicy.SKIP,
+        ))
+        assert isinstance(engine, ResilientEngine)
+        assert type(engine.engine) is SeraphEngine
+        assert engine.allowed_lateness == 45
+        assert engine.late_policy is FaultPolicy.SKIP
+
+    def test_overrides_are_field_level_shortcuts(self):
+        engine = build_engine(delta_eval=False)
+        assert engine.delta_eval is False
+
+    def test_overrides_layer_on_top_of_a_config(self):
+        config = EngineConfig(resilient=True)
+        engine = build_engine(config, allowed_lateness=10)
+        assert engine.allowed_lateness == 10
+        assert config.allowed_lateness == 0  # the config is untouched
+
+    def test_core_knobs_reach_the_engine(self):
+        engine = build_engine(EngineConfig(
+            policy=ActiveSubstreamPolicy.EARLIEST_CONTAINING,
+            reuse_unchanged_windows=False,
+            delta_eval=False,
+        ))
+        assert engine.policy is ActiveSubstreamPolicy.EARLIEST_CONTAINING
+        assert engine.reuse_unchanged_windows is False
+        assert engine.delta_eval is False
+
+    def test_every_layer_shares_one_observability_bundle(self):
+        engine = build_engine(EngineConfig(
+            resilient=True, observability=True,
+        ))
+        assert engine.obs is engine.engine.obs
+        assert engine.obs.enabled is True
+
+    def test_one_bundle_can_span_several_engines(self):
+        bundle = Observability.create()
+        first = build_engine(EngineConfig(observability=bundle))
+        second = build_engine(EngineConfig(observability=bundle))
+        assert first.obs is second.obs is bundle
+
+    def test_built_engine_runs_and_reports_unified_status(self):
+        engine = build_engine(EngineConfig(
+            resilient=True, observability=True,
+        ))
+        engine.register(LISTING5_SERAPH)
+        emissions = engine.run_stream(figure1_stream(), until=_t("15:40"))
+        assert len(emissions) == 12
+        status = engine.unified_status()
+        assert status["schema"]["name"] == "repro.status"
+        assert status["engine"]["queries"]["student_trick"][
+            "evaluations"] == 12
+        assert status["resilience"]["metrics"]["ingested"] == 5
+        assert status["obs"]["enabled"] is True
+
+
+class TestDeprecationShims:
+    def test_seraph_engine_parallel_keyword_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="build_engine"):
+            engine = SeraphEngine(parallel=2)
+        try:
+            assert isinstance(engine, ParallelEngine)
+        finally:
+            engine.close()
+
+    def test_resilient_engine_kwargs_warn_and_build_the_inner(self):
+        with pytest.warns(DeprecationWarning, match="build_engine"):
+            engine = ResilientEngine(delta_eval=False)
+        assert engine.engine.delta_eval is False
+
+    def test_explicit_inner_engine_does_not_warn(self, recwarn):
+        ResilientEngine(SeraphEngine())
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]

@@ -49,6 +49,36 @@ class TestInstrumentedRun:
         assert report.latency_percentile(0.9) == 0.0
         assert report.reuse_ratio == 0.0
 
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.01, 2])
+    def test_out_of_range_percentile_raises_even_when_empty(self, bad):
+        # Same validation rule as repro.obs Histogram.percentile: bad
+        # input is always a typed error, an empty report is always 0.0.
+        from repro.errors import MetricsError
+
+        for report in (RunReport(), ):
+            with pytest.raises(MetricsError, match="percentile must be in"):
+                report.latency_percentile(bad)
+
+    def test_out_of_range_percentile_raises_on_populated_reports(
+        self, report
+    ):
+        from repro.errors import MetricsError
+
+        with pytest.raises(MetricsError, match="got 1.5"):
+            report.latency_percentile(1.5)
+
+    def test_as_dict_summarizes_the_run(self, report):
+        summary = report.as_dict()
+        assert summary["evaluations"] == 12
+        assert summary["ingested_elements"] == 5
+        assert summary["total_rows"] == 2
+        assert summary["mean_latency"] > 0
+        assert set(summary) == {
+            "evaluations", "ingested_elements", "wall_seconds",
+            "mean_latency", "p95_latency", "total_rows", "reuse_ratio",
+            "delta_ratio",
+        }
+
     def test_multiple_queries_sampled(self):
         engine = SeraphEngine()
         engine.register(LISTING5_SERAPH)
