@@ -1,9 +1,18 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples verify ci all
+.PHONY: install lint test bench examples verify ci all
 
 install:
 	$(PYTHON) -m pip install -e .
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff)"; \
+	fi
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -21,6 +30,6 @@ examples:
 ci:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
-verify: test bench examples
+verify: lint test bench examples
 
 all: install verify

@@ -47,8 +47,11 @@ class EngineConfig:
     Core evaluation
     ---------------
     ``policy``, ``incremental``, ``static_graph``,
-    ``reuse_unchanged_windows``, ``share_windows``, ``delta_eval`` map
-    one-to-one onto :class:`~repro.seraph.engine.SeraphEngine` knobs.
+    ``reuse_unchanged_windows``, ``share_windows``, ``delta_eval``,
+    ``physical_plans`` map one-to-one onto
+    :class:`~repro.seraph.engine.SeraphEngine` knobs
+    (``physical_plans=False`` forces the interpreted pipeline — results
+    are identical, compiled plans are a pure optimization).
 
     Parallelism
     -----------
@@ -79,6 +82,7 @@ class EngineConfig:
     reuse_unchanged_windows: bool = True
     share_windows: bool = True
     delta_eval: bool = True
+    physical_plans: bool = True
     # -- parallelism ----------------------------------------------------
     parallel_workers: Optional[int] = None
     offload_threshold: Optional[float] = None
@@ -150,6 +154,7 @@ def build_engine(
         reuse_unchanged_windows=config.reuse_unchanged_windows,
         share_windows=config.share_windows,
         delta_eval=config.delta_eval,
+        physical_plans=config.physical_plans,
         obs=obs,
     )
     if config.parallel_workers is None:

@@ -134,26 +134,48 @@ class QueryEvaluator:
 
     # -- MATCH -------------------------------------------------------------------
 
-    def _apply_match(self, clause: ast.Match, table: Table) -> Table:
+    def _apply_match(
+        self,
+        clause: ast.Match,
+        table: Table,
+        pattern: Optional[ast.Pattern] = None,
+        anchor_factory: Optional[Any] = None,
+        observer: Optional[Any] = None,
+    ) -> Table:
+        """Apply a MATCH clause.
+
+        The optional hooks serve physical plan execution: ``pattern`` is
+        a pre-planned pattern (skips the per-evaluation planner run),
+        ``anchor_factory(scope)`` yields an ordered start-candidate
+        sequence for the first path (an index seek) or ``None`` to scan,
+        and ``observer(stage, count)`` receives per-record "match" and
+        "filter" row counts.
+        """
         free = clause.pattern.free_variables()
         out_fields = set(table.fields) | set(free)
-        pattern = clause.pattern
-        if self.optimize:
-            from repro.cypher.planner import plan_pattern
+        if pattern is None:
+            pattern = clause.pattern
+            if self.optimize:
+                from repro.cypher.planner import plan_pattern
 
-            bound = frozenset(self.base_scope) | table.fields
-            pattern = plan_pattern(pattern, self.graph, bound)
+                bound = frozenset(self.base_scope) | table.fields
+                pattern = plan_pattern(pattern, self.graph, bound)
         where_fn = (
             self._compiled(clause.where) if clause.where is not None else None
         )
         out: List[Record] = []
         for record in table:
             scope = self._scope(record)
+            anchor = anchor_factory(scope) if anchor_factory is not None else None
+            matched = 0
             survivors: List[Record] = []
-            for new_bindings in self.matcher.match_pattern(pattern, scope):
+            for new_bindings in self.matcher.match_pattern(
+                pattern, scope, anchor_nodes=anchor
+            ):
                 # Free variables already bound by the incoming record stay
                 # as they are; the match only adds the genuinely new names,
                 # so merged.domain == out_fields by construction.
+                matched += 1
                 merged = record.merged(Record(new_bindings))
                 if where_fn is not None:
                     verdict = Ternary.of(
@@ -162,6 +184,9 @@ class QueryEvaluator:
                     if verdict is not Ternary.TRUE:
                         continue
                 survivors.append(merged.project(out_fields))
+            if observer is not None:
+                observer("match", matched)
+                observer("filter", len(survivors))
             if survivors:
                 out.extend(survivors)
             elif clause.optional:
@@ -198,6 +223,7 @@ class QueryEvaluator:
         skip: Optional[ast.Expression],
         limit: Optional[ast.Expression],
         where: Optional[ast.Expression],
+        observer: Optional[Any] = None,
     ) -> Table:
         has_aggregate = any(contains_aggregate(item.expression) for item in items)
         if has_aggregate and star:
@@ -208,6 +234,8 @@ class QueryEvaluator:
             projected, pair_rows = self._project_aggregating(table, items)
         else:
             projected, pair_rows = self._project_plain(table, items, star)
+        if observer is not None:
+            observer("aggregate" if has_aggregate else "project", len(pair_rows))
 
         if where is not None:
             where_fn = self._compiled(where)
@@ -217,6 +245,8 @@ class QueryEvaluator:
                 if Ternary.of(where_fn(self.evaluator, scope)) is Ternary.TRUE:
                     kept.append((out_record, in_record))
             pair_rows = kept
+            if observer is not None:
+                observer("filter", len(pair_rows))
 
         if distinct:
             seen = set()
@@ -227,9 +257,13 @@ class QueryEvaluator:
                     seen.add(key)
                     kept.append((out_record, in_record))
             pair_rows = kept
+            if observer is not None:
+                observer("distinct", len(pair_rows))
 
         if order_by:
             pair_rows = self._sort(pair_rows, order_by)
+            if observer is not None:
+                observer("order", len(pair_rows))
 
         rows = [out_record for out_record, _ in pair_rows]
         if skip is not None:
@@ -238,6 +272,8 @@ class QueryEvaluator:
         if limit is not None:
             count = self._constant_int(limit, "LIMIT")
             rows = rows[:count]
+        if observer is not None and (skip is not None or limit is not None):
+            observer("slice", len(rows))
         return Table(rows, fields=projected)
 
     def _project_plain(

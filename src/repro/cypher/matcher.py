@@ -31,6 +31,7 @@ from typing import (
     Any,
     Dict,
     FrozenSet,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -71,14 +72,26 @@ class PatternMatcher:
     # -- public API ---------------------------------------------------------
 
     def match_pattern(
-        self, pattern: ast.Pattern, scope: Mapping[str, Any]
+        self,
+        pattern: ast.Pattern,
+        scope: Mapping[str, Any],
+        anchor_nodes: Optional[Iterable[Node]] = None,
     ) -> Iterator[Bindings]:
         """Yield the new-bindings records ``u'`` for each match of the
         whole comma-separated pattern, honouring relationship uniqueness
-        across all its path patterns."""
+        across all its path patterns.
+
+        ``anchor_nodes`` — an *ordered* candidate sequence that replaces
+        the first path's start-node enumeration (physical index seeks).
+        Candidates are still checked against the node pattern, so any
+        superset of the true matches in global node order is sound.  It
+        is ignored when the first path is a shortestPath or its start
+        variable is already bound in ``scope``.
+        """
         initial = frozenset(scope)
         for bindings, _used, _footprint in self._match_paths(
-            list(pattern.paths), dict(scope), frozenset(), _EMPTY_FOOTPRINT
+            list(pattern.paths), dict(scope), frozenset(), _EMPTY_FOOTPRINT,
+            anchor_nodes=anchor_nodes,
         ):
             yield {
                 name: value for name, value in bindings.items() if name not in initial
@@ -89,6 +102,7 @@ class PatternMatcher:
         pattern: ast.Pattern,
         scope: Mapping[str, Any],
         first_candidates: Optional[AbstractSet[int]] = None,
+        anchor_nodes: Optional[Iterable[Node]] = None,
     ) -> Iterator[Tuple[Bindings, Footprint]]:
         """Like :meth:`match_pattern`, but also yield each embedding's
         footprint (every node/relationship it traverses, named or not).
@@ -106,6 +120,7 @@ class PatternMatcher:
             frozenset(),
             _EMPTY_FOOTPRINT,
             first_candidates=first_candidates,
+            anchor_nodes=anchor_nodes,
         ):
             new = {
                 name: value
@@ -130,13 +145,15 @@ class PatternMatcher:
         used: UsedRels,
         footprint: Footprint,
         first_candidates: Optional[AbstractSet[int]] = None,
+        anchor_nodes: Optional[Iterable[Node]] = None,
     ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         if not paths:
             yield bindings, used, footprint
             return
         head, tail = paths[0], paths[1:]
         for new_bindings, new_used, path_footprint in self._match_single_path(
-            head, bindings, used, start_candidates=first_candidates
+            head, bindings, used, start_candidates=first_candidates,
+            anchor_nodes=anchor_nodes,
         ):
             yield from self._match_paths(
                 tail, new_bindings, new_used, footprint | path_footprint
@@ -150,11 +167,20 @@ class PatternMatcher:
         bindings: Bindings,
         used: UsedRels,
         start_candidates: Optional[AbstractSet[int]] = None,
+        anchor_nodes: Optional[Iterable[Node]] = None,
     ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
         if path.shortest is not None:
             yield from self._match_shortest(path, bindings, used)
             return
-        for start in self._node_candidates(path.nodes[0], bindings):
+        start_pattern = path.nodes[0]
+        if anchor_nodes is not None and not (
+            start_pattern.variable is not None
+            and start_pattern.variable in bindings
+        ):
+            starts: Iterable[Node] = anchor_nodes
+        else:
+            starts = self._node_candidates(start_pattern, bindings)
+        for start in starts:
             if start_candidates is not None and start.id not in start_candidates:
                 continue
             start_bindings = self._bind_node(path.nodes[0], start, bindings)

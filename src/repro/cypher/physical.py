@@ -1,0 +1,581 @@
+"""Volcano-style physical query plans — compile once, execute per snapshot.
+
+The interpreted pipeline re-plans every MATCH pattern and re-walks the
+AST on every snapshot.  This module lowers a registered Seraph query
+*once* through the heuristic planner (:mod:`repro.cypher.planner`) into a
+pipeline of physical stages whose operator tree names the access paths —
+IndexSeek / LabelScan / AllNodesScan / ExpandHop / VarLengthExpand /
+ShortestPath / Filter / Project / Aggregate / Distinct / OrderBy — the
+first of the paper's Section 6 "query planning at different levels"
+rounds taken to its physical conclusion.
+
+Three design rules keep compiled execution byte-identical to the
+interpreted path:
+
+* **Supersets, not substitutes** — an IndexSeek replaces only the start
+  *enumeration* of the first path; the matcher still checks every label
+  and property on the pattern, so an index bucket that over-approximates
+  (mixed ``1``/``1.0`` buckets) cannot change results.
+* **Global node order** — :meth:`PropertyGraph.patched` keeps one total
+  node order shared by node scans, label buckets, and property buckets,
+  so a seek enumerates the same subsequence a scan would.
+* **Fallback on anything unusual** — an unindexable anchor value (null,
+  NaN, lists) or an anchor expression that raises degrades to the exact
+  interpreted scan at runtime; an unsupported clause shape raises
+  :class:`PhysicalPlanError` at compile time and the engine keeps
+  interpreting that query.
+
+Plans are plain frozen dataclasses over AST nodes: picklable, so the
+parallel engine ships them to workers, and statistics-free, so one plan
+object serves every snapshot until the plan cache invalidates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.cypher import ast
+from repro.cypher.evaluator import QueryEvaluator
+from repro.cypher.planner import plan_pattern
+from repro.errors import PhysicalPlanError
+from repro.graph.model import PropertyGraph
+from repro.graph.table import Table
+from repro.stream.timeline import TimeInterval
+from repro.stream.tvt import WIN_END, WIN_START
+
+__all__ = [
+    "PhysicalOp",
+    "PhysicalPlan",
+    "IndexSeekSpec",
+    "MatchStage",
+    "UnwindStage",
+    "ProjectStage",
+    "compile_query",
+    "execute_plan",
+    "render_plan",
+    "PhysicalPlanError",
+]
+
+
+# ---------------------------------------------------------------------------
+# Plan data model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhysicalOp:
+    """One node of the physical operator tree (for EXPLAIN rendering).
+
+    ``op_id`` keys the per-operator row counters collected during
+    execution; ``children`` point at the upstream (input) operators.
+    """
+
+    op_id: int
+    kind: str
+    detail: str = ""
+    children: Tuple["PhysicalOp", ...] = ()
+
+
+@dataclass(frozen=True)
+class IndexSeekSpec:
+    """An anchor served from the (label, property-key, value) index.
+
+    ``value_expr`` is evaluated against the incoming record's scope at
+    runtime; a value the index cannot serve falls back to the scan the
+    interpreted matcher would have run.
+    """
+
+    label: str
+    key: str
+    value_expr: ast.Expression
+    op_id: int
+
+
+@dataclass(frozen=True)
+class MatchStage:
+    """A MATCH executed with a pre-planned pattern (and optional seek)."""
+
+    clause: ast.Match
+    pattern: ast.Pattern
+    window_key: Tuple[str, int]
+    seek: Optional[IndexSeekSpec]
+    match_op: int
+    filter_op: Optional[int]
+
+
+@dataclass(frozen=True)
+class UnwindStage:
+    clause: ast.Unwind
+    window_key: Tuple[str, int]
+    op_id: int
+
+
+@dataclass(frozen=True)
+class ProjectStage:
+    """A WITH/RETURN projection (aggregation, WHERE, DISTINCT, ORDER BY).
+
+    ``ops`` maps the evaluator's observer stage names ("project",
+    "aggregate", "filter", "distinct", "order", "slice") to operator ids.
+    """
+
+    clause: Union[ast.With, ast.Return]
+    window_key: Tuple[str, int]
+    ops: Mapping[str, int] = field(default_factory=dict)
+
+
+Stage = Union[MatchStage, UnwindStage, ProjectStage]
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A compiled query: executable stages plus the renderable op tree."""
+
+    query_name: str
+    query_text: str
+    band: tuple
+    root: PhysicalOp
+    stages: Tuple[Stage, ...]
+    op_count: int
+
+    def operators(self) -> List[PhysicalOp]:
+        """All operators, flattened in op_id order."""
+        out: List[PhysicalOp] = []
+
+        def walk(op: PhysicalOp) -> None:
+            for child in op.children:
+                walk(child)
+            out.append(op)
+
+        walk(self.root)
+        out.sort(key=lambda op: op.op_id)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def _seek_for(
+    path: ast.PathPattern,
+    bound: Set[str],
+    stats,
+    next_id: Callable[[], int],
+) -> Optional[IndexSeekSpec]:
+    """An index-seek spec for the path's start anchor, if one applies.
+
+    Eligible when the first node has both labels and a property map and
+    its variable is not statically bound (a bound variable makes the
+    matcher enumerate the single binding — already optimal).  The rarest
+    label (by the compile-time statistics band) and the first property
+    key are chosen; the matcher re-checks everything, so the choice
+    affects speed only, never results.
+    """
+    if path.shortest is not None:
+        return None
+    start = path.nodes[0]
+    if not start.labels or not start.properties:
+        return None
+    if start.variable is not None and start.variable in bound:
+        return None
+    label = min(start.labels, key=lambda name: (stats.label_count(name), name))
+    key, value_expr = start.properties[0]
+    return IndexSeekSpec(
+        label=label, key=key, value_expr=value_expr, op_id=next_id()
+    )
+
+
+def _pattern_ops(
+    pattern: ast.Pattern,
+    bound: Set[str],
+    seek: Optional[IndexSeekSpec],
+    next_id: Callable[[], int],
+    upstream: Optional[PhysicalOp],
+) -> PhysicalOp:
+    """The operator chain for a planned MATCH pattern."""
+    current = upstream
+    for index, path in enumerate(pattern.paths):
+        if path.shortest is not None:
+            children = (current,) if current is not None else ()
+            current = PhysicalOp(
+                op_id=next_id(),
+                kind="ShortestPath",
+                detail=path.render(),
+                children=children,
+            )
+            continue
+        start = path.nodes[0]
+        children = (current,) if current is not None else ()
+        if start.variable is not None and (
+            start.variable in bound
+            or any(
+                start.variable in p.free_variables()
+                for p in pattern.paths[:index]
+            )
+        ):
+            anchor = PhysicalOp(
+                op_id=next_id(),
+                kind="BoundAnchor",
+                detail=start.render(),
+                children=children,
+            )
+        elif index == 0 and seek is not None:
+            anchor = PhysicalOp(
+                op_id=seek.op_id,
+                kind="IndexSeek",
+                detail=(
+                    f"{start.render()} via "
+                    f"(:{seek.label}).{seek.key} = "
+                    f"{seek.value_expr.render()}"
+                ),
+                children=children,
+            )
+        elif start.labels:
+            anchor = PhysicalOp(
+                op_id=next_id(),
+                kind="LabelScan",
+                detail=start.render(),
+                children=children,
+            )
+        else:
+            anchor = PhysicalOp(
+                op_id=next_id(),
+                kind="AllNodesScan",
+                detail=start.render(),
+                children=children,
+            )
+        current = anchor
+        for hop, rel in enumerate(path.relationships):
+            kind = "VarLengthExpand" if rel.is_var_length else "ExpandHop"
+            detail = rel.render() + path.nodes[hop + 1].render()
+            current = PhysicalOp(
+                op_id=next_id(), kind=kind, detail=detail, children=(current,)
+            )
+    assert current is not None
+    return current
+
+
+def _projection_ops(
+    clause: Union[ast.With, ast.Return],
+    next_id: Callable[[], int],
+    upstream: PhysicalOp,
+) -> Tuple[PhysicalOp, Dict[str, int]]:
+    """Operator chain + observer-name → op-id map for a projection."""
+    from repro.cypher.expressions import contains_aggregate
+
+    has_aggregate = any(
+        contains_aggregate(item.expression) for item in clause.items
+    )
+    items = ["*"] if clause.star else []
+    items += [item.render() for item in clause.items]
+    ops: Dict[str, int] = {}
+    kind = "Aggregate" if has_aggregate else "Project"
+    current = PhysicalOp(
+        op_id=next_id(), kind=kind, detail=", ".join(items),
+        children=(upstream,),
+    )
+    ops["aggregate" if has_aggregate else "project"] = current.op_id
+    where = getattr(clause, "where", None)
+    if where is not None:
+        current = PhysicalOp(
+            op_id=next_id(), kind="Filter", detail=where.render(),
+            children=(current,),
+        )
+        ops["filter"] = current.op_id
+    if clause.distinct:
+        current = PhysicalOp(
+            op_id=next_id(), kind="Distinct", children=(current,)
+        )
+        ops["distinct"] = current.op_id
+    if clause.order_by:
+        detail = ", ".join(item.render() for item in clause.order_by)
+        current = PhysicalOp(
+            op_id=next_id(), kind="OrderBy", detail=detail, children=(current,)
+        )
+        ops["order"] = current.op_id
+    if clause.skip is not None or clause.limit is not None:
+        parts = []
+        if clause.skip is not None:
+            parts.append(f"SKIP {clause.skip.render()}")
+        if clause.limit is not None:
+            parts.append(f"LIMIT {clause.limit.render()}")
+        current = PhysicalOp(
+            op_id=next_id(), kind="Slice", detail=" ".join(parts),
+            children=(current,),
+        )
+        ops["slice"] = current.op_id
+    return current, ops
+
+
+def compile_query(
+    query,
+    stats_for: Callable[[str, int], Any],
+    band: tuple = (),
+) -> "PhysicalPlan":
+    """Lower a :class:`~repro.seraph.ast.SeraphQuery` to a physical plan.
+
+    ``stats_for(stream, width)`` supplies the planner statistics (a
+    :class:`~repro.cypher.planner.GraphStatistics` or a graph) for each
+    window; they fix join order, orientation, and seek choices for the
+    plan's lifetime.  ``band`` records the statistics band the plan was
+    costed under (see :mod:`repro.cypher.plan_cache`).
+
+    Raises :class:`PhysicalPlanError` for clause shapes the physical
+    pipeline does not model; callers fall back to interpretation.
+    """
+    from repro.seraph.ast import SeraphMatch
+    from repro.seraph.semantics import terminal_clause
+
+    counter = [0]
+
+    def next_id() -> int:
+        value = counter[0]
+        counter[0] += 1
+        return value
+
+    base_names = {WIN_START, WIN_END}
+    fields: Set[str] = set()
+    default_key = query.window_keys()[-1]
+    stages: List[Stage] = []
+    root: Optional[PhysicalOp] = None
+
+    def lower_match(clause: ast.Match, window_key: Tuple[str, int]) -> None:
+        nonlocal root, fields
+        stats = stats_for(*window_key)
+        bound = frozenset(base_names | fields)
+        pattern = plan_pattern(clause.pattern, stats, bound)
+        seek = _seek_for(pattern.paths[0], set(bound), stats, next_id)
+        root = _pattern_ops(pattern, set(bound), seek, next_id, root)
+        match_op = root.op_id
+        filter_op: Optional[int] = None
+        if clause.where is not None:
+            root = PhysicalOp(
+                op_id=next_id(), kind="Filter",
+                detail=clause.where.render(), children=(root,),
+            )
+            filter_op = root.op_id
+        if clause.optional:
+            root = PhysicalOp(
+                op_id=next_id(), kind="Optional", children=(root,)
+            )
+        stages.append(
+            MatchStage(
+                clause=clause, pattern=pattern, window_key=window_key,
+                seek=seek, match_op=match_op, filter_op=filter_op,
+            )
+        )
+        fields |= set(clause.pattern.free_variables())
+
+    def lower_projection(
+        clause: Union[ast.With, ast.Return], window_key: Tuple[str, int]
+    ) -> None:
+        nonlocal root, fields
+        upstream = root if root is not None else PhysicalOp(
+            op_id=next_id(), kind="Unit"
+        )
+        root, ops = _projection_ops(clause, next_id, upstream)
+        stages.append(
+            ProjectStage(clause=clause, window_key=window_key, ops=ops)
+        )
+        names = sorted(fields) if clause.star else []
+        names += [item.output_name() for item in clause.items]
+        fields = set(names)
+
+    for clause in query.body:
+        if isinstance(clause, SeraphMatch):
+            default_key = (clause.stream_name, clause.within)
+            lower_match(clause.match, default_key)
+        elif isinstance(clause, ast.Match):
+            lower_match(clause, default_key)
+        elif isinstance(clause, ast.Unwind):
+            upstream = root if root is not None else PhysicalOp(
+                op_id=next_id(), kind="Unit"
+            )
+            root = PhysicalOp(
+                op_id=next_id(), kind="Unwind",
+                detail=f"{clause.source.render()} AS {clause.alias}",
+                children=(upstream,),
+            )
+            stages.append(
+                UnwindStage(
+                    clause=clause, window_key=default_key, op_id=root.op_id
+                )
+            )
+            fields |= {clause.alias}
+        elif isinstance(clause, ast.With):
+            lower_projection(clause, default_key)
+        else:
+            raise PhysicalPlanError(
+                f"cannot lower clause {type(clause).__name__} "
+                "to a physical stage"
+            )
+    lower_projection(terminal_clause(query), default_key)
+    assert root is not None
+    return PhysicalPlan(
+        query_name=query.name,
+        query_text=query.render(),
+        band=band,
+        root=root,
+        stages=tuple(stages),
+        op_count=counter[0],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _anchor_factory(
+    stage: MatchStage, evaluator: QueryEvaluator, rows: Optional[Dict[int, int]]
+):
+    """The per-record start-candidate hook for a MatchStage's seek.
+
+    Returns ``None`` (scan) whenever the index cannot help — value not
+    indexable, or the anchor expression raising — so error behaviour and
+    enumeration order match the interpreted path exactly.
+    """
+    seek = stage.seek
+    assert seek is not None
+    value_fn = evaluator._compiled(seek.value_expr)
+    graph = evaluator.graph
+
+    def anchor(scope: Mapping[str, Any]):
+        try:
+            value = value_fn(evaluator.evaluator, scope)
+        except Exception:
+            return None  # let the scan raise identically
+        candidates = graph.nodes_with_property(seek.label, seek.key, value)
+        if candidates is None:
+            return None
+        if rows is not None:
+            rows[seek.op_id] = rows.get(seek.op_id, 0) + len(candidates)
+        return candidates
+
+    return anchor
+
+
+def _stage_observer(
+    op_ids: Mapping[str, int], rows: Optional[Dict[int, int]]
+):
+    if rows is None:
+        return None
+
+    def observe(name: str, count: int) -> None:
+        op_id = op_ids.get(name)
+        if op_id is not None:
+            rows[op_id] = rows.get(op_id, 0) + count
+
+    return observe
+
+
+def execute_plan(
+    plan: PhysicalPlan,
+    graph_for: Callable[[str, int], PropertyGraph],
+    interval: TimeInterval,
+    expr_cache: Optional[dict] = None,
+    rows: Optional[Dict[int, int]] = None,
+) -> Table:
+    """Run a compiled plan over per-window snapshot graphs.
+
+    The drop-in physical counterpart of
+    :func:`repro.seraph.semantics.execute_body`: same snapshot provider
+    contract, same ``win_start``/``win_end`` scope injection, same
+    result — but no per-evaluation planning, index-seek anchors where
+    the plan provides them, and per-operator row counts accumulated
+    into ``rows`` (op_id → rows) when given.
+    """
+    base_scope = {WIN_START: interval.start, WIN_END: interval.end}
+    evaluators: Dict[Tuple[str, int], QueryEvaluator] = {}
+
+    def evaluator_for(window_key: Tuple[str, int]) -> QueryEvaluator:
+        if window_key not in evaluators:
+            evaluators[window_key] = QueryEvaluator(
+                graph_for(*window_key),
+                base_scope=base_scope,
+                compile_cache=expr_cache,
+            )
+        return evaluators[window_key]
+
+    table = Table.unit()
+    for stage in plan.stages:
+        evaluator = evaluator_for(stage.window_key)
+        if isinstance(stage, MatchStage):
+            anchor = (
+                _anchor_factory(stage, evaluator, rows)
+                if stage.seek is not None
+                else None
+            )
+            observer = _stage_observer(
+                {
+                    "match": stage.match_op,
+                    **(
+                        {"filter": stage.filter_op}
+                        if stage.filter_op is not None
+                        else {}
+                    ),
+                },
+                rows,
+            )
+            table = evaluator._apply_match(
+                stage.clause,
+                table,
+                pattern=stage.pattern,
+                anchor_factory=anchor,
+                observer=observer,
+            )
+        elif isinstance(stage, UnwindStage):
+            table = evaluator._apply_unwind(stage.clause, table)
+            if rows is not None:
+                rows[stage.op_id] = rows.get(stage.op_id, 0) + len(table)
+        else:
+            clause = stage.clause
+            table = evaluator._apply_projection(
+                table,
+                items=clause.items,
+                distinct=clause.distinct,
+                star=clause.star,
+                order_by=clause.order_by,
+                skip=clause.skip,
+                limit=clause.limit,
+                where=getattr(clause, "where", None),
+                observer=_stage_observer(stage.ops, rows),
+            )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_plan(
+    plan: PhysicalPlan, rows: Optional[Mapping[int, int]] = None
+) -> str:
+    """Indented operator tree, optionally annotated with row counts."""
+    lines: List[str] = []
+
+    def walk(op: PhysicalOp, depth: int) -> None:
+        label = op.kind
+        if op.detail:
+            label += f"({op.detail})"
+        suffix = f" [op {op.op_id}]"
+        if rows is not None:
+            suffix += f" rows={rows.get(op.op_id, 0)}"
+        lines.append("  " * depth + "+- " + label + suffix)
+        for child in op.children:
+            walk(child, depth + 1)
+
+    walk(plan.root, 0)
+    return "\n".join(lines)

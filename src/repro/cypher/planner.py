@@ -18,7 +18,8 @@ data sampling.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
 
 from repro.cypher import ast
 from repro.graph.model import PropertyGraph
@@ -26,6 +27,44 @@ from repro.graph.model import PropertyGraph
 #: Selectivity bonus for a property map (can't estimate better without
 #: value statistics; any equality constraint usually prunes hard).
 _PROPERTY_FACTOR = 0.1
+
+#: Floor for anchor estimates.  An empty label must not collapse the
+#: estimate to exactly 0.0: multiplicative factors (property maps) stop
+#: discriminating at zero and every empty-label path ties in
+#: :func:`plan_pattern`'s greedy ordering.  The epsilon keeps relative
+#: selectivity meaningful while staying far below one real node.
+_MIN_ANCHOR = 1e-6
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The cheap cardinality statistics the planner consumes.
+
+    A plain-data stand-in for a :class:`PropertyGraph` in every planner
+    cost function (duck-typed: ``order``/``size``/``label_count``/
+    ``rel_type_count``), so compiled plans can be costed — and cache
+    invalidation bands computed — without holding a graph snapshot.
+    """
+
+    order: int = 0
+    size: int = 0
+    label_counts: Mapping[str, int] = field(default_factory=dict)
+    rel_type_counts: Mapping[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def of(graph: "PropertyGraph") -> "GraphStatistics":
+        return GraphStatistics(
+            order=graph.order,
+            size=graph.size,
+            label_counts=graph.label_counts(),
+            rel_type_counts=graph.rel_type_counts(),
+        )
+
+    def label_count(self, label: str) -> int:
+        return self.label_counts.get(label, 0)
+
+    def rel_type_count(self, rel_type: str) -> int:
+        return self.rel_type_counts.get(rel_type, 0)
 
 
 def node_anchor_cost(
@@ -40,9 +79,10 @@ def node_anchor_cost(
         )
     else:
         estimate = float(graph.order)
+    estimate = max(estimate, _MIN_ANCHOR)
     if node.properties:
         estimate *= _PROPERTY_FACTOR
-    return max(estimate, 0.0)
+    return estimate
 
 
 def orient_path(
@@ -88,18 +128,34 @@ def pattern_cost(
     """
     if graph.order == 0:
         return 0.0
-    avg_degree = max(float(graph.size) / float(graph.order), 1.0)
+    order = float(graph.order)
+    avg_degree = max(float(graph.size) / order, 1.0)
+
+    def branching(rel: ast.RelationshipPattern) -> float:
+        # Typed hops branch by the average per-node degree restricted to
+        # the allowed types (per-type counts), not the global average —
+        # a `[:RARE_TYPE]` hop on a dense graph is cheap, and the
+        # parallel scheduler's ship-to-worker decision should see that.
+        if not rel.types:
+            return avg_degree
+        typed = sum(graph.rel_type_count(rel_type) for rel_type in rel.types)
+        return max(min(float(typed) / order, avg_degree), _MIN_ANCHOR)
+
     total = 0.0
     for path in pattern.paths:
         cost = node_anchor_cost(path.nodes[0], graph, bound)
-        hops = 0
+        hops_left = _MAX_HOPS
         for rel in path.relationships:
             if rel.var_length is None:
-                hops += 1
+                hops = 1
             else:
                 high = rel.var_length[1]
-                hops += min(high, _MAX_HOPS) if high is not None else _MAX_HOPS
-        cost *= avg_degree ** min(hops, _MAX_HOPS)
+                hops = min(high, _MAX_HOPS) if high is not None else _MAX_HOPS
+            hops = min(hops, hops_left)
+            hops_left -= hops
+            cost = min(cost * branching(rel) ** hops, _COST_CAP)
+            if not hops_left:
+                break
         total += min(cost, _COST_CAP)
     return min(total, _COST_CAP)
 

@@ -21,7 +21,7 @@ from types import MappingProxyType
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import GraphConsistencyError
-from repro.graph.values import NULL
+from repro.graph.values import NULL, property_index_key
 
 NodeId = int
 RelationshipId = int
@@ -33,6 +33,15 @@ def _freeze_properties(properties: Optional[Mapping[str, Any]]) -> Mapping[str, 
     if not properties:
         return _EMPTY_MAP
     return MappingProxyType(dict(properties))
+
+
+def _prop_entries(node: "Node") -> Iterator[Tuple[Tuple[str, str], tuple]]:
+    """All ((label, property-key), value-bucket-key) entries of a node."""
+    for label in node.labels:
+        for key, value in node.properties.items():
+            value_key = property_index_key(value)
+            if value_key is not None:
+                yield (label, key), value_key
 
 
 def _same_node(left: "Node", right: "Node") -> bool:
@@ -155,6 +164,15 @@ class PropertyGraph:
     _by_label: Mapping[str, Tuple[NodeId, ...]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    _by_type: Mapping[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Lazily-built (label, property-key) → {value bucket → node ids}
+    #: equality index.  ``None`` until first use; :meth:`patched`
+    #: maintains a materialized parent index in O(touched).
+    _prop_index: Optional[
+        Dict[Tuple[str, str], Dict[tuple, Tuple[NodeId, ...]]]
+    ] = field(default=None, repr=False, compare=False)
 
     @staticmethod
     def of(
@@ -189,6 +207,9 @@ class PropertyGraph:
         for node in node_map.values():
             for label in node.labels:
                 by_label.setdefault(label, []).append(node.id)
+        by_type: Dict[str, int] = {}
+        for rel in rel_map.values():
+            by_type[rel.type] = by_type.get(rel.type, 0) + 1
         return PropertyGraph(
             nodes=MappingProxyType(node_map),
             relationships=MappingProxyType(rel_map),
@@ -197,6 +218,7 @@ class PropertyGraph:
             _by_label=MappingProxyType(
                 {label: tuple(ids) for label, ids in by_label.items()}
             ),
+            _by_type=MappingProxyType(by_type),
         )
 
     def patched(
@@ -214,12 +236,62 @@ class PropertyGraph:
         Validation matches :meth:`of` for everything touched: removals
         must leave no dangling endpoints, upserted relationships must
         reference present nodes.
+
+        Ordering invariant: every upserted node moves to the *end* of
+        ``nodes`` and of each label/property bucket it belongs to, in
+        upsert order.  All enumeration orders (node scans, label scans,
+        index seeks) therefore agree on a single global node order, and
+        a pickled/rebuilt copy (:meth:`__reduce__` re-runs :meth:`of`
+        over ``nodes`` order) reproduces the same bucket orders — what
+        makes physical index seeks byte-identical to interpreted scans,
+        in-process and across worker boundaries.
         """
         node_map: Dict[NodeId, Node] = dict(self.nodes)
         rel_map: Dict[RelationshipId, Relationship] = dict(self.relationships)
         out_adj: Dict[NodeId, Tuple[RelationshipId, ...]] = dict(self._out)
         in_adj: Dict[NodeId, Tuple[RelationshipId, ...]] = dict(self._in)
         by_label: Dict[str, Tuple[NodeId, ...]] = dict(self._by_label)
+        by_type: Dict[str, int] = dict(self._by_type)
+        # Maintain the property index only when the parent has one
+        # materialized; otherwise stay lazy (zero cost for workloads
+        # that never seek).
+        prop_index: Optional[Dict[Tuple[str, str], Dict[tuple, Tuple[NodeId, ...]]]]
+        prop_index = dict(self._prop_index) if self._prop_index is not None else None
+        prop_copied: set = set()
+
+        def prop_buckets_for(
+            label_key: Tuple[str, str]
+        ) -> Dict[tuple, Tuple[NodeId, ...]]:
+            assert prop_index is not None
+            buckets = prop_index.get(label_key)
+            if buckets is None:
+                buckets = prop_index[label_key] = {}
+                prop_copied.add(label_key)
+            elif label_key not in prop_copied:
+                buckets = prop_index[label_key] = dict(buckets)
+                prop_copied.add(label_key)
+            return buckets
+
+        def prop_unindex(node: Node) -> None:
+            for label_key, value_key in _prop_entries(node):
+                if label_key not in prop_index:  # type: ignore[operator]
+                    continue
+                buckets = prop_buckets_for(label_key)
+                ids = buckets.get(value_key)
+                if ids is None:
+                    continue
+                stripped = tuple(i for i in ids if i != node.id)
+                if stripped:
+                    buckets[value_key] = stripped
+                else:
+                    del buckets[value_key]
+                    if not buckets:
+                        del prop_index[label_key]  # type: ignore[union-attr]
+
+        def prop_indexed(node: Node) -> None:
+            for label_key, value_key in _prop_entries(node):
+                buckets = prop_buckets_for(label_key)
+                buckets[value_key] = buckets.get(value_key, ()) + (node.id,)
 
         def unlabel(node_id: NodeId, label: str) -> None:
             ids = tuple(i for i in by_label[label] if i != node_id)
@@ -238,6 +310,11 @@ class PropertyGraph:
                 i for i in out_adj[rel.src] if i != rel_id
             )
             in_adj[rel.trg] = tuple(i for i in in_adj[rel.trg] if i != rel_id)
+            count = by_type.get(rel.type, 0) - 1
+            if count > 0:
+                by_type[rel.type] = count
+            else:
+                by_type.pop(rel.type, None)
         for node_id in removed_nodes:
             node = node_map.pop(node_id, None)
             if node is None:
@@ -252,20 +329,45 @@ class PropertyGraph:
             in_adj.pop(node_id, None)
             for label in node.labels:
                 unlabel(node_id, label)
+            if prop_index is not None:
+                prop_unindex(node)
+        # Upserts move to the end of every enumeration order, batched so
+        # each affected bucket is rewritten once per call, not per node.
+        upserts: Dict[NodeId, Node] = {}
         for node in nodes:
-            old = node_map.get(node.id)
-            node_map[node.id] = node
-            old_labels = old.labels if old is not None else ()
-            if old is None:
-                out_adj.setdefault(node.id, ())
-                in_adj.setdefault(node.id, ())
-            if node.labels != old_labels:
-                for label in old_labels:
-                    if label not in node.labels:
-                        unlabel(node.id, label)
+            upserts[node.id] = node  # dedupe: last upsert of an id wins
+        if upserts:
+            affected_labels: set = set()
+            olds: Dict[NodeId, Optional[Node]] = {}
+            for node_id, node in upserts.items():
+                old = node_map.get(node_id)
+                olds[node_id] = old
+                if old is not None:
+                    affected_labels.update(old.labels)
+                    del node_map[node_id]  # move to end of node order
+                else:
+                    out_adj.setdefault(node_id, ())
+                    in_adj.setdefault(node_id, ())
+                affected_labels.update(node.labels)
+                node_map[node_id] = node
+            moved = set(upserts)
+            for label in affected_labels:
+                ids = by_label.get(label)
+                if ids:
+                    stripped = tuple(i for i in ids if i not in moved)
+                    if stripped:
+                        by_label[label] = stripped
+                    else:
+                        del by_label[label]
+            for node_id, node in upserts.items():
                 for label in node.labels:
-                    if label not in old_labels:
-                        by_label[label] = by_label.get(label, ()) + (node.id,)
+                    by_label[label] = by_label.get(label, ()) + (node_id,)
+            if prop_index is not None:
+                for node_id, old in olds.items():
+                    if old is not None:
+                        prop_unindex(old)
+                for node in upserts.values():
+                    prop_indexed(node)
         for rel in relationships:
             if rel.src not in node_map:
                 raise GraphConsistencyError(
@@ -277,6 +379,15 @@ class PropertyGraph:
                 )
             old = rel_map.get(rel.id)
             rel_map[rel.id] = rel
+            if old is None:
+                by_type[rel.type] = by_type.get(rel.type, 0) + 1
+            elif old.type != rel.type:
+                count = by_type.get(old.type, 0) - 1
+                if count > 0:
+                    by_type[old.type] = count
+                else:
+                    by_type.pop(old.type, None)
+                by_type[rel.type] = by_type.get(rel.type, 0) + 1
             if old is not None and (old.src, old.trg) == (rel.src, rel.trg):
                 continue  # endpoints unchanged: adjacency already right
             if old is not None:
@@ -294,6 +405,8 @@ class PropertyGraph:
             _out=MappingProxyType(out_adj),
             _in=MappingProxyType(in_adj),
             _by_label=MappingProxyType(by_label),
+            _by_type=MappingProxyType(by_type),
+            _prop_index=prop_index,
         )
 
     @staticmethod
@@ -355,6 +468,52 @@ class PropertyGraph:
             node = self.nodes[node_id]
             if wanted <= node.labels:
                 yield node
+
+    def _prop_buckets(
+        self,
+    ) -> Dict[Tuple[str, str], Dict[tuple, Tuple[NodeId, ...]]]:
+        """The (label, property-key, value) equality index, built lazily.
+
+        Buckets list node ids in global node order (``nodes`` insertion
+        order), so a seek enumerates exactly the subsequence a label scan
+        would — the invariant :meth:`patched` maintains incrementally.
+        Memoized on first use; construction is O(Σ labels × properties).
+        """
+        index = self._prop_index
+        if index is None:
+            index = {}
+            for node in self.nodes.values():
+                for label_key, value_key in _prop_entries(node):
+                    buckets = index.setdefault(label_key, {})
+                    buckets[value_key] = buckets.get(value_key, ()) + (node.id,)
+            object.__setattr__(self, "_prop_index", index)
+        return index
+
+    def nodes_with_property(
+        self, label: str, key: str, value: Any
+    ) -> Optional[Tuple[Node, ...]]:
+        """Index seek: nodes with ``label`` whose ``key`` may equal ``value``.
+
+        Returns ``None`` when the index cannot serve ``value`` (null, NaN,
+        lists/maps, …) — the caller must fall back to a scan.  A non-None
+        result is a *superset* of the true matches in global node order;
+        callers still re-check properties with Cypher equality (e.g. the
+        matcher's ``_bind_node``), which is what keeps seek and scan
+        byte-identical.
+        """
+        value_key = property_index_key(value)
+        if value_key is None:
+            return None
+        ids = self._prop_buckets().get((label, key), {}).get(value_key, ())
+        return tuple(self.nodes[node_id] for node_id in ids)
+
+    def rel_type_count(self, rel_type: str) -> int:
+        """Number of relationships of ``rel_type`` (cheap statistic)."""
+        return self._by_type.get(rel_type, 0)
+
+    def rel_type_counts(self) -> Dict[str, int]:
+        """All per-type relationship counts (cheap cardinality statistics)."""
+        return dict(self._by_type)
 
     def label_count(self, label: str) -> int:
         """Number of nodes carrying ``label`` (served from the index).

@@ -45,7 +45,14 @@ class GraphStore:
         self._next_node_id = 1
         self._next_rel_id = 1
         self._dirty = True
+        self._full_rebuild = True
         self._cached = PropertyGraph.empty()
+        # Epoch deltas since the last freeze; insertion-ordered so the
+        # incremental freeze applies upserts deterministically.
+        self._touched_nodes: Dict[NodeId, None] = {}
+        self._touched_rels: Dict[RelationshipId, None] = {}
+        self._removed_nodes: Set[NodeId] = set()
+        self._removed_rels: Set[RelationshipId] = set()
         if graph is not None:
             self.load(graph)
 
@@ -65,28 +72,81 @@ class GraphStore:
             )
             self._next_rel_id = max(self._next_rel_id, rel.id + 1)
         self._dirty = True
+        self._full_rebuild = True
 
     # -- reads ------------------------------------------------------------------
 
+    def _freeze_node(self, node_id: NodeId) -> Node:
+        state = self._nodes[node_id]
+        return Node(id=node_id, labels=frozenset(state.labels),
+                    properties=dict(state.properties))
+
+    def _freeze_relationship(self, rel_id: RelationshipId) -> Relationship:
+        state = self._relationships[rel_id]
+        return Relationship(id=rel_id, type=state.type, src=state.src,
+                            trg=state.trg, properties=dict(state.properties))
+
     def graph(self) -> PropertyGraph:
-        """Freeze the current state (cached until the next mutation)."""
-        if self._dirty:
+        """Freeze the current state (cached until the next mutation).
+
+        When only a small fraction of the store changed since the last
+        freeze, the new snapshot is derived from the previous one with
+        :meth:`PropertyGraph.patched` — O(delta) index maintenance that
+        also carries the previous snapshot's property-value index forward
+        instead of discarding it.  Bulk loads and large epochs fall back
+        to a full rebuild.
+        """
+        if not self._dirty:
+            return self._cached
+        base = self._cached
+        touched = (len(self._touched_nodes) + len(self._touched_rels)
+                   + len(self._removed_nodes) + len(self._removed_rels))
+        live = len(self._nodes) + len(self._relationships)
+        if self._full_rebuild or 2 * touched >= max(live, 1):
             self._cached = PropertyGraph.of(
-                (
-                    Node(id=node_id, labels=frozenset(state.labels),
-                         properties=dict(state.properties))
-                    for node_id, state in self._nodes.items()
+                (self._freeze_node(node_id) for node_id in self._nodes),
+                (self._freeze_relationship(rel_id)
+                 for rel_id in self._relationships),
+            )
+        else:
+            # Reconcile the epoch delta against the previous snapshot:
+            # entities created and destroyed within the epoch appear in
+            # neither side of the patch.
+            self._cached = base.patched(
+                nodes=tuple(
+                    self._freeze_node(node_id)
+                    for node_id in self._touched_nodes
+                    if node_id in self._nodes
                 ),
-                (
-                    Relationship(
-                        id=rel_id, type=state.type, src=state.src,
-                        trg=state.trg, properties=dict(state.properties),
-                    )
-                    for rel_id, state in self._relationships.items()
+                relationships=tuple(
+                    self._freeze_relationship(rel_id)
+                    for rel_id in self._touched_rels
+                    if rel_id in self._relationships
+                ),
+                removed_nodes=tuple(
+                    node_id for node_id in self._removed_nodes
+                    if node_id in base.nodes
+                ),
+                removed_rels=tuple(
+                    rel_id for rel_id in self._removed_rels
+                    if rel_id in base.relationships
                 ),
             )
-            self._dirty = False
+        self._dirty = False
+        self._full_rebuild = False
+        self._touched_nodes.clear()
+        self._touched_rels.clear()
+        self._removed_nodes.clear()
+        self._removed_rels.clear()
         return self._cached
+
+    def _touch_node(self, node_id: NodeId) -> None:
+        self._touched_nodes[node_id] = None
+        self._dirty = True
+
+    def _touch_relationship(self, rel_id: RelationshipId) -> None:
+        self._touched_rels[rel_id] = None
+        self._dirty = True
 
     @property
     def order(self) -> int:
@@ -113,7 +173,7 @@ class GraphStore:
         self._next_node_id += 1
         clean = {k: v for k, v in (properties or {}).items() if v is not NULL}
         self._nodes[node_id] = _NodeState(labels=set(labels), properties=clean)
-        self._dirty = True
+        self._touch_node(node_id)
         return Node(id=node_id, labels=frozenset(labels), properties=clean)
 
     def create_relationship(
@@ -133,7 +193,7 @@ class GraphStore:
         self._relationships[rel_id] = _RelationshipState(
             type=rel_type, src=src, trg=trg, properties=clean
         )
-        self._dirty = True
+        self._touch_relationship(rel_id)
         return Relationship(id=rel_id, type=rel_type, src=src, trg=trg,
                             properties=clean)
 
@@ -155,8 +215,10 @@ class GraphStore:
         """SET e.key = value; setting null removes the property (Cypher)."""
         if isinstance(entity, Node):
             properties = self._node_state(entity.id).properties
+            self._touch_node(entity.id)
         elif isinstance(entity, Relationship):
             properties = self._rel_state(entity.id).properties
+            self._touch_relationship(entity.id)
         else:
             raise GraphConsistencyError(
                 f"cannot set properties on {entity!r}"
@@ -173,8 +235,10 @@ class GraphStore:
         """SET e = map (replace) or SET e += map (additive)."""
         if isinstance(entity, Node):
             properties = self._node_state(entity.id).properties
+            self._touch_node(entity.id)
         elif isinstance(entity, Relationship):
             properties = self._rel_state(entity.id).properties
+            self._touch_relationship(entity.id)
         else:
             raise GraphConsistencyError(
                 f"cannot set properties on {entity!r}"
@@ -190,11 +254,11 @@ class GraphStore:
 
     def add_labels(self, node: Node, labels: Iterable[str]) -> None:
         self._node_state(node.id).labels.update(labels)
-        self._dirty = True
+        self._touch_node(node.id)
 
     def remove_labels(self, node: Node, labels: Iterable[str]) -> None:
         self._node_state(node.id).labels.difference_update(labels)
-        self._dirty = True
+        self._touch_node(node.id)
 
     def remove_property(self, entity: Any, key: str) -> None:
         self.set_property(entity, key, NULL)
@@ -204,6 +268,8 @@ class GraphStore:
     def delete_relationship(self, rel_id: RelationshipId) -> None:
         if rel_id in self._relationships:
             del self._relationships[rel_id]
+            self._touched_rels.pop(rel_id, None)
+            self._removed_rels.add(rel_id)
             self._dirty = True
 
     def delete_node(self, node_id: NodeId, detach: bool = False) -> None:
@@ -221,5 +287,9 @@ class GraphStore:
             )
         for rel_id in incident:
             del self._relationships[rel_id]
+            self._touched_rels.pop(rel_id, None)
+            self._removed_rels.add(rel_id)
         del self._nodes[node_id]
+        self._touched_nodes.pop(node_id, None)
+        self._removed_nodes.add(node_id)
         self._dirty = True

@@ -47,6 +47,7 @@ from repro.obs.trace import (
 STAGES = (
     "window_advance",
     "snapshot_build",
+    "plan_compile",
     "reuse",
     "match_delta",
     "match_full",

@@ -69,9 +69,16 @@ DEFAULT_OFFLOAD_THRESHOLD = 5_000.0
 # parse cache and a compiled-expression cache keyed by text, so repeated
 # evaluations of the same query reuse the same AST and compiled closures
 # across tasks (AST node identity is the expression-cache key).
+#
+# Compiled physical plans ride along the same way: the parent ships its
+# cached plan (pickled) with each task, tagged by its statistics band.
+# Workers keep the *first* unpickled copy per (text, band) and execute
+# that one on later tasks, so the plan's embedded AST nodes keep a
+# stable identity and the expression cache stays effective.
 
 _PARSE_CACHE: Dict[str, object] = {}
 _EXPR_CACHES: Dict[str, dict] = {}
+_PLAN_CACHE: Dict[str, Tuple[tuple, object]] = {}
 
 
 def _parse_cached(text: str):
@@ -82,38 +89,69 @@ def _parse_cached(text: str):
     return query
 
 
+def _plan_cached(text: str, token: tuple, plan):
+    cached = _PLAN_CACHE.get(text)
+    if cached is not None and cached[0] == token:
+        return cached[1]
+    _PLAN_CACHE[text] = (token, plan)
+    return plan
+
+
 def _worker_evaluate_group(
     payload,
-) -> Tuple[int, float, List[Table], List[Tuple[float, float]]]:
+) -> Tuple[int, float, List[Table], List[Tuple[float, float]],
+           List[Dict[int, int]]]:
     """Evaluate one shared-window group of full evaluations.
 
     ``payload`` is ``(graphs, tasks)`` where ``graphs`` maps
     ``(stream, width)`` to the group's snapshot graphs (pickled once per
-    group) and each task is ``(query_text, interval_start, interval_end)``.
-    Pure: reads the snapshots, returns the output tables plus one
-    ``(start_offset, duration)`` timing fragment per task — the parent
-    stitches those into its trace as ``worker_evaluate`` spans, so one
-    trace covers both sides of the process boundary.
+    group) and each task is ``(query_text, interval_start, interval_end,
+    plan_entry)`` — ``plan_entry`` is ``(band, PhysicalPlan)`` when the
+    parent compiled one, else None (interpreted fallback).  Pure: reads
+    the snapshots, returns the output tables plus one ``(start_offset,
+    duration)`` timing fragment and one per-operator row-count dict per
+    task — the parent stitches timings into its trace as
+    ``worker_evaluate`` spans and merges row counts into the query's
+    EXPLAIN ANALYZE totals, so one trace covers both sides of the
+    process boundary.
     """
+    from repro.cypher.physical import execute_plan
+
     graphs, tasks = payload
     started = time.perf_counter()
     tables: List[Table] = []
     timings: List[Tuple[float, float]] = []
-    for text, lo, hi in tasks:
+    rows_per_task: List[Dict[int, int]] = []
+    for text, lo, hi, plan_entry in tasks:
         task_started = time.perf_counter()
-        query = _parse_cached(text)
-        tables.append(
-            semantics.execute_body(
-                query,
-                lambda stream, width: graphs[(stream, width)],
-                TimeInterval(lo, hi),
-                expr_cache=_EXPR_CACHES.setdefault(text, {}),
+        rows: Dict[int, int] = {}
+        if plan_entry is not None:
+            plan = _plan_cached(text, plan_entry[0], plan_entry[1])
+            tables.append(
+                execute_plan(
+                    plan,
+                    lambda stream, width: graphs[(stream, width)],
+                    TimeInterval(lo, hi),
+                    expr_cache=_EXPR_CACHES.setdefault(text, {}),
+                    rows=rows,
+                )
             )
-        )
+        else:
+            query = _parse_cached(text)
+            tables.append(
+                semantics.execute_body(
+                    query,
+                    lambda stream, width: graphs[(stream, width)],
+                    TimeInterval(lo, hi),
+                    expr_cache=_EXPR_CACHES.setdefault(text, {}),
+                )
+            )
+        rows_per_task.append(rows)
         timings.append(
             (task_started - started, time.perf_counter() - task_started)
         )
-    return os.getpid(), time.perf_counter() - started, tables, timings
+    return (os.getpid(), time.perf_counter() - started, tables, timings,
+            rows_per_task)
 
 
 def _worker_run_shard(payload):
@@ -316,14 +354,22 @@ class ParallelEngine(SeraphEngine):
                 key: self._batch_graph(state, graph_cache)
                 for key, state in first.registered.windows.items()
             }
-            tasks = [
-                (
-                    pendings[i].registered.query.render(),
-                    pendings[i].interval.start,
-                    pendings[i].interval.end,
+
+            def stats_for(stream_name, width, _graphs=graphs):
+                return _graphs[(stream_name, width)]
+
+            tasks = []
+            for i in indices:
+                registered = pendings[i].registered
+                plan = self._physical_plan(registered, stats_for)
+                tasks.append(
+                    (
+                        registered.query.render(),
+                        pendings[i].interval.start,
+                        pendings[i].interval.end,
+                        (plan.band, plan) if plan is not None else None,
+                    )
                 )
-                for i in indices
-            ]
             futures.append(
                 (pool.submit(_worker_evaluate_group, (graphs, tasks)), indices)
             )
@@ -332,7 +378,8 @@ class ParallelEngine(SeraphEngine):
             self.parallel_metrics.max_queue_depth, len(futures)
         )
         for future, indices in futures:
-            worker_pid, elapsed, group_tables, timings = future.result()
+            (worker_pid, elapsed, group_tables, timings,
+             rows_per_task) = future.result()
             self.parallel_metrics.observe_task(worker_pid, elapsed)
             for position, (i, table) in enumerate(
                 zip(indices, group_tables)
@@ -344,6 +391,14 @@ class ParallelEngine(SeraphEngine):
                     # longer tracks the window content.
                     registered.delta_state.invalidate()
                 tables[i] = table
+                plan_rows = registered.plan_rows
+                for op_id, count in rows_per_task[position].items():
+                    plan_rows[op_id] = plan_rows.get(op_id, 0) + count
+                    if self.obs.enabled:
+                        self.obs.registry.inc(
+                            f"query.{registered.name}.op.{op_id}.rows",
+                            count,
+                        )
                 self.parallel_metrics.offloaded_evaluations += 1
                 if self.obs.enabled:
                     offset, duration = timings[position]

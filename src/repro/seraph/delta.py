@@ -215,6 +215,7 @@ def evaluate_delta(
     interval: TimeInterval,
     expr_cache: Optional[dict] = None,
     span=None,
+    plan=None,
 ) -> Tuple[Table, DeltaStats]:
     """One evaluation through the incremental path.
 
@@ -225,15 +226,24 @@ def evaluate_delta(
     ``span`` is an optional open trace span (:mod:`repro.obs.trace`);
     the chosen path (full refresh / no-op / anchored re-match) and its
     retain/recompute counts are annotated onto it.
+
+    ``plan`` is an optional compiled
+    :class:`~repro.cypher.physical.PhysicalPlan` for ``query``; when
+    given, its already-planned pattern (join order, orientation, seeks
+    baked in at compile time) replaces the per-evaluation
+    :func:`~repro.cypher.planner.plan_pattern` call.
     """
     base_scope = {WIN_START: interval.start, WIN_END: interval.end}
     evaluator = QueryEvaluator(graph, base_scope=base_scope,
                                compile_cache=expr_cache)
     clause = query.body[0].match
     out_fields = frozenset(clause.pattern.free_variables())
-    pattern = plan_pattern(
-        clause.pattern, graph, frozenset(base_scope)
-    )
+    if plan is not None:
+        pattern = plan.stages[0].pattern
+    else:
+        pattern = plan_pattern(
+            clause.pattern, graph, frozenset(base_scope)
+        )
 
     where_fn = (
         evaluator._compiled(clause.where) if clause.where is not None else None

@@ -33,7 +33,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.errors import EngineError, QueryRegistryError
+from repro.cypher.physical import PhysicalPlan, execute_plan
+from repro.cypher.plan_cache import PlanCache
+from repro.errors import EngineError, PhysicalPlanError, QueryRegistryError
 from repro.obs import NOOP_OBS, Observability
 from repro.graph.model import PropertyGraph
 from repro.graph.table import Table
@@ -213,6 +215,13 @@ class RegisteredQuery:
     assignments_retained: int = 0
     assignments_recomputed: int = 0
     done: bool = False
+    #: Compiled physical plan (None until first full evaluation, or when
+    #: physical planning is off / the query cannot be lowered).
+    physical_plan: Optional[PhysicalPlan] = None
+    #: Cumulative per-operator row counts for the current plan.
+    plan_rows: Dict[int, int] = field(default_factory=dict)
+    plan_compiles: int = 0
+    plan_failed: bool = False
     _last_fingerprint: Optional[Tuple] = None
     _last_table: Optional[Table] = None
     #: Per-query compiled-expression cache (see repro.cypher.expressions);
@@ -276,6 +285,14 @@ class SeraphEngine:
         window delta's dirty entities and re-match anchored on the dirty
         neighbourhood only (:mod:`repro.seraph.delta`).  Semantically
         transparent; settable to False for the ablation.
+    physical_plans:
+        Compile each registered query once into a physical operator plan
+        (:mod:`repro.cypher.physical`) and reuse it across evaluations
+        (True, default).  Plans are cached per (query text, statistics
+        band) and recompiled when label/type statistics drift across a
+        band boundary (:mod:`repro.cypher.plan_cache`); queries the
+        physical pipeline cannot lower fall back to interpretation.
+        Semantically transparent; settable to False for the ablation.
     parallel:
         ``None`` (default) keeps evaluation on the calling thread.  An
         integer requests a :class:`repro.runtime.parallel.ParallelEngine`
@@ -320,6 +337,7 @@ class SeraphEngine:
         reuse_unchanged_windows: bool = True,
         share_windows: bool = True,
         delta_eval: bool = True,
+        physical_plans: bool = True,
         parallel: Optional[int] = None,
         obs: Optional[Observability] = None,
     ):
@@ -329,8 +347,10 @@ class SeraphEngine:
         self.reuse_unchanged_windows = reuse_unchanged_windows
         self.share_windows = share_windows
         self.delta_eval = delta_eval
-        self.obs = obs if obs is not None else NOOP_OBS
+        self.physical_plans = physical_plans
+        self.plan_cache = PlanCache()
         self._streams: Dict[str, _StreamState] = {}
+        self.obs = obs if obs is not None else NOOP_OBS
         self._queries: Dict[str, RegisteredQuery] = {}
         self._shared_windows: Dict[Tuple, _WindowState] = {}
         self._watermark: Optional[TimeInstant] = None
@@ -403,6 +423,7 @@ class SeraphEngine:
     def deregister(self, name: str) -> None:
         if name not in self._queries:
             raise QueryRegistryError(f"no registered query named {name!r}")
+        self.plan_cache.evict(self._queries[name].query)
         del self._queries[name]
         self._evict()
 
@@ -613,18 +634,25 @@ class SeraphEngine:
                         pending.interval,
                         expr_cache=registered._expr_cache,
                         span=stage,
+                        plan=self._physical_plan(
+                            registered, lambda _s, _w: snapshot
+                        ),
                     )
                 obs.record_stage(
                     registered.name, "match_delta", stage.duration_seconds
                 )
             else:
+                snapshot = window_state.graph()
                 table, stats = evaluate_delta(
                     registered.query,
                     registered.delta_state,
-                    window_state.graph(),
+                    snapshot,
                     delta,
                     pending.interval,
                     expr_cache=registered._expr_cache,
+                    plan=self._physical_plan(
+                        registered, lambda _s, _w: snapshot
+                    ),
                 )
             if stats.full_refresh:
                 registered.delta_full_refreshes += 1
@@ -639,19 +667,36 @@ class SeraphEngine:
             # tracks the window content.
             registered.delta_state.invalidate()
         if not obs.enabled:
+            provider = self._memoized_provider(
+                self._graph_provider(registered)
+            )
+            plan = self._physical_plan(registered, provider)
+            if plan is not None:
+                return self._run_plan(
+                    registered, plan, provider, pending.interval
+                )
             return semantics.execute_body(
                 registered.query,
-                self._graph_provider(registered),
+                provider,
                 pending.interval,
                 expr_cache=registered._expr_cache,
             )
         with obs.tracer.span("match_full", parent=pending.span) as stage:
-            table = semantics.execute_body(
-                registered.query,
-                self._traced_provider(registered, stage),
-                pending.interval,
-                expr_cache=registered._expr_cache,
+            provider = self._memoized_provider(
+                self._traced_provider(registered, stage)
             )
+            plan = self._physical_plan(registered, provider)
+            if plan is not None:
+                table = self._run_plan(
+                    registered, plan, provider, pending.interval
+                )
+            else:
+                table = semantics.execute_body(
+                    registered.query,
+                    provider,
+                    pending.interval,
+                    expr_cache=registered._expr_cache,
+                )
         obs.record_stage(
             registered.name, "match_full", stage.duration_seconds
         )
@@ -746,6 +791,75 @@ class SeraphEngine:
 
         return graph_for
 
+    @staticmethod
+    def _memoized_provider(graph_for):
+        """Build each window's snapshot once per evaluation.
+
+        Plan lookup reads statistics from the same snapshots the plan
+        then executes against; memoizing keeps that one graph build."""
+        snapshots: Dict[Tuple[str, int], PropertyGraph] = {}
+
+        def provider(stream_name: str, width: int) -> PropertyGraph:
+            key = (stream_name, width)
+            if key not in snapshots:
+                snapshots[key] = graph_for(stream_name, width)
+            return snapshots[key]
+
+        return provider
+
+    def _physical_plan(
+        self, registered: RegisteredQuery, stats_for
+    ) -> Optional[PhysicalPlan]:
+        """The cached compiled plan, or ``None`` (interpreted fallback)."""
+        if not self.physical_plans or registered.plan_failed:
+            return None
+        obs = self.obs
+        misses_before = self.plan_cache.misses
+        started = time.perf_counter()
+        try:
+            plan = self.plan_cache.plan_for(registered.query, stats_for)
+        except PhysicalPlanError:
+            registered.plan_failed = True
+            return None
+        if self.plan_cache.misses != misses_before:
+            registered.plan_compiles += 1
+            if obs.enabled:
+                obs.record_stage(
+                    registered.name,
+                    "plan_compile",
+                    time.perf_counter() - started,
+                )
+        if registered.physical_plan is not plan:
+            registered.physical_plan = plan
+            registered.plan_rows = {}
+        return plan
+
+    def _run_plan(
+        self,
+        registered: RegisteredQuery,
+        plan: PhysicalPlan,
+        graph_for,
+        interval,
+    ) -> Table:
+        """Execute a compiled plan, accumulating per-operator row counts."""
+        rows: Dict[int, int] = {}
+        table = execute_plan(
+            plan,
+            graph_for,
+            interval,
+            expr_cache=registered._expr_cache,
+            rows=rows,
+        )
+        plan_rows = registered.plan_rows
+        obs = self.obs
+        for op_id, count in rows.items():
+            plan_rows[op_id] = plan_rows.get(op_id, 0) + count
+            if obs.enabled:
+                obs.registry.inc(
+                    f"query.{registered.name}.op.{op_id}.rows", count
+                )
+        return table
+
     def _evict(self) -> None:
         """Drop stream elements no future evaluation can reach, and shared
         window states no live query reads."""
@@ -800,8 +914,19 @@ class SeraphEngine:
                     "next_eval": registered.next_eval,
                     "done": registered.done,
                     "warnings": [str(w) for w in registered.warnings],
+                    "plan_compiles": registered.plan_compiles,
+                    "plan_operators": (
+                        registered.physical_plan.op_count
+                        if registered.physical_plan is not None
+                        else 0
+                    ),
+                    "plan_failed": registered.plan_failed,
                 }
                 for name, registered in self._queries.items()
+            },
+            "planner": {
+                "physical_plans": self.physical_plans,
+                **self.plan_cache.stats(),
             },
             "streams": {
                 name: {

@@ -7,7 +7,9 @@ paper's Section 6 optimization work would need.
 
 :func:`explain_analyze` appends *observed* per-stage timings to that
 outline, read from the engine's metrics registry (the stage histograms
-:meth:`repro.obs.Observability.record_stage` fills during evaluation).
+:meth:`repro.obs.Observability.record_stage` fills during evaluation),
+plus the compiled physical operator tree with the cumulative rows each
+operator produced (:mod:`repro.cypher.physical`).
 """
 
 from __future__ import annotations
@@ -15,14 +17,23 @@ from __future__ import annotations
 from typing import List, Union
 
 from repro.cypher import ast as cypher_ast
-from repro.errors import EngineError
+from repro.errors import EngineError, PhysicalPlanError
 from repro.graph.temporal import format_datetime, format_duration
 from repro.seraph.ast import SeraphMatch, SeraphQuery
 from repro.seraph.parser import parse_seraph
 
 
-def explain(query: Union[str, SeraphQuery]) -> str:
-    """Render an execution outline for a Seraph query."""
+def _indent(text: str, prefix: str) -> List[str]:
+    return [prefix + line for line in text.splitlines()]
+
+
+def explain(query: Union[str, SeraphQuery], graph=None) -> str:
+    """Render an execution outline for a Seraph query.
+
+    With ``graph`` (a :class:`~repro.graph.model.PropertyGraph` or
+    :class:`~repro.cypher.planner.GraphStatistics` standing in for every
+    window), the outline also shows the physical operator tree the
+    compiler produces under those statistics."""
     if isinstance(query, str):
         query = parse_seraph(query)
     lines: List[str] = []
@@ -85,6 +96,16 @@ def explain(query: Union[str, SeraphQuery]) -> str:
         lines.append(f"    {step}. Emit {items}")
     else:
         lines.append(f"    {step}. {query.final_return.render()}")
+    if graph is not None:
+        from repro.cypher.physical import compile_query, render_plan
+
+        lines.append("  physical    :")
+        try:
+            plan = compile_query(query, lambda _stream, _width: graph)
+        except PhysicalPlanError as exc:
+            lines.append(f"    (interpreted fallback: {exc})")
+        else:
+            lines.extend(_indent(render_plan(plan), "    "))
     return "\n".join(lines)
 
 
@@ -101,12 +122,28 @@ def explain_analyze(engine, query_name: str) -> str:
     from repro.obs import STAGES, stage_metric
     from repro.obs.format import render_histogram
 
+    from repro.cypher.physical import render_plan
+
     inner = engine.engine if hasattr(engine, "dead_letters") \
         and hasattr(engine, "engine") else engine
     if query_name not in inner.query_names:
         raise EngineError(f"query {query_name!r} is not registered")
     registered = inner.registered(query_name)
     lines = [explain(registered.query)]
+    plan = registered.physical_plan
+    if plan is not None:
+        lines.append(
+            f"  physical    : ({registered.plan_compiles} compiles, "
+            f"band {len(plan.band)} windows)"
+        )
+        lines.extend(
+            _indent(render_plan(plan, rows=registered.plan_rows), "    ")
+        )
+    elif registered.plan_failed:
+        lines.append(
+            "  physical    : interpreted fallback "
+            "(query not coverable by the physical pipeline)"
+        )
     obs = inner.obs
     if not obs.enabled:
         lines.append(

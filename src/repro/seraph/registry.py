@@ -4,12 +4,19 @@
 same ``REGISTER QUERY`` contract (unique names, editing, deleting) as a
 separate component for tooling that manages query texts without running
 an engine — e.g. validating a catalog of continuous queries.
+
+The registry also fronts a :class:`~repro.cypher.plan_cache.PlanCache`:
+:meth:`QueryRegistry.physical_plan` compiles (and caches) the physical
+plan of a registered query under supplied statistics, so catalog tooling
+can inspect plans without an engine; replacing or deleting a query
+evicts its plan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
+from repro.cypher.plan_cache import PlanCache
 from repro.errors import QueryRegistryError
 from repro.seraph.ast import SeraphQuery
 from repro.seraph.parser import parse_seraph
@@ -18,8 +25,10 @@ from repro.seraph.parser import parse_seraph
 class QueryRegistry:
     """Holds parsed Seraph queries by their registered name."""
 
-    def __init__(self):
+    def __init__(self, plan_cache: Optional[PlanCache] = None):
         self._queries: Dict[str, SeraphQuery] = {}
+        self.plan_cache = plan_cache if plan_cache is not None \
+            else PlanCache()
 
     def register(self, query: Union[str, SeraphQuery],
                  replace: bool = False) -> SeraphQuery:
@@ -29,6 +38,8 @@ class QueryRegistry:
             raise QueryRegistryError(
                 f"query {query.name!r} is already registered"
             )
+        if query.name in self._queries:
+            self.plan_cache.evict(self._queries[query.name])
         self._queries[query.name] = query
         return query
 
@@ -37,10 +48,21 @@ class QueryRegistry:
             raise QueryRegistryError(f"no registered query named {name!r}")
         return self._queries[name]
 
+    def physical_plan(self, name: str, stats_for):
+        """The cached physical plan of a registered query.
+
+        ``stats_for(stream, width)`` supplies planner statistics (a graph
+        or :class:`~repro.cypher.planner.GraphStatistics`) per window.
+        Raises :class:`~repro.errors.PhysicalPlanError` when the query
+        cannot be lowered."""
+        return self.plan_cache.plan_for(self.get(name), stats_for)
+
     def delete(self, name: str) -> SeraphQuery:
         if name not in self._queries:
             raise QueryRegistryError(f"no registered query named {name!r}")
-        return self._queries.pop(name)
+        query = self._queries.pop(name)
+        self.plan_cache.evict(query)
+        return query
 
     def names(self) -> List[str]:
         return list(self._queries)

@@ -5,9 +5,11 @@ import pytest
 from repro.cypher import ast, run_cypher
 from repro.cypher.parser import CypherParser
 from repro.cypher.planner import (
+    GraphStatistics,
     node_anchor_cost,
     orient_path,
     path_cost,
+    pattern_cost,
     plan_pattern,
 )
 from repro.graph.builder import GraphBuilder
@@ -55,9 +57,21 @@ class TestAnchorCosts:
         assert node_anchor_cost(with_props, skewed_graph, frozenset()) < \
             node_anchor_cost(plain, skewed_graph, frozenset())
 
-    def test_missing_label_is_free(self, skewed_graph):
+    def test_missing_label_clamped_above_zero(self, skewed_graph):
+        # An empty label must not cost exactly 0.0: at zero, property-map
+        # selectivity can no longer break ties between empty-label paths.
         node = ast.NodePattern(labels=("Ghost",))
-        assert node_anchor_cost(node, skewed_graph, frozenset()) == 0.0
+        cost = node_anchor_cost(node, skewed_graph, frozenset())
+        assert 0.0 < cost < 1.0
+
+    def test_empty_label_property_map_breaks_ties(self, skewed_graph):
+        plain = ast.NodePattern(labels=("Ghost",))
+        with_props = ast.NodePattern(
+            labels=("Ghost",),
+            properties=(("name", ast.Literal("x")),),
+        )
+        assert node_anchor_cost(with_props, skewed_graph, frozenset()) < \
+            node_anchor_cost(plain, skewed_graph, frozenset())
 
 
 class TestOrientation:
@@ -84,6 +98,36 @@ class TestOrientation:
         double = path.reversed_pattern().reversed_pattern()
         assert double == path
         assert not double.flipped
+
+    def test_shortest_path_kept_even_with_cheap_far_end(self, skewed_graph):
+        # A shortestPath whose *far* endpoint is the rare anchor must not
+        # be reversed — its semantics depend on the written orientation.
+        path = pattern_of(
+            "shortestPath((c:Common)-[*..4]->(r:Rare))"
+        ).paths[0]
+        oriented = orient_path(path, skewed_graph, frozenset())
+        assert oriented is path
+        assert not oriented.flipped
+        assert oriented.nodes[0].labels == ("Common",)
+
+    def test_all_shortest_paths_never_reversed(self, skewed_graph):
+        path = pattern_of(
+            "allShortestPaths((c:Common)-[*..4]->(r:Rare))"
+        ).paths[0]
+        assert orient_path(path, skewed_graph, frozenset()) is path
+
+    def test_bound_endpoint_beats_rare_label(self, skewed_graph):
+        # With c bound in scope, walking from c (cost 1.0) beats walking
+        # from the rare anchor (cost 1.0 * nothing — rare costs >= 1).
+        path = pattern_of("(c)-[:R]->(r:Rare)").paths[0]
+        oriented = orient_path(path, skewed_graph, frozenset({"c"}))
+        assert not oriented.flipped
+
+    def test_bound_far_endpoint_reverses(self, skewed_graph):
+        path = pattern_of("(c:Common)-[:R]->(r)").paths[0]
+        oriented = orient_path(path, skewed_graph, frozenset({"r"}))
+        assert oriented.flipped
+        assert oriented.nodes[0].variable == "r"
 
 
 class TestJoinOrdering:
@@ -114,6 +158,100 @@ class TestJoinOrdering:
         pattern = pattern_of("(a:Rare)-->(b), (c)-->(b), q = (c)-[*1..2]->(d)")
         planned = plan_pattern(pattern, skewed_graph, frozenset())
         assert set(planned.free_variables()) == set(pattern.free_variables())
+
+    def test_bound_variable_connects_across_cartesian_boundary(
+        self, skewed_graph
+    ):
+        # With b pre-bound in scope, the path touching b is "connected"
+        # from the start: it must be scheduled before the genuinely
+        # disconnected (c)-->(d) even though both mention no planned vars.
+        pattern = pattern_of("(c:Common)-->(d), (b)-->(e)")
+        planned = plan_pattern(pattern, skewed_graph, frozenset({"b"}))
+        assert "b" in set(planned.paths[0].free_variables())
+
+    def test_cartesian_boundary_picks_cheapest_remaining(self, skewed_graph):
+        # Two disconnected components: at the boundary the planner jumps
+        # to the cheapest remaining anchor (the rare one), not textual
+        # order.
+        pattern = pattern_of("(c:Common)-->(d), (r:Rare)-->(s)")
+        planned = plan_pattern(pattern, skewed_graph, frozenset())
+        assert "r" in set(planned.paths[0].free_variables())
+        assert "c" in set(planned.paths[1].free_variables())
+
+    def test_bound_variables_shape_orientation_inside_plan(
+        self, skewed_graph
+    ):
+        # The second path's orientation is decided under the variable set
+        # accumulated so far: d becomes bound by the first path, so the
+        # (x)-->(d) path walks backward from d.
+        pattern = pattern_of("(r:Rare)-->(d), (x:Common)-->(d)")
+        planned = plan_pattern(pattern, skewed_graph, frozenset())
+        second = planned.paths[1]
+        assert second.flipped
+        assert second.nodes[0].variable == "d"
+
+    def test_shortest_path_at_cartesian_boundary_keeps_orientation(
+        self, skewed_graph
+    ):
+        pattern = pattern_of(
+            "(r:Rare)-->(b), p = shortestPath((c:Common)-[*..3]->(q:Rare))"
+        )
+        planned = plan_pattern(pattern, skewed_graph, frozenset())
+        shortest = [
+            path for path in planned.paths if path.shortest is not None
+        ]
+        assert len(shortest) == 1
+        assert not shortest[0].flipped
+        assert shortest[0].nodes[0].labels == ("Common",)
+
+
+class TestPatternCost:
+    def test_typed_hop_cheaper_than_untyped_on_skew(self):
+        # 50 DENSE edges vs 2 RARE edges out of the same node set: a
+        # [:RARE] hop must cost less than an untyped hop.
+        builder = GraphBuilder()
+        ids = [builder.add_node(["N"], node_id=i + 1) for i in range(10)]
+        rel_id = 0
+        for _ in range(5):
+            for i in range(10):
+                rel_id += 1
+                builder.add_relationship(
+                    ids[i], "DENSE", ids[(i + 1) % 10], rel_id=rel_id
+                )
+        for i in range(2):
+            rel_id += 1
+            builder.add_relationship(
+                ids[i], "RARE", ids[9 - i], rel_id=rel_id
+            )
+        graph = builder.build()
+        untyped = pattern_cost(
+            pattern_of("(a:N)-->(b)"), graph, frozenset()
+        )
+        rare = pattern_cost(
+            pattern_of("(a:N)-[:RARE]->(b)"), graph, frozenset()
+        )
+        dense = pattern_cost(
+            pattern_of("(a:N)-[:DENSE]->(b)"), graph, frozenset()
+        )
+        assert rare < untyped
+        assert rare < dense
+        assert dense <= untyped
+
+    def test_unknown_type_still_positive(self, skewed_graph):
+        cost = pattern_cost(
+            pattern_of("(a:Common)-[:NOPE]->(b)"), skewed_graph, frozenset()
+        )
+        assert cost > 0.0
+
+    def test_graph_statistics_duck_types_as_graph(self, skewed_graph):
+        stats = GraphStatistics.of(skewed_graph)
+        assert stats.order == skewed_graph.order
+        assert stats.rel_type_count("R") == skewed_graph.rel_type_count("R")
+        pattern = pattern_of("(c:Common)-[:R]->(r:Rare)")
+        assert pattern_cost(pattern, stats, frozenset()) == \
+            pattern_cost(pattern, skewed_graph, frozenset())
+        assert plan_pattern(pattern, stats, frozenset()) == \
+            plan_pattern(pattern, skewed_graph, frozenset())
 
 
 class TestPlannerPreservesResults:

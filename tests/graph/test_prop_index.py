@@ -1,0 +1,163 @@
+"""Property-value equality index + relationship-type statistics.
+
+Two invariants carry the physical IndexSeek operator's correctness:
+
+1. **Supersets only** — :meth:`PropertyGraph.nodes_with_property` may
+   over-approximate (type-tagged keys merge ``1`` and ``1.0``) but must
+   never miss a node whose property Cypher-equals the sought value, and
+   must return None (scan fallback) whenever the index cannot serve the
+   value (null, NaN, lists, maps).
+2. **Global order** — bucket sequences follow ``nodes`` insertion order,
+   and :meth:`PropertyGraph.patched` keeps it that way by moving every
+   upserted node to the end of every ordering (node map, label buckets,
+   property buckets), so a seek enumerates exactly the subsequence a
+   label scan would.
+"""
+
+import pickle
+
+from repro.graph.model import Node, PropertyGraph, Relationship
+from repro.graph.values import NULL
+
+
+def _node(node_id, labels=("Person",), **props):
+    return Node(id=node_id, labels=frozenset(labels), properties=props)
+
+
+def _graph():
+    return PropertyGraph.of(
+        [
+            _node(1, name="Ann", age=30),
+            _node(2, name="Bob", age=30),
+            _node(3, ("Person", "Admin"), name="Cal"),
+            _node(4, ("City",), name="Ann"),
+        ],
+        [
+            Relationship(id=1, type="KNOWS", src=1, trg=2),
+            Relationship(id=2, type="KNOWS", src=2, trg=3),
+            Relationship(id=3, type="VISITS", src=3, trg=4),
+        ],
+    )
+
+
+class TestSeek:
+    def test_seek_by_label_key_value(self):
+        graph = _graph()
+        hits = graph.nodes_with_property("Person", "name", "Ann")
+        assert [node.id for node in hits] == [1]
+
+    def test_seek_respects_label(self):
+        graph = _graph()
+        assert [n.id for n in graph.nodes_with_property("City", "name", "Ann")] \
+            == [4]
+
+    def test_missing_value_is_empty_tuple_not_none(self):
+        graph = _graph()
+        assert graph.nodes_with_property("Person", "name", "Zed") == ()
+
+    def test_numeric_values_unify_int_and_float(self):
+        graph = PropertyGraph.of([_node(1, x=1), _node(2, x=1.0)])
+        hits = graph.nodes_with_property("Person", "x", 1)
+        assert [node.id for node in hits] == [1, 2]
+
+    def test_bools_do_not_unify_with_numbers(self):
+        graph = PropertyGraph.of([_node(1, x=True), _node(2, x=1)])
+        assert [n.id for n in graph.nodes_with_property("Person", "x", True)] \
+            == [1]
+        assert [n.id for n in graph.nodes_with_property("Person", "x", 1)] \
+            == [2]
+
+    def test_unindexable_values_fall_back_to_scan(self):
+        graph = _graph()
+        assert graph.nodes_with_property("Person", "name", NULL) is None
+        assert graph.nodes_with_property("Person", "name", float("nan")) is None
+        assert graph.nodes_with_property("Person", "name", [1, 2]) is None
+        assert graph.nodes_with_property("Person", "name", {"a": 1}) is None
+
+    def test_bucket_order_matches_label_scan_order(self):
+        graph = _graph()
+        scan = [n.id for n in graph.nodes_with_labels(["Person"])
+                if n.property("age") == 30]
+        seek = [n.id for n in graph.nodes_with_property("Person", "age", 30)]
+        assert seek == scan == [1, 2]
+
+
+class TestPatchedMaintenance:
+    def test_upsert_moves_node_to_end_of_all_orders(self):
+        graph = _graph()
+        patched = graph.patched(nodes=[_node(1, name="Ann", age=31)])
+        assert list(patched.nodes) == [2, 3, 4, 1]
+        assert [n.id for n in patched.nodes_with_property("Person", "age", 31)] \
+            == [1]
+        assert [n.id for n in patched.nodes_with_labels(["Person"])] \
+            == [2, 3, 1]
+
+    def test_incremental_index_equals_fresh_rebuild(self):
+        graph = _graph()
+        graph._prop_buckets()  # materialize, so patched maintains it
+        patched = graph.patched(
+            nodes=[_node(5, name="Eve", age=30), _node(2, name="Bo", age=29)],
+            removed_nodes=[3],
+            removed_rels=[2, 3],
+        )
+        fresh = PropertyGraph.of(
+            patched.nodes.values(), patched.relationships.values()
+        )
+        assert patched._prop_index is not None  # maintained, not rebuilt
+        assert patched._prop_buckets() == fresh._prop_buckets()
+
+    def test_lazy_parent_stays_lazy(self):
+        graph = _graph()
+        patched = graph.patched(nodes=[_node(5, name="Eve")])
+        assert patched._prop_index is None
+        assert [n.id for n in patched.nodes_with_property(
+            "Person", "name", "Eve")] == [5]
+
+    def test_removal_deletes_from_buckets(self):
+        graph = _graph()
+        graph._prop_buckets()
+        patched = graph.patched(removed_nodes=[1], removed_rels=[1])
+        assert patched.nodes_with_property("Person", "name", "Ann") == ()
+        # The City "Ann" bucket is untouched.
+        assert [n.id for n in patched.nodes_with_property(
+            "City", "name", "Ann")] == [4]
+
+    def test_property_change_reindexes(self):
+        graph = _graph()
+        graph._prop_buckets()
+        patched = graph.patched(nodes=[_node(1, name="Anne", age=30)])
+        assert patched.nodes_with_property("Person", "name", "Ann") == ()
+        assert [n.id for n in patched.nodes_with_property(
+            "Person", "name", "Anne")] == [1]
+
+    def test_pickle_roundtrip_preserves_order_and_index(self):
+        graph = _graph().patched(nodes=[_node(2, name="Bob", age=30)])
+        clone = pickle.loads(pickle.dumps(graph))
+        assert list(clone.nodes) == list(graph.nodes)
+        assert [n.id for n in clone.nodes_with_property("Person", "age", 30)] \
+            == [n.id for n in graph.nodes_with_property("Person", "age", 30)]
+
+
+class TestRelTypeCounts:
+    def test_of_counts_types(self):
+        graph = _graph()
+        assert graph.rel_type_count("KNOWS") == 2
+        assert graph.rel_type_count("VISITS") == 1
+        assert graph.rel_type_count("NOPE") == 0
+        assert graph.rel_type_counts() == {"KNOWS": 2, "VISITS": 1}
+
+    def test_patched_maintains_counts(self):
+        graph = _graph()
+        patched = graph.patched(
+            relationships=[
+                Relationship(id=4, type="VISITS", src=1, trg=4),
+                # retype rel 1: KNOWS -> LIKES
+                Relationship(id=1, type="LIKES", src=1, trg=2),
+            ],
+            removed_rels=[2],
+        )
+        assert patched.rel_type_counts() == {"VISITS": 2, "LIKES": 1}
+        fresh = PropertyGraph.of(
+            patched.nodes.values(), patched.relationships.values()
+        )
+        assert patched.rel_type_counts() == fresh.rel_type_counts()

@@ -30,7 +30,13 @@ HISTOGRAM_KEYS = {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}
 GOLDEN_QUERY_KEYS = {
     "assignments_recomputed", "assignments_retained", "delta",
     "delta_full_refreshes", "delta_reason", "done", "evaluations",
-    "next_eval", "reused", "warnings",
+    "next_eval", "plan_compiles", "plan_failed", "plan_operators",
+    "reused", "warnings",
+}
+
+GOLDEN_PLANNER_KEYS = {
+    "physical_plans", "plans", "hits", "misses", "invalidations",
+    "hit_rate",
 }
 
 GOLDEN_RESILIENCE_KEYS = {
@@ -70,11 +76,12 @@ class TestGoldenStatusShape:
         engine = serial_status["engine"]
         assert set(engine) == {
             "policy", "incremental", "delta_eval", "watermark",
-            "shared_window_states", "queries", "streams",
+            "shared_window_states", "queries", "streams", "planner",
         }
         assert set(engine["queries"]) == {"student_trick"}
         assert set(engine["queries"]["student_trick"]) == GOLDEN_QUERY_KEYS
         assert set(engine["streams"]["default"]) == {"head", "retained"}
+        assert set(engine["planner"]) == GOLDEN_PLANNER_KEYS
 
     def test_serial_layers_are_explicit_nulls(self, serial_status):
         assert serial_status["parallel"] is None
@@ -84,11 +91,18 @@ class TestGoldenStatusShape:
         obs = serial_status["obs"]
         assert obs["enabled"] is True
         metrics = obs["metrics"]
-        assert sorted(metrics["counters"]) == [
+        counters = set(metrics["counters"])
+        base = {
             "engine.evaluations",
             "engine.ingested",
             "engine.stream.default.ingested",
-        ]
+        }
+        assert base <= counters
+        # The only other counters are per-operator row counts from the
+        # physical plan (query.<name>.op.<id>.rows).
+        for name in counters - base:
+            assert name.startswith("query.student_trick.op.")
+            assert name.endswith(".rows")
         histograms = metrics["histograms"]
         # Figure 1 exercises full matching, reuse and every report stage.
         for stage in ("window_advance", "snapshot_build", "reuse",
