@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install lint test bench examples verify ci all
+.PHONY: install lint test bench chaos examples verify ci all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -19,6 +19,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Seeded fault-injection smoke: every chaos test pins its ChaosConfig
+# seed, so this run reproduces byte-for-byte on any machine.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ benchmarks/ -q \
+		-m "chaos and not slow" --benchmark-disable
 
 examples:
 	@for script in examples/*.py; do \

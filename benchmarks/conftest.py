@@ -15,14 +15,19 @@ import pytest
 from repro.usecases.micromobility import figure1_stream, figure2_graph
 
 
-@pytest.fixture(scope="session", autouse=True)
+@pytest.fixture(scope="module", autouse=True)
 def no_leaked_worker_processes():
-    """Every pool a bench starts must be shut down by session end."""
+    """Every pool a bench module starts must be shut down by the time
+    the module ends; the failure pins the leak to the module."""
+    before = {child.pid for child in multiprocessing.active_children()}
     yield
-    children = multiprocessing.active_children()
-    assert not children, (
-        f"worker processes leaked by the benchmark session: "
-        f"{[child.pid for child in children]}"
+    leaked = [
+        child for child in multiprocessing.active_children()
+        if child.pid not in before
+    ]
+    assert not leaked, (
+        f"worker processes leaked by this benchmark module: "
+        f"{[child.pid for child in leaked]}"
     )
 
 

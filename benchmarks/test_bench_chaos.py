@@ -1,0 +1,163 @@
+"""Benches the supervised runtime under chaos (ROADMAP item 5).
+
+Two questions, both answered with seeded, reproducible fault injection:
+
+* **recovery latency** — how long does one pool rebuild take (detect the
+  crash, back off, respawn workers), measured from the supervisor's own
+  ``pool_rebuild`` trace spans while workers are being murdered;
+* **degraded-mode throughput** — how much of the pooled throughput
+  survives when the crash budget is exhausted and every window group
+  runs in-parent.
+
+The smoke test (not slow, fixed seed) asserts the headline property —
+chaotic emissions byte-identical to serial — and runs in CI's chaos job;
+the slow benches record their numbers into ``BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.record import record_results
+from repro.graph.model import Node, PropertyGraph, Relationship
+from repro.obs import Observability
+from repro.runtime import (
+    ChaosConfig,
+    ParallelEngine,
+    PoolSupervisor,
+    SupervisorConfig,
+)
+from repro.seraph import CollectingSink, SeraphEngine
+from repro.stream.stream import StreamElement
+
+ROUTE_QUERY = """
+REGISTER QUERY routes STARTING AT 1970-01-01T00:00
+{
+  MATCH p = shortestPath((a:Person)-[:KNOWS*..4]->(c:Person)) WITHIN PT60S
+  WHERE id(a) <> id(c)
+  EMIT id(a) AS src, id(c) AS dst, length(p) AS hops
+  SNAPSHOT EVERY PT10S
+}
+"""
+
+
+def _element(index):
+    base = 3 * index
+    nodes = [
+        Node(id=base + offset, labels=("Person",), properties=())
+        for offset in range(3)
+    ]
+    rels = [
+        Relationship(id=2 * index, type="KNOWS",
+                     src=base, trg=base + 1, properties=()),
+        Relationship(id=2 * index + 1, type="KNOWS",
+                     src=base + 1, trg=base + 2, properties=()),
+    ]
+    return StreamElement(graph=PropertyGraph.of(nodes, rels),
+                         instant=10 * (index + 1))
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return [_element(index) for index in range(10)]
+
+
+def _run(engine, stream):
+    sink = CollectingSink()
+    engine.register(ROUTE_QUERY, sink=sink)
+    engine.run_stream(stream)
+    return [e.render() for e in sink.emissions]
+
+
+def _chaotic_engine(chaos, obs=None, **config_kwargs):
+    return ParallelEngine(
+        workers=2, offload_threshold=0.0, delta_eval=False,
+        supervisor=PoolSupervisor(
+            2, config=SupervisorConfig(**config_kwargs), chaos=chaos,
+            obs=obs if obs is not None else Observability.create(),
+        ),
+    )
+
+
+@pytest.mark.chaos
+def test_chaos_smoke_byte_identical_with_fixed_seed(stream):
+    """The CI chaos job's anchor: seeded kills + poison, emissions equal
+    serial, at least one rebuild recorded."""
+    serial = _run(SeraphEngine(delta_eval=False), stream)
+    engine = _chaotic_engine(
+        ChaosConfig(seed=11, worker_kill_rate=0.25,
+                    worker_poison_rate=0.25),
+        max_restarts=50, backoff_base=0.0,
+    )
+    with engine:
+        chaotic = _run(engine, stream)
+        supervision = engine.status()["supervision"]
+    assert chaotic == serial
+    assert supervision["pool_rebuilds"] >= 1
+
+
+@pytest.mark.chaos
+@pytest.mark.slow
+def test_recovery_latency_and_degraded_throughput(stream):
+    """Record recovery latency and degraded-mode throughput.
+
+    Recovery latency is read off the supervisor's ``pool_rebuild``
+    spans (detect → backoff → respawn).  Degraded throughput divides
+    the all-inline chaotic wall clock into the pooled clean one.
+    """
+    serial = _run(SeraphEngine(delta_eval=False), stream)
+
+    # Clean pooled baseline.
+    clean = ParallelEngine(workers=2, offload_threshold=0.0,
+                           delta_eval=False)
+    with clean:
+        started = time.perf_counter()
+        assert _run(clean, stream) == serial
+        clean_seconds = time.perf_counter() - started
+
+    # Murderous run: every rebuild's latency lands in a trace span.
+    obs = Observability.create()
+    chaotic = _chaotic_engine(
+        ChaosConfig(seed=7, worker_kill_rate=0.3),
+        obs=obs, max_restarts=1000,
+    )
+    with chaotic:
+        started = time.perf_counter()
+        assert _run(chaotic, stream) == serial
+        chaotic_seconds = time.perf_counter() - started
+        supervision = chaotic.status()["supervision"]
+    rebuild_spans = obs.tracer.find("pool_rebuild")
+    assert rebuild_spans, "chaos run produced no pool rebuilds"
+    latencies = [span.duration_seconds for span in rebuild_spans]
+
+    # Budget-exhausted run: everything in-parent, emissions intact.
+    degraded = _chaotic_engine(
+        ChaosConfig(seed=7, worker_kill_rate=1.0),
+        max_restarts=0, backoff_base=0.0,
+    )
+    with degraded:
+        started = time.perf_counter()
+        assert _run(degraded, stream) == serial
+        degraded_seconds = time.perf_counter() - started
+        assert degraded.status()["supervision"]["mode"] == "degraded"
+
+    record_results(
+        "chaos",
+        "supervised_recovery",
+        {
+            "workload": {"events": len(stream), "query": "shortestPath"},
+            "pool_rebuilds": supervision["pool_rebuilds"],
+            "worker_crashes": supervision["worker_crashes"],
+            "recovery_latency_seconds": {
+                "mean": sum(latencies) / len(latencies),
+                "max": max(latencies),
+                "count": len(latencies),
+            },
+            "clean_seconds": clean_seconds,
+            "chaotic_seconds": chaotic_seconds,
+            "degraded_seconds": degraded_seconds,
+            "degraded_throughput_ratio": clean_seconds / degraded_seconds,
+        },
+    )

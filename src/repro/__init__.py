@@ -27,6 +27,7 @@ Quickstart::
 
 from repro.api import EngineConfig, build_engine
 from repro.cypher import parse_cypher, run_cypher, run_update
+from repro.runtime.faults import ChaosConfig
 from repro.metrics import RunReport, instrumented_run
 from repro.obs import Observability
 from repro.graph import (
@@ -59,6 +60,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ActiveSubstreamPolicy",
+    "ChaosConfig",
     "CollectingSink",
     "Emission",
     "EngineConfig",

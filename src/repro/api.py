@@ -34,6 +34,7 @@ from repro.errors import EngineError
 from repro.graph.model import PropertyGraph
 from repro.obs import NOOP_OBS, Observability
 from repro.runtime.engine import ResilientEngine
+from repro.runtime.faults import ChaosConfig
 from repro.runtime.policies import FaultPolicy
 from repro.runtime.resilient_sink import RetryPolicy
 from repro.seraph.engine import SeraphEngine
@@ -59,6 +60,21 @@ class EngineConfig:
     1`` builds a :class:`~repro.runtime.parallel.ParallelEngine` with an
     ``N``-process pool, ``0`` sizes the pool to ``os.cpu_count()``.
     ``offload_threshold`` overrides the cost-model cutoff.
+    ``max_worker_restarts`` is the supervisor's crash budget (pool
+    rebuilds tolerated before degrading to in-parent execution) and
+    ``task_timeout`` bounds each offloaded task's wall-clock seconds —
+    both ignored for serial stacks.
+
+    Chaos
+    -----
+    ``chaos`` takes a :class:`~repro.runtime.faults.ChaosConfig`: its
+    worker axis (kills, poison tasks, delays, drops) feeds the pool
+    supervisor, and — when ``resilient=True`` — its source axis wraps
+    ``run_stream`` input in a seeded
+    :class:`~repro.runtime.faults.FlakySource` while its sink axis
+    slips a seeded :class:`~repro.runtime.faults.FlakySink` between the
+    resilient delivery layer and each user sink.  One seed reproduces
+    the whole chaotic run.
 
     Resilience
     ----------
@@ -86,6 +102,10 @@ class EngineConfig:
     # -- parallelism ----------------------------------------------------
     parallel_workers: Optional[int] = None
     offload_threshold: Optional[float] = None
+    max_worker_restarts: Optional[int] = None
+    task_timeout: Optional[float] = None
+    # -- chaos ----------------------------------------------------------
+    chaos: Optional[ChaosConfig] = None
     # -- resilience -----------------------------------------------------
     resilient: bool = False
     allowed_lateness: int = 0
@@ -105,6 +125,15 @@ class EngineConfig:
             raise EngineError(
                 "parallel_workers must be None (serial), 0 (cpu count), "
                 f"or positive, got {self.parallel_workers}"
+            )
+        if self.max_worker_restarts is not None \
+                and self.max_worker_restarts < 0:
+            raise EngineError("max_worker_restarts must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise EngineError("task_timeout must be positive")
+        if self.chaos is not None and not isinstance(self.chaos, ChaosConfig):
+            raise EngineError(
+                f"chaos must be a ChaosConfig, got {type(self.chaos).__name__}"
             )
         if self.allowed_lateness < 0:
             raise EngineError("allowed_lateness must be >= 0")
@@ -172,6 +201,9 @@ def build_engine(
                 if config.offload_threshold is not None
                 else DEFAULT_OFFLOAD_THRESHOLD
             ),
+            max_worker_restarts=config.max_worker_restarts,
+            task_timeout=config.task_timeout,
+            chaos=config.chaos,
             **core_kwargs,
         )
     if not config.resilient:
@@ -185,4 +217,5 @@ def build_engine(
         retry=config.retry,
         dead_letter_capacity=config.dead_letter_capacity,
         fallback_factory=config.fallback_factory,
+        chaos=config.chaos,
     )

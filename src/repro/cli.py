@@ -69,6 +69,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "are identical to the serial engine, docs/PARALLEL.md)",
     )
     run.add_argument(
+        "--max-worker-restarts", type=int, default=None, metavar="N",
+        help="crash budget for the supervised worker pool: pool rebuilds "
+        "tolerated before degrading to in-parent serial execution "
+        "(parallel runs; docs/SUPERVISION.md)",
+    )
+    run.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="enable the seeded chaos harness: kill workers mid-task, "
+        "delay/drop task results, inject poison payloads and sink "
+        "failures, all deterministically from SEED "
+        "(docs/SUPERVISION.md)",
+    )
+    run.add_argument(
         "--resilient", action="store_true",
         help="run behind the fault-tolerant runtime "
         "(poison quarantine, reordering, sink isolation)",
@@ -152,6 +165,9 @@ def _wants_resilient(args: argparse.Namespace) -> bool:
         or args.restore
         or args.on_poison != "dead-letter"
         or args.on_late != "dead-letter"
+        # Chaos injects poison payloads and sink failures; only the
+        # resilient runtime is built to absorb them.
+        or args.chaos_seed is not None
     )
 
 
@@ -162,11 +178,17 @@ def _wants_observability(args: argparse.Namespace) -> bool:
 def _run_config(args: argparse.Namespace) -> EngineConfig:
     """One declarative config for everything the run flags describe."""
     from repro.runtime import FaultPolicy
+    from repro.runtime.faults import ChaosConfig
 
     return EngineConfig(
         policy=_POLICIES[args.policy],
         delta_eval=args.incremental_eval,
         parallel_workers=args.parallel,
+        max_worker_restarts=args.max_worker_restarts,
+        chaos=(
+            ChaosConfig.profile(args.chaos_seed)
+            if args.chaos_seed is not None else None
+        ),
         resilient=_wants_resilient(args),
         allowed_lateness=args.allowed_lateness,
         poison_policy=FaultPolicy.parse(args.on_poison),
@@ -191,6 +213,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.parallel is not None:
             engine.close()
             print(engine.parallel_metrics.render(), file=sys.stderr)
+            print(engine.supervisor.render(), file=sys.stderr)
     _print_emissions(args, sink)
     _write_observability(args, engine, query.name)
     return 0
@@ -221,6 +244,7 @@ def _cmd_run_resilient(args: argparse.Namespace) -> int:
         if hasattr(inner, "close"):
             inner.close()
             print(inner.parallel_metrics.render(), file=sys.stderr)
+            print(inner.supervisor.render(), file=sys.stderr)
     sink = engine.sink(query.name)
     _print_emissions(args, sink)
     print(engine.metrics.render(), file=sys.stderr)

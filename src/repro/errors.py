@@ -139,6 +139,26 @@ class EngineError(SeraphError):
     """Continuous engine runtime failure."""
 
 
+class ParallelExecutionError(EngineError):
+    """The parallel execution substrate failed beyond recovery.
+
+    Raised by the pool supervisor instead of leaking
+    ``concurrent.futures`` internals (``BrokenProcessPool``, pickling
+    failures) to callers: either the pool exceeded its crash budget with
+    graceful degradation disabled, or one task kept failing after every
+    configured retry.  ``signature`` identifies the window group whose
+    evaluation failed (its ``(stream, width)`` keys plus the evaluation
+    instant); ``workers`` is the pool size.  The original failure rides
+    along as ``__cause__``.
+    """
+
+    def __init__(self, message: str, signature: object = None,
+                 workers: object = None):
+        super().__init__(message)
+        self.signature = signature
+        self.workers = workers
+
+
 class SinkDeliveryError(SeraphError):
     """A sink kept failing after all configured delivery attempts."""
 

@@ -16,6 +16,11 @@ of them under one namespaced document with a stable, documented contract
 ``parallel.*``
     ``None`` on a serial engine; otherwise the
     :class:`~repro.metrics.ParallelMetrics` counters plus ``workers``.
+``supervision.*``
+    ``None`` on a serial engine; otherwise the pool supervisor's
+    document (mode, crash budget, rebuild/retry/degradation counters,
+    chaos tallies — see
+    :meth:`~repro.runtime.supervisor.PoolSupervisor.as_dict`).
 ``resilience.*``
     ``None`` outside a :class:`~repro.runtime.ResilientEngine`;
     otherwise the runtime policies, buffer depths, dead-letter count,
@@ -66,6 +71,7 @@ def unified_status(engine) -> Dict[str, Any]:
         inner = engine.engine
     base = dict(inner.status())
     parallel = base.pop("parallel", None)
+    supervision = base.pop("supervision", None)
     base.pop("resilience", None)  # wrapper state is rebuilt below
     resilience: Optional[Dict[str, Any]] = None
     if wrapper is not None:
@@ -95,6 +101,7 @@ def unified_status(engine) -> Dict[str, Any]:
         "schema": _schema_stamp(STATUS_SCHEMA),
         "engine": base,
         "parallel": parallel,
+        "supervision": supervision,
         "resilience": resilience,
         "obs": obs_section,
     }
@@ -152,6 +159,15 @@ def validate_status(document: Mapping[str, Any]) -> None:
             _require(key in info, f"query {name!r} misses {key!r}")
     _require("parallel" in document, "missing 'parallel' section")
     _require("resilience" in document, "missing 'resilience' section")
+    # 'supervision' arrived after v1 documents were already in the wild:
+    # validate it when present, tolerate its absence.
+    supervision = document.get("supervision")
+    if supervision is not None:
+        for key in ("mode", "workers", "crash_budget", "restarts_used",
+                    "pool_rebuilds", "task_retries"):
+            _require(key in supervision, f"supervision misses {key!r}")
+        _require(supervision["mode"] in ("pooled", "degraded"),
+                 f"unknown supervision mode {supervision['mode']!r}")
     resilience = document["resilience"]
     if resilience is not None:
         for key in ("allowed_lateness", "poison_policy", "late_policy",

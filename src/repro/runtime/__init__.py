@@ -16,7 +16,11 @@ denotational-semantics contract:
   checkpoint/restore of the full runtime state;
 * :class:`GuardedIngestionPipeline` — fault policies for the MERGE
   ingestion pipeline;
-* :mod:`repro.runtime.faults` — deterministic fault injection for tests.
+* :class:`PoolSupervisor` — crash detection, pool rebuilds, idempotent
+  retry, and graceful degradation around the parallel engines' process
+  pools;
+* :mod:`repro.runtime.faults` — the deterministic chaos harness
+  (:class:`ChaosConfig` drives every fault axis from one seed).
 """
 
 from repro.runtime.checkpoint import (
@@ -29,6 +33,9 @@ from repro.runtime.checkpoint import (
 from repro.runtime.deadletter import DeadLetterEntry, DeadLetterQueue
 from repro.runtime.engine import ResilientEngine, decode_item
 from repro.runtime.faults import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosPoisonError,
     FailureSchedule,
     FlakySink,
     FlakySource,
@@ -44,6 +51,11 @@ from repro.runtime.parallel import (
 )
 from repro.runtime.policies import FaultPolicy
 from repro.runtime.reorder import ReorderBuffer
+from repro.runtime.supervisor import (
+    PoolSupervisor,
+    SupervisionMetrics,
+    SupervisorConfig,
+)
 from repro.runtime.resilient_sink import (
     CircuitBreaker,
     ResilientSink,
@@ -51,6 +63,9 @@ from repro.runtime.resilient_sink import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
+    "ChaosPoisonError",
     "CircuitBreaker",
     "DeadLetterEntry",
     "DeadLetterQueue",
@@ -61,11 +76,14 @@ __all__ = [
     "GuardedIngestionPipeline",
     "InjectedSinkFailure",
     "ParallelEngine",
+    "PoolSupervisor",
     "ReorderBuffer",
     "ResilientEngine",
     "ResilientSink",
     "RetryPolicy",
     "ShardedEngine",
+    "SupervisionMetrics",
+    "SupervisorConfig",
     "dead_letter_partition_handler",
     "decode_item",
     "merge_emissions",

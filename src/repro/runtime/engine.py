@@ -122,6 +122,15 @@ class ResilientEngine:
     sleep / clock:
         Injectable time for deterministic tests (backoff sleeping and
         breaker recovery timing).
+    chaos:
+        A :class:`~repro.runtime.faults.ChaosConfig`.  Its source axis
+        wraps every :meth:`run_stream` input in a seeded
+        :class:`~repro.runtime.faults.FlakySource` (poison payloads,
+        displaced arrivals); its sink axis slips a seeded
+        :class:`~repro.runtime.faults.FlakySink` between the resilient
+        delivery layer and each user sink, so retries/breakers get
+        exercised deterministically.  The worker axis is consumed by the
+        wrapped engine's pool supervisor, not here.
 
     The wrapper shares the wrapped engine's observability bundle
     (``self.obs is self.engine.obs``): sink retries show up as
@@ -145,6 +154,7 @@ class ResilientEngine:
         dead_letters: Optional[DeadLetterQueue] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        chaos=None,
         **engine_kwargs,
     ):
         if engine is None and engine_kwargs:
@@ -171,6 +181,7 @@ class ResilientEngine:
             self.dead_letters.metrics = self.metrics
         self.sleep = sleep
         self.clock = clock
+        self.chaos = chaos
         self._breaker_factory = breaker_factory
         self._fallback_factory = fallback_factory
         self._buffers: Dict[str, ReorderBuffer] = {}
@@ -202,6 +213,11 @@ class ResilientEngine:
             if self._breaker_factory is not None
             else CircuitBreaker(clock=self.clock, metrics=self.metrics)
         )
+        if self.chaos is not None and self.chaos.wants_sink_chaos:
+            # The flaky layer sits *under* the resilient one, so its
+            # injected failures exercise retries/breakers while the user
+            # sink still receives every delivered emission.
+            inner = self.chaos.sink(inner)
         return ResilientSink(
             inner,
             retry=self.retry,
@@ -222,9 +238,13 @@ class ResilientEngine:
 
     def sink(self, name: str) -> Sink:
         """The *inner* (user) sink of a registered query."""
+        from repro.runtime.faults import FlakySink
+
         sink = self.engine.sink(name)
         if isinstance(sink, ResilientSink):
-            return sink.inner
+            sink = sink.inner
+        if isinstance(sink, FlakySink):
+            sink = sink.inner
         return sink
 
     @property
@@ -327,7 +347,15 @@ class ResilientEngine:
         stream: str = DEFAULT_STREAM,
     ) -> List[Emission]:
         """Fault-tolerant counterpart of :meth:`SeraphEngine.run_stream`:
-        accepts raw payloads and StreamElements alike."""
+        accepts raw payloads and StreamElements alike.
+
+        With source chaos configured, ``items`` are fed through the
+        seeded :class:`~repro.runtime.faults.FlakySource` first — poison
+        payloads and displaced arrivals land on exactly the machinery
+        (poison policy, reorder buffer) built to absorb them.
+        """
+        if self.chaos is not None and self.chaos.wants_source_chaos:
+            items = self.chaos.source(items)
         emissions: List[Emission] = []
         for item in items:
             emissions.extend(self.ingest_item(item, stream))

@@ -30,13 +30,21 @@ A cost-model scheduler (:func:`repro.cypher.planner.pattern_cost`)
 decides serial vs. parallel per evaluation: small snapshots never pay
 the IPC tax.  :class:`repro.metrics.ParallelMetrics` counts what
 happened.
+
+Both engines run their pools through a
+:class:`~repro.runtime.supervisor.PoolSupervisor`: worker death and
+``BrokenProcessPool`` rebuild the pool behind bounded backoff, failing
+tasks retry idempotently (both worker functions are pure over their
+pickled payloads), and past the crash budget execution degrades to
+in-parent serial per window group — emissions continue byte-identical
+instead of the run dying (docs/SUPERVISION.md).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cypher.planner import pattern_cost
@@ -46,6 +54,7 @@ from repro.graph.table import Table
 from repro.graph.temporal import TimeInstant
 from repro.metrics import ParallelMetrics
 from repro.runtime.deadletter import DeadLetterQueue
+from repro.runtime.supervisor import PoolSupervisor, SupervisorConfig
 from repro.seraph import semantics
 from repro.seraph.engine import SeraphEngine, _PendingEvaluation
 from repro.seraph.ast import SeraphMatch
@@ -196,6 +205,14 @@ class ParallelEngine(SeraphEngine):
     Emissions are byte-identical to the serial engine: only the pure
     snapshot evaluation (:func:`repro.seraph.semantics.execute_body`)
     moves to a worker, and results are applied in serial firing order.
+
+    The pool lives behind a :class:`PoolSupervisor`:
+    ``max_worker_restarts`` is the crash budget before degrading to
+    in-parent execution, ``task_timeout`` bounds each offloaded group's
+    wall clock, and ``chaos`` (a
+    :class:`~repro.runtime.faults.ChaosConfig`) turns on seeded fault
+    injection against the pool.  ``supervisor`` injects a pre-built
+    supervisor instead (tests use this to inject crashy pool factories).
     """
 
     def __init__(
@@ -205,6 +222,10 @@ class ParallelEngine(SeraphEngine):
         workers: Optional[int] = None,
         pool: Optional[ProcessPoolExecutor] = None,
         offload_threshold: float = DEFAULT_OFFLOAD_THRESHOLD,
+        max_worker_restarts: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        chaos=None,
+        supervisor: Optional[PoolSupervisor] = None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -214,22 +235,45 @@ class ParallelEngine(SeraphEngine):
         self.workers = int(resolved)
         self.offload_threshold = float(offload_threshold)
         self.parallel_metrics = ParallelMetrics()
-        self._pool = pool
-        self._owns_pool = pool is None
+        if supervisor is None:
+            config = SupervisorConfig(
+                max_restarts=(
+                    max_worker_restarts if max_worker_restarts is not None
+                    else SupervisorConfig.max_restarts
+                ),
+                task_timeout=task_timeout,
+            )
+            supervisor = PoolSupervisor(
+                self.workers, config=config, pool=pool, obs=self.obs,
+                chaos=chaos,
+            )
+        self.supervisor = supervisor
 
     # -- pool lifecycle ------------------------------------------------------
+    #
+    # The executor itself belongs to the supervisor; `_pool`/`_owns_pool`
+    # stay as delegating properties because callers (and tests) inject
+    # and inspect them on the engine.
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        return self.supervisor.pool
+
+    @_pool.setter
+    def _pool(self, value: Optional[ProcessPoolExecutor]) -> None:
+        self.supervisor._pool = value
+
+    @property
+    def _owns_pool(self) -> bool:
+        return self.supervisor._owns_pool
+
+    @_owns_pool.setter
+    def _owns_pool(self, value: bool) -> None:
+        self.supervisor._owns_pool = value
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for injected pools)."""
-        if self._pool is not None and self._owns_pool:
-            self._pool.shutdown(wait=True)
-        if self._owns_pool:
-            self._pool = None
+        self.supervisor.close()
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -346,8 +390,9 @@ class ParallelEngine(SeraphEngine):
                 pending.instant,
             )
             groups.setdefault(signature, []).append(index)
-        pool = self._ensure_pool()
-        futures: List[Tuple[Future, List[int]]] = []
+        payloads: List[tuple] = []
+        group_indices: List[List[int]] = []
+        signatures: List[tuple] = []
         for indices in groups.values():
             first = pendings[indices[0]]
             graphs = {
@@ -370,16 +415,24 @@ class ParallelEngine(SeraphEngine):
                         (plan.band, plan) if plan is not None else None,
                     )
                 )
-            futures.append(
-                (pool.submit(_worker_evaluate_group, (graphs, tasks)), indices)
+            payloads.append((graphs, tasks))
+            group_indices.append(indices)
+            # A stable, pickle-friendly label for failures: the group's
+            # window keys plus the evaluation instant.
+            signatures.append(
+                tuple(sorted(first.registered.windows.keys()))
+                + (first.instant,)
             )
             self.parallel_metrics.offloaded_groups += 1
         self.parallel_metrics.max_queue_depth = max(
-            self.parallel_metrics.max_queue_depth, len(futures)
+            self.parallel_metrics.max_queue_depth, len(payloads)
         )
-        for future, indices in futures:
+        results = self.supervisor.run_batch(
+            _worker_evaluate_group, payloads, signatures
+        )
+        for result, indices in zip(results, group_indices):
             (worker_pid, elapsed, group_tables, timings,
-             rows_per_task) = future.result()
+             rows_per_task) = result
             self.parallel_metrics.observe_task(worker_pid, elapsed)
             for position, (i, table) in enumerate(
                 zip(indices, group_tables)
@@ -420,6 +473,7 @@ class ParallelEngine(SeraphEngine):
         info["parallel"] = dict(
             self.parallel_metrics.as_dict(), workers=self.workers
         )
+        info["supervision"] = self.supervisor.as_dict()
         return info
 
 
@@ -516,6 +570,10 @@ class ShardedEngine:
         engine_options: Optional[dict] = None,
         dead_letters: Optional[DeadLetterQueue] = None,
         pool: Optional[ProcessPoolExecutor] = None,
+        max_worker_restarts: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        chaos=None,
+        supervisor: Optional[PoolSupervisor] = None,
     ):
         if shards <= 0:
             raise EngineError("shards must be positive")
@@ -529,8 +587,19 @@ class ShardedEngine:
         self.engine_options = dict(engine_options or {})
         self.dead_letters = dead_letters
         self.parallel_metrics = ParallelMetrics()
-        self._pool = pool
-        self._owns_pool = pool is None
+        if supervisor is None:
+            config = SupervisorConfig(
+                max_restarts=(
+                    max_worker_restarts if max_worker_restarts is not None
+                    else SupervisorConfig.max_restarts
+                ),
+                task_timeout=task_timeout,
+            )
+            supervisor = PoolSupervisor(
+                min(self.workers, self.shards) or 1,
+                config=config, pool=pool, chaos=chaos,
+            )
+        self.supervisor = supervisor
         #: logical sub-stream name → shard id, in first-seen order.
         self.assignment: Dict[str, int] = {}
         self._shard_states: List[Optional[dict]] = [None] * self.shards
@@ -540,18 +609,24 @@ class ShardedEngine:
 
     # -- pool lifecycle ------------------------------------------------------
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=min(self.workers, self.shards)
-            )
-        return self._pool
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        return self.supervisor.pool
+
+    @_pool.setter
+    def _pool(self, value: Optional[ProcessPoolExecutor]) -> None:
+        self.supervisor._pool = value
+
+    @property
+    def _owns_pool(self) -> bool:
+        return self.supervisor._owns_pool
+
+    @_owns_pool.setter
+    def _owns_pool(self, value: bool) -> None:
+        self.supervisor._owns_pool = value
 
     def close(self) -> None:
-        if self._pool is not None and self._owns_pool:
-            self._pool.shutdown(wait=True)
-        if self._owns_pool:
-            self._pool = None
+        self.supervisor.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -644,25 +719,36 @@ class ShardedEngine:
         return per_shard
 
     def _run_in_workers(self, slices, until) -> List[List[Emission]]:
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(
-                _worker_run_shard, self._payload(shard, slice_elements, until)
-            )
+        payloads = [
+            self._payload(shard, slice_elements, until)
             for shard, slice_elements in enumerate(slices)
         ]
+        signatures = [("shard", shard) for shard in range(len(slices))]
         self.parallel_metrics.max_queue_depth = max(
-            self.parallel_metrics.max_queue_depth, len(futures)
+            self.parallel_metrics.max_queue_depth, len(payloads)
+        )
+        results = self.supervisor.run_batch(
+            _worker_run_shard, payloads, signatures
         )
         per_shard: List[List[Emission]] = []
-        for shard, future in enumerate(futures):
-            worker_pid, elapsed, emissions, state = future.result()
+        for shard, result in enumerate(results):
+            worker_pid, elapsed, emissions, state = result
             self.parallel_metrics.observe_task(worker_pid, elapsed)
             self.parallel_metrics.offloaded_evaluations += len(emissions)
             self.parallel_metrics.offloaded_groups += 1
             self._shard_states[shard] = state
             per_shard.append(emissions)
         return per_shard
+
+    def status(self) -> Dict[str, object]:
+        """Operational snapshot mirroring the engines' ``status()``."""
+        return {
+            "parallel": dict(
+                self.parallel_metrics.as_dict(),
+                workers=self.workers, shards=self.shards,
+            ),
+            "supervision": self.supervisor.as_dict(),
+        }
 
     # -- checkpoint ----------------------------------------------------------
 

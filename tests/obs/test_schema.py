@@ -67,6 +67,7 @@ class TestGoldenStatusShape:
     def test_top_level_sections_are_pinned(self, serial_status):
         assert sorted(serial_status) == [
             "engine", "obs", "parallel", "resilience", "schema",
+            "supervision",
         ]
         assert serial_status["schema"] == {
             "name": "repro.status", "version": SCHEMA_VERSION,
@@ -85,6 +86,7 @@ class TestGoldenStatusShape:
 
     def test_serial_layers_are_explicit_nulls(self, serial_status):
         assert serial_status["parallel"] is None
+        assert serial_status["supervision"] is None
         assert serial_status["resilience"] is None
 
     def test_obs_section_names_every_stage_that_ran(self, serial_status):
