@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install lint test bench chaos examples verify ci all
+.PHONY: install lint test test-columnar bench chaos examples verify ci all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -16,6 +16,11 @@ lint:
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# The whole suite with window snapshots served by the columnar graph
+# core (docs/COLUMNAR.md) — the A/B run CI uses to pin byte-identity.
+test-columnar:
+	PYTHONPATH=src REPRO_GRAPH_BACKEND=columnar $(PYTHON) -m pytest tests/ -q -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -49,10 +49,14 @@ class EngineConfig:
     ---------------
     ``policy``, ``incremental``, ``static_graph``,
     ``reuse_unchanged_windows``, ``share_windows``, ``delta_eval``,
-    ``physical_plans`` map one-to-one onto
+    ``physical_plans``, ``graph_backend`` map one-to-one onto
     :class:`~repro.seraph.engine.SeraphEngine` knobs
     (``physical_plans=False`` forces the interpreted pipeline — results
-    are identical, compiled plans are a pure optimization).
+    are identical, compiled plans are a pure optimization;
+    ``graph_backend="columnar"`` swaps window snapshots to the
+    interned, array-backed :class:`~repro.graph.columnar.ColumnarGraph`
+    — emissions stay byte-identical, ``None`` defers to the
+    ``REPRO_GRAPH_BACKEND`` environment variable).
 
     Parallelism
     -----------
@@ -99,6 +103,7 @@ class EngineConfig:
     share_windows: bool = True
     delta_eval: bool = True
     physical_plans: bool = True
+    graph_backend: Optional[str] = None
     # -- parallelism ----------------------------------------------------
     parallel_workers: Optional[int] = None
     offload_threshold: Optional[float] = None
@@ -135,6 +140,10 @@ class EngineConfig:
             raise EngineError(
                 f"chaos must be a ChaosConfig, got {type(self.chaos).__name__}"
             )
+        if self.graph_backend is not None:
+            from repro.graph.columnar import resolve_backend_name
+
+            resolve_backend_name(self.graph_backend)  # raises on unknown
         if self.allowed_lateness < 0:
             raise EngineError("allowed_lateness must be >= 0")
         if self.span_limit < 0 or self.reservoir < 1:
@@ -184,6 +193,7 @@ def build_engine(
         share_windows=config.share_windows,
         delta_eval=config.delta_eval,
         physical_plans=config.physical_plans,
+        graph_backend=config.graph_backend,
         obs=obs,
     )
     if config.parallel_workers is None:

@@ -62,6 +62,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "baseline, docs/INCREMENTAL.md)",
     )
     run.add_argument(
+        "--graph-backend", choices=["reference", "columnar"], default=None,
+        help="window snapshot implementation: the reference dict-based "
+        "PropertyGraph or the interned array-backed columnar core "
+        "(emissions are byte-identical; default defers to the "
+        "REPRO_GRAPH_BACKEND environment variable, docs/COLUMNAR.md)",
+    )
+    run.add_argument(
         "--parallel", nargs="?", const=0, type=int, default=None,
         metavar="N",
         help="offload expensive evaluations to N worker processes "
@@ -183,6 +190,7 @@ def _run_config(args: argparse.Namespace) -> EngineConfig:
     return EngineConfig(
         policy=_POLICIES[args.policy],
         delta_eval=args.incremental_eval,
+        graph_backend=args.graph_backend,
         parallel_workers=args.parallel,
         max_worker_restarts=args.max_worker_restarts,
         chaos=(

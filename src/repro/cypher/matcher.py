@@ -68,6 +68,14 @@ class PatternMatcher:
     def __init__(self, graph: PropertyGraph, evaluator: ExpressionEvaluator):
         self.graph = graph
         self.evaluator = evaluator
+        # Columnar fast path: a backend exposing expand_pairs() serves
+        # (relationship, neighbour) pairs straight off its CSR arrays
+        # (memoized per snapshot).  The pairs arrive in exactly the
+        # order the interpreted expansion below enumerates, and the
+        # match-state-dependent filters (relationship uniqueness,
+        # pattern properties) still run here — so results are
+        # byte-identical either way.
+        self._expand_pairs = getattr(graph, "expand_pairs", None)
 
     # -- public API ---------------------------------------------------------
 
@@ -352,6 +360,23 @@ class PatternMatcher:
     ) -> Iterator[Tuple[Relationship, Node]]:
         """Candidate (relationship, next node) pairs from ``node``."""
         direction = rel_pattern.direction
+        if self._expand_pairs is not None:
+            tag = (
+                "out" if direction is ast.Direction.OUT
+                else "in" if direction is ast.Direction.IN
+                else "any"
+            )
+            for rel, next_node in self._expand_pairs(
+                node.id, tag, rel_pattern.types
+            ):
+                if rel.id in used:
+                    continue
+                if not self._properties_match(
+                    rel, rel_pattern.properties, scope
+                ):
+                    continue
+                yield rel, next_node
+            return
         if direction is ast.Direction.OUT:
             candidates = (
                 (rel, self.graph.node(rel.trg)) for rel in self.graph.outgoing(node.id)

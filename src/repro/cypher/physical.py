@@ -28,6 +28,14 @@ interpreted path:
 Plans are plain frozen dataclasses over AST nodes: picklable, so the
 parallel engine ships them to workers, and statistics-free, so one plan
 object serves every snapshot until the plan cache invalidates it.
+
+The operators are backend-agnostic: they consume the public graph API
+(``nodes_with_property``, ``nodes_with_labels``, the matcher's
+expansion hook), so under ``graph_backend="columnar"`` an IndexSeek is
+served from interned property columns and ExpandHop / VarLengthExpand
+walk CSR adjacency arrays (via ``expand_pairs``) with no operator
+changes — the global-node-order rule above is exactly what makes the
+two backends emit byte-identical rows (docs/COLUMNAR.md).
 """
 
 from __future__ import annotations

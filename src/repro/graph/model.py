@@ -434,10 +434,14 @@ class PropertyGraph:
     def incident(self, node_id: NodeId) -> Iterator[Relationship]:
         """All relationships touching ``node_id`` (undirected view).
 
-        A self-loop is yielded once per direction it appears in the
-        adjacency index (i.e. once for out and once for in) to preserve
-        Cypher's traversal behaviour of visiting it a single time per
-        direction choice — the matcher deduplicates by relationship id.
+        Every relationship — self-loops included — is yielded exactly
+        once, deduplicated by id.  A self-loop sits in both the outgoing
+        and the incoming index, but Cypher's undirected traversal
+        ``(a)-[r]-(b)`` visits it as a *single* candidate, producing one
+        match, not one per direction.  Direction-specific patterns go
+        through :meth:`outgoing`/:meth:`incoming` directly, where a
+        self-loop contributes one match for ``()-[]->()`` and one for
+        ``()<-[]-()``.
         """
         seen = set()
         for rel in self.outgoing(node_id):

@@ -36,17 +36,30 @@ class _RelationshipState:
     properties: Dict[str, Any] = field(default_factory=dict)
 
 
+#: Sentinel distinguishing "property absent" from any stored value.
+_MISSING = object()
+
+
 class GraphStore:
     """Mutable node/relationship state with Cypher write semantics."""
+
+    #: The snapshot class ``graph()`` freezes into.  Subclasses swap in a
+    #: different backend (e.g. ``ColumnarStore`` →
+    #: :class:`~repro.graph.columnar.ColumnarGraph`); any class with the
+    #: ``empty``/``of``/``patched`` trio works.
+    _graph_cls = PropertyGraph
 
     def __init__(self, graph: Optional[PropertyGraph] = None):
         self._nodes: Dict[NodeId, _NodeState] = {}
         self._relationships: Dict[RelationshipId, _RelationshipState] = {}
+        # node id → ids of relationships incident to it (either endpoint),
+        # so DETACH DELETE is O(degree) instead of a full relationship scan.
+        self._incident: Dict[NodeId, Set[RelationshipId]] = {}
         self._next_node_id = 1
         self._next_rel_id = 1
         self._dirty = True
         self._full_rebuild = True
-        self._cached = PropertyGraph.empty()
+        self._cached = self._graph_cls.empty()
         # Epoch deltas since the last freeze; insertion-ordered so the
         # incremental freeze applies upserts deterministically.
         self._touched_nodes: Dict[NodeId, None] = {}
@@ -70,6 +83,8 @@ class GraphStore:
                 type=rel.type, src=rel.src, trg=rel.trg,
                 properties=dict(rel.properties),
             )
+            self._incident.setdefault(rel.src, set()).add(rel.id)
+            self._incident.setdefault(rel.trg, set()).add(rel.id)
             self._next_rel_id = max(self._next_rel_id, rel.id + 1)
         self._dirty = True
         self._full_rebuild = True
@@ -103,7 +118,7 @@ class GraphStore:
                    + len(self._removed_nodes) + len(self._removed_rels))
         live = len(self._nodes) + len(self._relationships)
         if self._full_rebuild or 2 * touched >= max(live, 1):
-            self._cached = PropertyGraph.of(
+            self._cached = self._graph_cls.of(
                 (self._freeze_node(node_id) for node_id in self._nodes),
                 (self._freeze_relationship(rel_id)
                  for rel_id in self._relationships),
@@ -141,6 +156,15 @@ class GraphStore:
         return self._cached
 
     def _touch_node(self, node_id: NodeId) -> None:
+        # Move the node to the end of both the live order and the epoch
+        # order: PropertyGraph.patched moves every upsert to the end of
+        # the global node order, so keeping the store's own order in
+        # lockstep makes the incremental freeze and a forced full
+        # rebuild enumerate byte-identically regardless of which path
+        # graph() takes.  (Relationships keep their position on upsert,
+        # so _touch_relationship intentionally does not move.)
+        self._nodes[node_id] = self._nodes.pop(node_id)
+        self._touched_nodes.pop(node_id, None)
         self._touched_nodes[node_id] = None
         self._dirty = True
 
@@ -171,10 +195,16 @@ class GraphStore:
     ) -> Node:
         node_id = self._next_node_id
         self._next_node_id += 1
+        # Materialize ``labels`` exactly once: it may be a generator, and
+        # consuming it twice would store the labels but return a Node
+        # without them.
+        label_set = frozenset(labels)
         clean = {k: v for k, v in (properties or {}).items() if v is not NULL}
-        self._nodes[node_id] = _NodeState(labels=set(labels), properties=clean)
+        self._nodes[node_id] = _NodeState(
+            labels=set(label_set), properties=clean
+        )
         self._touch_node(node_id)
-        return Node(id=node_id, labels=frozenset(labels), properties=clean)
+        return Node(id=node_id, labels=label_set, properties=clean)
 
     def create_relationship(
         self,
@@ -193,6 +223,8 @@ class GraphStore:
         self._relationships[rel_id] = _RelationshipState(
             type=rel_type, src=src, trg=trg, properties=clean
         )
+        self._incident.setdefault(src, set()).add(rel_id)
+        self._incident.setdefault(trg, set()).add(rel_id)
         self._touch_relationship(rel_id)
         return Relationship(id=rel_id, type=rel_type, src=src, trg=trg,
                             properties=clean)
@@ -212,22 +244,40 @@ class GraphStore:
         return state
 
     def set_property(self, entity: Any, key: str, value: Any) -> None:
-        """SET e.key = value; setting null removes the property (Cypher)."""
+        """SET e.key = value; setting null removes the property (Cypher).
+
+        A write that leaves the stored state unchanged — rewriting an
+        identical value, or removing an absent key — is a no-op: it does
+        not dirty the cached snapshot and does not enter the epoch
+        delta, so ``graph()`` keeps returning the same cached object.
+        Identity is type-exact (``1`` does not match ``1.0`` or
+        ``true``), and ``NaN`` never matches, so every observable
+        rewrite still invalidates.
+        """
         if isinstance(entity, Node):
             properties = self._node_state(entity.id).properties
-            self._touch_node(entity.id)
+            touch = self._touch_node
         elif isinstance(entity, Relationship):
             properties = self._rel_state(entity.id).properties
-            self._touch_relationship(entity.id)
+            touch = self._touch_relationship
         else:
             raise GraphConsistencyError(
                 f"cannot set properties on {entity!r}"
             )
         if value is NULL:
-            properties.pop(key, None)
+            if key not in properties:
+                return
+            del properties[key]
         else:
+            old = properties.get(key, _MISSING)
+            if old is value or (
+                old is not _MISSING
+                and type(old) is type(value)
+                and old == value
+            ):
+                return
             properties[key] = value
-        self._dirty = True
+        touch(entity.id)
 
     def set_properties_from_map(
         self, entity: Any, mapping: Dict[str, Any], replace: bool
@@ -265,30 +315,39 @@ class GraphStore:
 
     # -- deletion -------------------------------------------------------------------
 
+    def _drop_relationship(self, rel_id: RelationshipId) -> None:
+        state = self._relationships.pop(rel_id)
+        for endpoint in (state.src, state.trg):
+            incident = self._incident.get(endpoint)
+            if incident is not None:
+                incident.discard(rel_id)
+                if not incident:
+                    del self._incident[endpoint]
+        self._touched_rels.pop(rel_id, None)
+        self._removed_rels.add(rel_id)
+
     def delete_relationship(self, rel_id: RelationshipId) -> None:
         if rel_id in self._relationships:
-            del self._relationships[rel_id]
-            self._touched_rels.pop(rel_id, None)
-            self._removed_rels.add(rel_id)
+            self._drop_relationship(rel_id)
             self._dirty = True
 
     def delete_node(self, node_id: NodeId, detach: bool = False) -> None:
+        """DELETE / DETACH DELETE a node.
+
+        Incident relationships come from the store's incident-rel index,
+        so a detach costs O(degree) — not a scan of every relationship,
+        which is quadratic under churny streams.
+        """
         if node_id not in self._nodes:
             return
-        incident = [
-            rel_id
-            for rel_id, state in self._relationships.items()
-            if state.src == node_id or state.trg == node_id
-        ]
+        incident = self._incident.get(node_id, ())
         if incident and not detach:
             raise GraphConsistencyError(
                 f"cannot delete node {node_id}: it still has "
                 f"{len(incident)} relationship(s); use DETACH DELETE"
             )
-        for rel_id in incident:
-            del self._relationships[rel_id]
-            self._touched_rels.pop(rel_id, None)
-            self._removed_rels.add(rel_id)
+        for rel_id in list(incident):
+            self._drop_relationship(rel_id)
         del self._nodes[node_id]
         self._touched_nodes.pop(node_id, None)
         self._removed_nodes.add(node_id)

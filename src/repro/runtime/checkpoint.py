@@ -134,6 +134,7 @@ def engine_to_dict(engine: SeraphEngine) -> Dict[str, Any]:
             "reuse_unchanged_windows": engine.reuse_unchanged_windows,
             "share_windows": engine.share_windows,
             "delta_eval": engine.delta_eval,
+            "graph_backend": engine.graph_backend,
             "static_graph": (
                 graph_to_dict(engine.static_graph)
                 if engine.static_graph is not None else None
@@ -199,6 +200,8 @@ def engine_from_dict(
             share_windows=config["share_windows"],
             # Absent in version-1 documents written before the delta path.
             delta_eval=config.get("delta_eval", True),
+            # Absent in documents written before the columnar backend.
+            graph_backend=config.get("graph_backend", "reference"),
             # Non-None restores a ParallelEngine with that worker count.
             parallel=config.get("parallel_workers"),
         )

@@ -101,12 +101,14 @@ class _WindowState:
         policy: ActiveSubstreamPolicy,
         incremental: bool,
         static_graph: Optional[PropertyGraph],
+        graph_cls: type = PropertyGraph,
     ):
         self.config = config
         self.policy = policy
         self.incremental = incremental
         self.static_graph = static_graph
-        self.maintainer = SnapshotMaintainer()
+        self.graph_cls = graph_cls
+        self.maintainer = SnapshotMaintainer(graph_cls=graph_cls)
         if incremental and static_graph is not None:
             # The static graph is a permanent, never-evicted contribution.
             self.maintainer.add(
@@ -191,6 +193,12 @@ class _WindowState:
         graph = snapshot_graph(self.content)
         if self.static_graph is not None:
             graph = graph_union(self.static_graph, graph)
+        if self.graph_cls is not PropertyGraph:
+            # The ablation path folds unions with the reference type;
+            # convert so the configured backend serves every read.
+            graph = self.graph_cls.of(
+                graph.nodes.values(), graph.relationships.values()
+            )
         return graph
 
 
@@ -293,6 +301,15 @@ class SeraphEngine:
         band boundary (:mod:`repro.cypher.plan_cache`); queries the
         physical pipeline cannot lower fall back to interpretation.
         Semantically transparent; settable to False for the ablation.
+    graph_backend:
+        Snapshot-graph implementation: ``"reference"`` (the dict-based
+        :class:`~repro.graph.model.PropertyGraph`) or ``"columnar"``
+        (the interned, array-backed
+        :class:`~repro.graph.columnar.ColumnarGraph` — see
+        docs/COLUMNAR.md).  ``None`` (default) defers to the
+        ``REPRO_GRAPH_BACKEND`` environment variable, falling back to
+        ``"reference"``.  Semantically transparent: emissions are
+        byte-identical across backends.
     parallel:
         ``None`` (default) keeps evaluation on the calling thread.  An
         integer requests a :class:`repro.runtime.parallel.ParallelEngine`
@@ -338,9 +355,12 @@ class SeraphEngine:
         share_windows: bool = True,
         delta_eval: bool = True,
         physical_plans: bool = True,
+        graph_backend: Optional[str] = None,
         parallel: Optional[int] = None,
         obs: Optional[Observability] = None,
     ):
+        from repro.graph.columnar import GRAPH_BACKENDS, resolve_backend_name
+
         self.policy = policy
         self.incremental = incremental
         self.static_graph = static_graph
@@ -348,6 +368,8 @@ class SeraphEngine:
         self.share_windows = share_windows
         self.delta_eval = delta_eval
         self.physical_plans = physical_plans
+        self.graph_backend = resolve_backend_name(graph_backend)
+        self._graph_cls = GRAPH_BACKENDS[self.graph_backend]
         self.plan_cache = PlanCache()
         self._streams: Dict[str, _StreamState] = {}
         self.obs = obs if obs is not None else NOOP_OBS
@@ -400,7 +422,11 @@ class SeraphEngine:
                 windows[(stream_name, width)] = shared
                 continue
             state = _WindowState(
-                config, self.policy, self.incremental, self.static_graph
+                config,
+                self.policy,
+                self.incremental,
+                self.static_graph,
+                self._graph_cls,
             )
             if self.share_windows and shared is None:
                 self._shared_windows[share_key] = state
@@ -939,6 +965,7 @@ class SeraphEngine:
             "policy": self.policy.value,
             "incremental": self.incremental,
             "delta_eval": self.delta_eval,
+            "graph_backend": self.graph_backend,
             "shared_window_states": len(self._shared_windows),
         }
 

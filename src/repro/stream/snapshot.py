@@ -42,16 +42,22 @@ class SnapshotMaintainer:
     combination of all live contributions for that id.  Removing an
     element withdraws its contributions and drops ids whose contribution
     count reaches zero.
+
+    ``graph_cls`` selects the snapshot implementation — the reference
+    :class:`~repro.graph.model.PropertyGraph` (default) or any class
+    with the same ``of``/``patched``/``empty`` contract, e.g. the
+    columnar backend (:class:`~repro.graph.columnar.ColumnarGraph`).
     """
 
-    def __init__(self):
+    def __init__(self, graph_cls: type = PropertyGraph):
+        self._graph_cls = graph_cls
         self._node_contribs: Dict[int, Counter] = {}
         self._rel_contribs: Dict[int, Counter] = {}
         self._dirty = True
         self._dirty_nodes: Set[int] = set()
         self._dirty_rels: Set[int] = set()
         self._has_cache = False
-        self._cached: PropertyGraph = PropertyGraph.empty()
+        self._cached: PropertyGraph = graph_cls.empty()
 
     # -- mutation ------------------------------------------------------------
 
@@ -177,7 +183,7 @@ class SnapshotMaintainer:
                 self._merge_rel(rel_id, contribs)
                 for rel_id, contribs in self._rel_contribs.items()
             ]
-            self._cached = PropertyGraph.of(nodes, relationships)
+            self._cached = self._graph_cls.of(nodes, relationships)
         else:
             self._cached = self._cached.patched(
                     nodes=[

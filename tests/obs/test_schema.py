@@ -76,8 +76,9 @@ class TestGoldenStatusShape:
     def test_engine_section_keys(self, serial_status):
         engine = serial_status["engine"]
         assert set(engine) == {
-            "policy", "incremental", "delta_eval", "watermark",
-            "shared_window_states", "queries", "streams", "planner",
+            "policy", "incremental", "delta_eval", "graph_backend",
+            "watermark", "shared_window_states", "queries", "streams",
+            "planner",
         }
         assert set(engine["queries"]) == {"student_trick"}
         assert set(engine["queries"]["student_trick"]) == GOLDEN_QUERY_KEYS

@@ -88,7 +88,12 @@ def scenario(draw):
             )
         )
     delta_eval = draw(st.booleans())
-    return elements, texts, delta_eval
+    # Backend axis: the parallel/resilient engine under test runs on
+    # either snapshot implementation; the serial baseline always runs
+    # the reference backend, so every comparison also asserts the
+    # columnar core emits byte-identically.
+    backend = draw(st.sampled_from(["reference", "columnar"]))
+    return elements, texts, delta_eval, backend
 
 
 @pytest.fixture(scope="module")
@@ -110,11 +115,11 @@ class TestParallelEqualsSerial:
     @given(data=scenario())
     @settings(max_examples=40, deadline=None)
     def test_forced_offload_order_and_bag_equal(self, data, pool):
-        elements, texts, delta_eval = data
+        elements, texts, delta_eval, backend = data
         serial = _run_serial(elements, texts, delta_eval)
         engine = ParallelEngine(
             workers=2, pool=pool, offload_threshold=0.0,
-            delta_eval=delta_eval,
+            delta_eval=delta_eval, graph_backend=backend,
         )
         sinks = [CollectingSink() for _ in texts]
         for text, sink in zip(texts, sinks):
@@ -128,11 +133,11 @@ class TestParallelEqualsSerial:
     def test_resilient_parallel_delta_matrix(self, data, pool):
         """The full composition: ResilientEngine wrapping a parallel
         engine, delta path on or off, must replay the serial run."""
-        elements, texts, delta_eval = data
+        elements, texts, delta_eval, backend = data
         serial = _run_serial(elements, texts, delta_eval)
         inner = ParallelEngine(
             workers=2, pool=pool, offload_threshold=0.0,
-            delta_eval=delta_eval,
+            delta_eval=delta_eval, graph_backend=backend,
         )
         engine = ResilientEngine(inner)
         for text in texts:

@@ -26,6 +26,7 @@ class TestEngineConfig:
         dict(allowed_lateness=-5),
         dict(span_limit=-1),
         dict(reservoir=0),
+        dict(graph_backend="bogus"),
     ])
     def test_invalid_fields_raise_at_construction(self, bad):
         with pytest.raises(EngineError):
@@ -110,6 +111,26 @@ class TestBuildEngine:
         assert engine.policy is ActiveSubstreamPolicy.EARLIEST_CONTAINING
         assert engine.reuse_unchanged_windows is False
         assert engine.delta_eval is False
+
+    def test_graph_backend_reaches_the_engine_and_status(self):
+        engine = build_engine(EngineConfig(graph_backend="columnar"))
+        assert engine.graph_backend == "columnar"
+        assert engine.status()["graph_backend"] == "columnar"
+        from repro.graph.columnar import ColumnarGraph
+
+        assert engine._graph_cls is ColumnarGraph
+
+    def test_graph_backend_default_resolves_reference(self, monkeypatch):
+        from repro.graph.columnar import BACKEND_ENV_VAR
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert build_engine().graph_backend == "reference"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "columnar")
+        assert build_engine().graph_backend == "columnar"
+        # An explicit config wins over the environment.
+        assert build_engine(
+            EngineConfig(graph_backend="reference")
+        ).graph_backend == "reference"
 
     def test_every_layer_shares_one_observability_bundle(self):
         engine = build_engine(EngineConfig(
