@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install lint test test-columnar bench chaos examples verify ci all
+.PHONY: install lint test test-columnar test-vectorized bench chaos examples verify ci all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -21,6 +21,13 @@ test:
 # core (docs/COLUMNAR.md) — the A/B run CI uses to pin byte-identity.
 test-columnar:
 	PYTHONPATH=src REPRO_GRAPH_BACKEND=columnar $(PYTHON) -m pytest tests/ -q -m "not slow"
+
+# The whole suite with vectorized candidate pruning forced on, under
+# both graph backends (docs/VECTORIZED.md) — pins that the set-at-a-time
+# matcher path is byte-identical everywhere, not just where it defaults.
+test-vectorized:
+	PYTHONPATH=src REPRO_VECTORIZED=1 $(PYTHON) -m pytest tests/ -q -m "not slow"
+	PYTHONPATH=src REPRO_VECTORIZED=1 REPRO_GRAPH_BACKEND=columnar $(PYTHON) -m pytest tests/ -q -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

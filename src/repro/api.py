@@ -49,14 +49,17 @@ class EngineConfig:
     ---------------
     ``policy``, ``incremental``, ``static_graph``,
     ``reuse_unchanged_windows``, ``share_windows``, ``delta_eval``,
-    ``physical_plans``, ``graph_backend`` map one-to-one onto
-    :class:`~repro.seraph.engine.SeraphEngine` knobs
+    ``physical_plans``, ``graph_backend``, ``vectorized`` map one-to-one
+    onto :class:`~repro.seraph.engine.SeraphEngine` knobs
     (``physical_plans=False`` forces the interpreted pipeline — results
     are identical, compiled plans are a pure optimization;
     ``graph_backend="columnar"`` swaps window snapshots to the
     interned, array-backed :class:`~repro.graph.columnar.ColumnarGraph`
     — emissions stay byte-identical, ``None`` defers to the
-    ``REPRO_GRAPH_BACKEND`` environment variable).
+    ``REPRO_GRAPH_BACKEND`` environment variable; ``vectorized``
+    enables set-at-a-time candidate pruning in the matcher
+    (docs/VECTORIZED.md) — ``None`` defers to ``REPRO_VECTORIZED``
+    and defaults to on under the columnar backend).
 
     Parallelism
     -----------
@@ -104,6 +107,7 @@ class EngineConfig:
     delta_eval: bool = True
     physical_plans: bool = True
     graph_backend: Optional[str] = None
+    vectorized: Optional[bool] = None
     # -- parallelism ----------------------------------------------------
     parallel_workers: Optional[int] = None
     offload_threshold: Optional[float] = None
@@ -194,6 +198,7 @@ def build_engine(
         delta_eval=config.delta_eval,
         physical_plans=config.physical_plans,
         graph_backend=config.graph_backend,
+        vectorized=config.vectorized,
         obs=obs,
     )
     if config.parallel_workers is None:

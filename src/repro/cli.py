@@ -69,6 +69,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_GRAPH_BACKEND environment variable, docs/COLUMNAR.md)",
     )
     run.add_argument(
+        "--vectorized",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="prune matcher candidates set-at-a-time from label/property "
+        "id columns before the per-candidate walk (emissions are "
+        "byte-identical; default defers to REPRO_VECTORIZED, and to "
+        "on under the columnar backend, docs/VECTORIZED.md)",
+    )
+    run.add_argument(
         "--parallel", nargs="?", const=0, type=int, default=None,
         metavar="N",
         help="offload expensive evaluations to N worker processes "
@@ -191,6 +200,7 @@ def _run_config(args: argparse.Namespace) -> EngineConfig:
         policy=_POLICIES[args.policy],
         delta_eval=args.incremental_eval,
         graph_backend=args.graph_backend,
+        vectorized=args.vectorized,
         parallel_workers=args.parallel,
         max_worker_restarts=args.max_worker_restarts,
         chaos=(

@@ -38,6 +38,13 @@ class QueryEvaluator:
     are compiled once per query lifetime, not once per snapshot.
     ``compile_expressions=False`` forces the tree-walking interpreter
     (the ablation arm; results are identical).
+
+    ``vectorized=True`` hands the matcher the snapshot's shared
+    :class:`~repro.cypher.vectorized.CandidatePruner`: constant pattern
+    predicates are evaluated once per snapshot as ordered id-set
+    intersections and candidate loops collapse to membership probes.
+    Results are byte-identical either way (superset rule + residual
+    checks — see docs/VECTORIZED.md).
     """
 
     def __init__(
@@ -48,12 +55,19 @@ class QueryEvaluator:
         optimize: bool = True,
         compile_cache: Optional[dict] = None,
         compile_expressions: bool = True,
+        vectorized: bool = False,
     ):
         self.graph = graph
         self.base_scope = dict(base_scope or {})
         self.optimize = optimize
+        self.vectorized = bool(vectorized)
         self.evaluator = ExpressionEvaluator(graph, parameters=parameters)
-        self.matcher = PatternMatcher(graph, self.evaluator)
+        pruner = None
+        if vectorized:
+            from repro.cypher.vectorized import pruner_for
+
+            pruner = pruner_for(graph)
+        self.matcher = PatternMatcher(graph, self.evaluator, pruner=pruner)
         self.evaluator._pattern_checker = self.matcher.has_match
         if compile_expressions:
             self._compile_cache: Optional[dict] = (
@@ -141,6 +155,7 @@ class QueryEvaluator:
         pattern: Optional[ast.Pattern] = None,
         anchor_factory: Optional[Any] = None,
         observer: Optional[Any] = None,
+        counts_out: Optional[Dict[Tuple[int, int], List[int]]] = None,
     ) -> Table:
         """Apply a MATCH clause.
 
@@ -148,9 +163,21 @@ class QueryEvaluator:
         a pre-planned pattern (skips the per-evaluation planner run),
         ``anchor_factory(scope)`` yields an ordered start-candidate
         sequence for the first path (an index seek) or ``None`` to scan,
-        and ``observer(stage, count)`` receives per-record "match" and
-        "filter" row counts.
+        ``observer(stage, count)`` receives per-record "match" and
+        "filter" row counts, and ``counts_out`` — a
+        ``{(path_idx, hop): [candidates, pruned]}`` dict — activates the
+        matcher's per-hop candidate accounting for the duration of this
+        clause (``hop == -1`` is start enumeration).
         """
+        if counts_out is not None:
+            self.matcher.hop_counts = counts_out
+            try:
+                return self._apply_match(
+                    clause, table, pattern=pattern,
+                    anchor_factory=anchor_factory, observer=observer,
+                )
+            finally:
+                self.matcher.hop_counts = None
         free = clause.pattern.free_variables()
         out_fields = set(table.fields) | set(free)
         if pattern is None:
@@ -479,12 +506,15 @@ def run_cypher(
     base_scope: Optional[Mapping[str, Any]] = None,
     optimize: bool = True,
     compile_expressions: bool = True,
+    vectorized: bool = False,
 ) -> Table:
     """Parse (if needed) and evaluate a core-Cypher query over a graph.
 
     This is ``output(Q, G)`` of Section 3.2.  ``optimize=False`` disables
     the pattern planner, ``compile_expressions=False`` the expression
-    compiler (the ablation arms; results are identical).
+    compiler (the ablation arms; results are identical), and
+    ``vectorized=True`` enables set-at-a-time candidate pruning
+    (docs/VECTORIZED.md; also identical).
     """
     from repro.cypher.parser import parse_cypher
 
@@ -492,5 +522,5 @@ def run_cypher(
         query = parse_cypher(query)
     return QueryEvaluator(
         graph, parameters=parameters, base_scope=base_scope, optimize=optimize,
-        compile_expressions=compile_expressions,
+        compile_expressions=compile_expressions, vectorized=vectorized,
     ).run(query)

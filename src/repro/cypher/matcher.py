@@ -65,7 +65,12 @@ def footprint_of(nodes: Iterator[Node], rels: Iterator[Relationship]) -> Footpri
 class PatternMatcher:
     """Matches patterns against one property graph."""
 
-    def __init__(self, graph: PropertyGraph, evaluator: ExpressionEvaluator):
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        evaluator: ExpressionEvaluator,
+        pruner: Optional[Any] = None,
+    ):
         self.graph = graph
         self.evaluator = evaluator
         # Columnar fast path: a backend exposing expand_pairs() serves
@@ -76,6 +81,90 @@ class PatternMatcher:
         # pattern properties) still run here — so results are
         # byte-identical either way.
         self._expand_pairs = getattr(graph, "expand_pairs", None)
+        # Vectorized candidate pruning (repro.cypher.vectorized): a
+        # per-snapshot CandidatePruner turns each pattern's constant
+        # label/property predicates into one ordered id-set, consumed
+        # here as pre-pruned start enumerations and as one membership
+        # probe per expansion target.  Pruned sets are exact-or-superset
+        # in global node order and every survivor still runs the
+        # residual _bind_node checks, so enumeration order and results
+        # are byte-identical with the pruner on or off.
+        self.pruner = pruner
+        #: Per-(path, hop) candidate/pruned counters, activated by the
+        #: physical plan's execute loop: ``{(path_idx, hop): [candidates,
+        #: pruned]}`` with hop ``-1`` for start enumeration and hop ``k``
+        #: for the k-th relationship pattern.  ``None`` disables counting.
+        self.hop_counts: Optional[Dict[Tuple[int, int], List[int]]] = None
+        self._path_index: Dict[int, Tuple[ast.PathPattern, int]] = {}
+        # Per-pattern hoists, keyed by id() with the keyed object kept
+        # alive in the value so a recycled id can never alias:
+        # label frozensets, constant-property evaluations, pruned sets.
+        self._label_sets: Dict[int, Tuple[Any, FrozenSet[str]]] = {}
+        self._const_props: Dict[int, Tuple[Any, Tuple[Tuple[str, bool, Any], ...]]] = {}
+        self._pruned_sets: Dict[int, Tuple[Any, Optional[Any]]] = {}
+
+    # -- per-pattern hoists -------------------------------------------------
+
+    def _label_set(self, node_pattern: ast.NodePattern) -> FrozenSet[str]:
+        entry = self._label_sets.get(id(node_pattern))
+        if entry is None:
+            entry = (node_pattern, frozenset(node_pattern.labels))
+            self._label_sets[id(node_pattern)] = entry
+        return entry[1]
+
+    def _const_entries(
+        self, properties: Tuple[Tuple[str, ast.Expression], ...]
+    ) -> Tuple[Tuple[str, bool, Any], ...]:
+        """Hoist literal property values out of the candidate loop.
+
+        Literal expressions are scope-independent, so they are evaluated
+        exactly once per pattern (not once per candidate) and cached as
+        ``(key, True, value)``; non-constant expressions stay as
+        ``(key, False, expression)`` and are evaluated per candidate as
+        before.
+        """
+        entry = self._const_props.get(id(properties))
+        if entry is None:
+            hoisted = tuple(
+                (key, True, self.evaluator.evaluate(expression, {}))
+                if isinstance(expression, ast.Literal)
+                else (key, False, expression)
+                for key, expression in properties
+            )
+            entry = (properties, hoisted)
+            self._const_props[id(properties)] = entry
+        return entry[1]
+
+    def _pruned_set(self, node_pattern: ast.NodePattern) -> Optional[Any]:
+        """The pruner's candidate set for ``node_pattern`` (memoized),
+        or ``None`` when pruning is off or the pattern is unprunable."""
+        if self.pruner is None:
+            return None
+        entry = self._pruned_sets.get(id(node_pattern))
+        if entry is None:
+            entry = (node_pattern, self.pruner.pruned_set(node_pattern))
+            self._pruned_sets[id(node_pattern)] = entry
+        return entry[1]
+
+    def _count_slot(
+        self, path: ast.PathPattern, hop: int
+    ) -> Optional[List[int]]:
+        counts = self.hop_counts
+        if counts is None:
+            return None
+        indexed = self._path_index.get(id(path))
+        if indexed is None:
+            return None
+        key = (indexed[1], hop)
+        slot = counts.get(key)
+        if slot is None:
+            slot = [0, 0]
+            counts[key] = slot
+        return slot
+
+    def _register_paths(self, pattern: ast.Pattern) -> None:
+        for position, path in enumerate(pattern.paths):
+            self._path_index[id(path)] = (path, position)
 
     # -- public API ---------------------------------------------------------
 
@@ -97,6 +186,8 @@ class PatternMatcher:
         variable is already bound in ``scope``.
         """
         initial = frozenset(scope)
+        if self.hop_counts is not None:
+            self._register_paths(pattern)
         for bindings, _used, _footprint in self._match_paths(
             list(pattern.paths), dict(scope), frozenset(), _EMPTY_FOOTPRINT,
             anchor_nodes=anchor_nodes,
@@ -122,6 +213,8 @@ class PatternMatcher:
         changed entity instead of the whole snapshot.
         """
         initial = frozenset(scope)
+        if self.hop_counts is not None:
+            self._register_paths(pattern)
         for bindings, _used, footprint in self._match_paths(
             list(pattern.paths),
             dict(scope),
@@ -181,15 +274,37 @@ class PatternMatcher:
             yield from self._match_shortest(path, bindings, used)
             return
         start_pattern = path.nodes[0]
-        if anchor_nodes is not None and not (
+        start_unbound = not (
             start_pattern.variable is not None
             and start_pattern.variable in bindings
-        ):
+        )
+        slot = self._count_slot(path, -1)
+        pruned = self._pruned_set(start_pattern) if start_unbound else None
+        probe = None
+        if anchor_nodes is not None and start_unbound:
+            # Physical index seek: an ordered superset of the matches.
+            # The pruned set (also a superset) sharpens it — a candidate
+            # outside the set cannot match, so probing is sound.
             starts: Iterable[Node] = anchor_nodes
+            probe = pruned.ids if pruned is not None else None
+        elif pruned is not None:
+            # Vectorized start enumeration: the pre-pruned ordered
+            # candidate array replaces the label scan.  Candidates the
+            # set operations eliminated are counted as pruned without
+            # ever being enumerated.
+            starts = pruned.nodes
+            if slot is not None:
+                slot[1] += pruned.pruned
         else:
             starts = self._node_candidates(start_pattern, bindings)
         for start in starts:
             if start_candidates is not None and start.id not in start_candidates:
+                continue
+            if slot is not None:
+                slot[0] += 1
+            if probe is not None and start.id not in probe:
+                if slot is not None:
+                    slot[1] += 1
                 continue
             start_bindings = self._bind_node(path.nodes[0], start, bindings)
             if start_bindings is None:
@@ -255,8 +370,21 @@ class PatternMatcher:
             bound_rel = bindings[rel_pattern.variable]
             if not isinstance(bound_rel, Relationship):
                 return
+        slot = self._count_slot(path, step)
+        pruned = self._pruned_set(next_pattern)
+        probe = pruned.ids if pruned is not None else None
         for rel, next_node in self._expand(current, rel_pattern, bindings, used):
+            if slot is not None:
+                # Expanded candidates, counted before any target filter.
+                slot[0] += 1
             if bound_rel is not None and rel.id != bound_rel.id:
+                continue
+            if probe is not None and next_node.id not in probe:
+                # One set-membership probe replaces the per-neighbour
+                # label/constant-property checks: the pruned set is a
+                # superset of the matches, so absence is definitive.
+                if slot is not None:
+                    slot[1] += 1
                 continue
             new_bindings = bindings
             if rel_pattern.variable is not None and bound_rel is None:
@@ -292,6 +420,9 @@ class PatternMatcher:
         bound_value = None
         if rel_pattern.variable is not None and rel_pattern.variable in bindings:
             bound_value = bindings[rel_pattern.variable]
+        slot = self._count_slot(path, step)
+        pruned = self._pruned_set(next_pattern)
+        probe = pruned.ids if pruned is not None else None
 
         def finalize(
             node: Node,
@@ -299,6 +430,12 @@ class PatternMatcher:
             seg_nodes: List[Node],
             seg_used: UsedRels,
         ) -> Iterator[Tuple[Bindings, UsedRels, Footprint]]:
+            if probe is not None and node.id not in probe:
+                # Target outside the pruned superset: no residual check
+                # can succeed, reject before binding.
+                if slot is not None:
+                    slot[1] += 1
+                return
             # Planner-reversed walk: the bound list keeps source order.
             rel_list = (
                 list(reversed(seg_rels)) if path.flipped else list(seg_rels)
@@ -339,6 +476,10 @@ class PatternMatcher:
             if high is not None and depth >= high:
                 return
             for rel, nxt in self._expand(node, rel_pattern, bindings, seg_used):
+                if slot is not None:
+                    # Expanded candidates before filtering — one per
+                    # traversed edge at every depth.
+                    slot[0] += 1
                 yield from extend(
                     nxt,
                     seg_rels + [rel],
@@ -408,7 +549,15 @@ class PatternMatcher:
                 yield self.graph.node(value.id)
             return
         if node_pattern.labels:
-            yield from self.graph.nodes_with_labels(node_pattern.labels)
+            pruned = self._pruned_set(node_pattern)
+            if pruned is not None:
+                # Pre-pruned ordered candidates (also serves the
+                # shortestPath endpoint enumerations): a subsequence of
+                # the label scan in global node order, missing only
+                # candidates the residual checks would reject.
+                yield from pruned.nodes
+            else:
+                yield from self.graph.nodes_with_labels(node_pattern.labels)
         else:
             yield from self.graph.nodes.values()
 
@@ -419,7 +568,7 @@ class PatternMatcher:
 
         Returns the (possibly extended) bindings, or None on mismatch.
         """
-        if not frozenset(node_pattern.labels) <= node.labels:
+        if not self._label_set(node_pattern) <= node.labels:
             return None
         if not self._properties_match(node, node_pattern.properties, bindings):
             return None
@@ -442,8 +591,12 @@ class PatternMatcher:
         properties: Tuple[Tuple[str, ast.Expression], ...],
         scope: Mapping[str, Any],
     ) -> bool:
-        for key, expression in properties:
-            expected = self.evaluator.evaluate(expression, scope)
+        if not properties:
+            return True
+        for key, is_const, payload in self._const_entries(properties):
+            expected = (
+                payload if is_const else self.evaluator.evaluate(payload, scope)
+            )
             verdict = cypher_equals(entity.property(key), expected)
             if verdict is not Ternary.TRUE:
                 return False

@@ -112,7 +112,15 @@ class IndexSeekSpec:
 
 @dataclass(frozen=True)
 class MatchStage:
-    """A MATCH executed with a pre-planned pattern (and optional seek)."""
+    """A MATCH executed with a pre-planned pattern (and optional seek).
+
+    ``hop_ops`` maps the matcher's per-hop candidate accounting back onto
+    the operator tree: one ``(anchor_op_id, (hop_op_id, ...))`` entry per
+    path pattern, where the anchor op receives the start-enumeration
+    counts (hop ``-1``) and the k-th hop op the k-th relationship
+    pattern's expansion counts.  A shortestPath path contributes its
+    single ShortestPath op as anchor with no hop ops.
+    """
 
     clause: ast.Match
     pattern: ast.Pattern
@@ -120,6 +128,7 @@ class MatchStage:
     seek: Optional[IndexSeekSpec]
     match_op: int
     filter_op: Optional[int]
+    hop_ops: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -210,9 +219,12 @@ def _pattern_ops(
     seek: Optional[IndexSeekSpec],
     next_id: Callable[[], int],
     upstream: Optional[PhysicalOp],
-) -> PhysicalOp:
-    """The operator chain for a planned MATCH pattern."""
+) -> Tuple[PhysicalOp, Tuple[Tuple[int, Tuple[int, ...]], ...]]:
+    """The operator chain for a planned MATCH pattern, plus the per-path
+    ``(anchor_op_id, hop_op_ids)`` map the executor uses to attribute the
+    matcher's candidate counts to operators."""
     current = upstream
+    hop_ops: List[Tuple[int, Tuple[int, ...]]] = []
     for index, path in enumerate(pattern.paths):
         if path.shortest is not None:
             children = (current,) if current is not None else ()
@@ -222,6 +234,7 @@ def _pattern_ops(
                 detail=path.render(),
                 children=children,
             )
+            hop_ops.append((current.op_id, ()))
             continue
         start = path.nodes[0]
         children = (current,) if current is not None else ()
@@ -264,14 +277,17 @@ def _pattern_ops(
                 children=children,
             )
         current = anchor
+        path_hops: List[int] = []
         for hop, rel in enumerate(path.relationships):
             kind = "VarLengthExpand" if rel.is_var_length else "ExpandHop"
             detail = rel.render() + path.nodes[hop + 1].render()
             current = PhysicalOp(
                 op_id=next_id(), kind=kind, detail=detail, children=(current,)
             )
+            path_hops.append(current.op_id)
+        hop_ops.append((anchor.op_id, tuple(path_hops)))
     assert current is not None
-    return current
+    return current, tuple(hop_ops)
 
 
 def _projection_ops(
@@ -364,7 +380,7 @@ def compile_query(
         bound = frozenset(base_names | fields)
         pattern = plan_pattern(clause.pattern, stats, bound)
         seek = _seek_for(pattern.paths[0], set(bound), stats, next_id)
-        root = _pattern_ops(pattern, set(bound), seek, next_id, root)
+        root, hop_ops = _pattern_ops(pattern, set(bound), seek, next_id, root)
         match_op = root.op_id
         filter_op: Optional[int] = None
         if clause.where is not None:
@@ -381,6 +397,7 @@ def compile_query(
             MatchStage(
                 clause=clause, pattern=pattern, window_key=window_key,
                 seek=seek, match_op=match_op, filter_op=filter_op,
+                hop_ops=hop_ops,
             )
         )
         fields |= set(clause.pattern.free_variables())
@@ -452,7 +469,11 @@ def _anchor_factory(
 
     Returns ``None`` (scan) whenever the index cannot help — value not
     indexable, or the anchor expression raising — so error behaviour and
-    enumeration order match the interpreted path exactly.
+    enumeration order match the interpreted path exactly.  ``rows`` for
+    the seek op count *index-served* candidates only (a scan fallback
+    leaves the op absent — the observable that seeks are being taken);
+    the matcher's own start-enumeration accounting covers the scan
+    anchors and the pruned/candidate counters.
     """
     seek = stage.seek
     assert seek is not None
@@ -494,6 +515,9 @@ def execute_plan(
     interval: TimeInterval,
     expr_cache: Optional[dict] = None,
     rows: Optional[Dict[int, int]] = None,
+    vectorized: bool = False,
+    prunes: Optional[Dict[int, List[int]]] = None,
+    prune_stats: Optional[Dict[str, float]] = None,
 ) -> Table:
     """Run a compiled plan over per-window snapshot graphs.
 
@@ -503,19 +527,39 @@ def execute_plan(
     result — but no per-evaluation planning, index-seek anchors where
     the plan provides them, and per-operator row counts accumulated
     into ``rows`` (op_id → rows) when given.
+
+    ``vectorized=True`` routes every evaluator through the snapshot's
+    shared :class:`~repro.cypher.vectorized.CandidatePruner`;
+    ``prunes`` (op_id → ``[candidates, pruned]``) then collects the
+    per-operator candidate accounting, and ``prune_stats`` accumulates
+    the pruner's set-construction cost for this run (``"builds"`` /
+    ``"build_seconds"`` — the ``vectorize`` observability stage).
     """
     base_scope = {WIN_START: interval.start, WIN_END: interval.end}
     evaluators: Dict[Tuple[str, int], QueryEvaluator] = {}
+    pruner_baselines: Dict[int, Tuple[Any, int, float]] = {}
 
     def evaluator_for(window_key: Tuple[str, int]) -> QueryEvaluator:
         if window_key not in evaluators:
-            evaluators[window_key] = QueryEvaluator(
+            evaluator = QueryEvaluator(
                 graph_for(*window_key),
                 base_scope=base_scope,
                 compile_cache=expr_cache,
+                vectorized=vectorized,
             )
+            evaluators[window_key] = evaluator
+            pruner = evaluator.matcher.pruner
+            if prune_stats is not None and pruner is not None:
+                # The pruner is shared per snapshot (and its counters are
+                # cumulative), so remember the level it was at when this
+                # run first saw it and report only the delta.
+                pruner_baselines.setdefault(
+                    id(pruner),
+                    (pruner, pruner.builds, pruner.build_seconds),
+                )
         return evaluators[window_key]
 
+    track_counts = rows is not None or prunes is not None
     table = Table.unit()
     for stage in plan.stages:
         evaluator = evaluator_for(stage.window_key)
@@ -525,24 +569,30 @@ def execute_plan(
                 if stage.seek is not None
                 else None
             )
-            observer = _stage_observer(
-                {
-                    "match": stage.match_op,
-                    **(
-                        {"filter": stage.filter_op}
-                        if stage.filter_op is not None
-                        else {}
-                    ),
-                },
-                rows,
+            counts: Optional[Dict[Tuple[int, int], List[int]]] = (
+                {} if track_counts else None
             )
+            # With hop accounting active the pattern's terminal op reports
+            # candidates *produced* (expanded before target filtering, per
+            # the matcher's counters) — so the observer's matched-rows
+            # count must not also land on it; WHERE survivors keep their
+            # own Filter op either way.
+            observer_ops = (
+                {} if counts is not None else {"match": stage.match_op}
+            )
+            if stage.filter_op is not None:
+                observer_ops["filter"] = stage.filter_op
+            observer = _stage_observer(observer_ops, rows)
             table = evaluator._apply_match(
                 stage.clause,
                 table,
                 pattern=stage.pattern,
                 anchor_factory=anchor,
                 observer=observer,
+                counts_out=counts,
             )
+            if counts:
+                _merge_hop_counts(stage, counts, rows, prunes)
         elif isinstance(stage, UnwindStage):
             table = evaluator._apply_unwind(stage.clause, table)
             if rows is not None:
@@ -560,7 +610,54 @@ def execute_plan(
                 where=getattr(clause, "where", None),
                 observer=_stage_observer(stage.ops, rows),
             )
+    if prune_stats is not None:
+        for pruner, builds, seconds in pruner_baselines.values():
+            prune_stats["builds"] = (
+                prune_stats.get("builds", 0) + (pruner.builds - builds)
+            )
+            prune_stats["build_seconds"] = (
+                prune_stats.get("build_seconds", 0.0)
+                + (pruner.build_seconds - seconds)
+            )
     return table
+
+
+def _merge_hop_counts(
+    stage: MatchStage,
+    counts: Mapping[Tuple[int, int], List[int]],
+    rows: Optional[Dict[int, int]],
+    prunes: Optional[Dict[int, List[int]]],
+) -> None:
+    """Attribute the matcher's per-(path, hop) candidate accounting to
+    operator ids via ``stage.hop_ops``.
+
+    Expand rows report candidates *before* target filtering — a
+    VarLengthExpand counts every traversed edge at every depth — and
+    scan/bound anchors count every start candidate the matcher consumed.
+    The seek op's ``rows`` stay with :func:`_anchor_factory` (index-served
+    candidates only, absent on scan fallback), but its
+    candidates/pruned counters land here like everyone else's.
+    """
+    seek_op = stage.seek.op_id if stage.seek is not None else None
+    for (path_idx, hop), (candidates, pruned) in counts.items():
+        if path_idx >= len(stage.hop_ops):
+            continue
+        anchor_op, hop_op_ids = stage.hop_ops[path_idx]
+        if hop < 0:
+            op_id = anchor_op
+        elif hop < len(hop_op_ids):
+            op_id = hop_op_ids[hop]
+        else:
+            continue
+        if rows is not None and op_id != seek_op:
+            rows[op_id] = rows.get(op_id, 0) + candidates
+        if prunes is not None:
+            slot = prunes.get(op_id)
+            if slot is None:
+                prunes[op_id] = [candidates, pruned]
+            else:
+                slot[0] += candidates
+                slot[1] += pruned
 
 
 # ---------------------------------------------------------------------------
@@ -569,9 +666,14 @@ def execute_plan(
 
 
 def render_plan(
-    plan: PhysicalPlan, rows: Optional[Mapping[int, int]] = None
+    plan: PhysicalPlan,
+    rows: Optional[Mapping[int, int]] = None,
+    prunes: Optional[Mapping[int, List[int]]] = None,
 ) -> str:
-    """Indented operator tree, optionally annotated with row counts."""
+    """Indented operator tree, optionally annotated with row counts and
+    the vectorized pruner's per-operator ``candidates=``/``pruned=``
+    accounting (how many candidates the matcher consumed at that
+    operator, and how many the set operations eliminated)."""
     lines: List[str] = []
 
     def walk(op: PhysicalOp, depth: int) -> None:
@@ -581,6 +683,9 @@ def render_plan(
         suffix = f" [op {op.op_id}]"
         if rows is not None:
             suffix += f" rows={rows.get(op.op_id, 0)}"
+        if prunes is not None and op.op_id in prunes:
+            candidates, pruned = prunes[op.op_id]
+            suffix += f" candidates={candidates} pruned={pruned}"
         lines.append("  " * depth + "+- " + label + suffix)
         for child in op.children:
             walk(child, depth + 1)

@@ -252,6 +252,7 @@ class ColumnarGraph:
         "_prop_index",
         "_nodes_view", "_rels_view",
         "_expand_cache", "_labels_cache", "_seek_cache", "_typed_csr",
+        "_degree_cols", "_candidate_pruner",
     )
 
     def __init__(
@@ -289,6 +290,12 @@ class ColumnarGraph:
         self._labels_cache: Dict[frozenset, tuple] = {}
         self._seek_cache: Dict[tuple, tuple] = {}
         self._typed_csr: Dict[Tuple[str, str], Tuple[array, array]] = {}
+        self._degree_cols: Optional[Tuple[array, array]] = None
+        # Per-snapshot candidate pruner (repro.cypher.vectorized), attached
+        # lazily by pruner_for(); a new graph object — patched() overlay or
+        # compaction — starts with no pruner, which is what invalidates
+        # the pruned-set memo across graph versions.
+        self._candidate_pruner: Optional[object] = None
 
     # -- construction ------------------------------------------------------
 
@@ -509,6 +516,49 @@ class ColumnarGraph:
             ids = self._prop_buckets().get((label, key), {}).get(value_key, ())
             cached = tuple(self._node_or_none(node_id) for node_id in ids)
             self._seek_cache[cache_key] = cached
+        return cached
+
+    def label_id_column(self, label: str) -> Tuple[NodeId, ...]:
+        """The node-id column for ``label``, in global node order.
+
+        The raw per-label column the vectorized candidate pruner
+        (:mod:`repro.cypher.vectorized`) intersects — exact, not a
+        superset: every listed node carries ``label`` and no carrier is
+        missing.
+        """
+        return self._bucket_ids(label)
+
+    def property_id_column(
+        self, label: str, key: str, value_key: tuple
+    ) -> Tuple[NodeId, ...]:
+        """The node-id column for one equality-index bucket, in global
+        node order.
+
+        ``value_key`` is a type-tagged bucket key from
+        :func:`~repro.graph.values.property_index_key`.  Same superset
+        contract as :meth:`nodes_with_property`: the bucket lists every
+        ``label``-carrying node whose ``key`` may Cypher-equal the
+        bucketed value (``1`` and ``1.0`` share a bucket), so callers
+        must re-check with ``cypher_equals``.
+        """
+        return self._prop_buckets().get((label, key), {}).get(value_key, ())
+
+    def degree_columns(self) -> Tuple[array, array]:
+        """Exact ``(out_degree, in_degree)`` arrays in global node order.
+
+        Memoized per snapshot; overlay adjacency is folded in, so the
+        arrays stay exact across ``patched()`` views.  Cardinality food
+        for expansion-cost heuristics and benchmark metadata.
+        """
+        cached = self._degree_cols
+        if cached is None:
+            out_col = array("q")
+            in_col = array("q")
+            for node_id in self._nodes_view:
+                out_col.append(sum(1 for _ in self.outgoing(node_id)))
+                in_col.append(sum(1 for _ in self.incoming(node_id)))
+            cached = (out_col, in_col)
+            self._degree_cols = cached
         return cached
 
     def rel_type_count(self, rel_type: str) -> int:

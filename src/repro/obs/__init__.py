@@ -48,6 +48,7 @@ STAGES = (
     "window_advance",
     "snapshot_build",
     "plan_compile",
+    "vectorize",
     "reuse",
     "match_delta",
     "match_full",

@@ -135,6 +135,7 @@ def engine_to_dict(engine: SeraphEngine) -> Dict[str, Any]:
             "share_windows": engine.share_windows,
             "delta_eval": engine.delta_eval,
             "graph_backend": engine.graph_backend,
+            "vectorized": engine.vectorized,
             "static_graph": (
                 graph_to_dict(engine.static_graph)
                 if engine.static_graph is not None else None
@@ -202,6 +203,9 @@ def engine_from_dict(
             delta_eval=config.get("delta_eval", True),
             # Absent in documents written before the columnar backend.
             graph_backend=config.get("graph_backend", "reference"),
+            # Absent in documents written before vectorized pruning; None
+            # re-resolves from the environment/backend default.
+            vectorized=config.get("vectorized"),
             # Non-None restores a ParallelEngine with that worker count.
             parallel=config.get("parallel_workers"),
         )

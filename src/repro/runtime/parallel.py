@@ -109,31 +109,36 @@ def _plan_cached(text: str, token: tuple, plan):
 def _worker_evaluate_group(
     payload,
 ) -> Tuple[int, float, List[Table], List[Tuple[float, float]],
-           List[Dict[int, int]]]:
+           List[Dict[int, int]], List[Dict[int, List[int]]]]:
     """Evaluate one shared-window group of full evaluations.
 
-    ``payload`` is ``(graphs, tasks)`` where ``graphs`` maps
+    ``payload`` is ``(graphs, tasks, vectorized)`` where ``graphs`` maps
     ``(stream, width)`` to the group's snapshot graphs (pickled once per
     group) and each task is ``(query_text, interval_start, interval_end,
     plan_entry)`` — ``plan_entry`` is ``(band, PhysicalPlan)`` when the
-    parent compiled one, else None (interpreted fallback).  Pure: reads
+    parent compiled one, else None (interpreted fallback).
+    ``vectorized`` mirrors the parent engine's flag: graph ``__reduce__``
+    drops the parent's candidate-pruner memo, so each worker rebuilds its
+    own pruner per unpickled snapshot (docs/VECTORIZED.md).  Pure: reads
     the snapshots, returns the output tables plus one ``(start_offset,
-    duration)`` timing fragment and one per-operator row-count dict per
-    task — the parent stitches timings into its trace as
-    ``worker_evaluate`` spans and merges row counts into the query's
-    EXPLAIN ANALYZE totals, so one trace covers both sides of the
-    process boundary.
+    duration)`` timing fragment, one per-operator row-count dict, and one
+    per-operator ``[candidates, pruned]`` dict per task — the parent
+    stitches timings into its trace as ``worker_evaluate`` spans and
+    merges the counters into the query's EXPLAIN ANALYZE totals, so one
+    trace covers both sides of the process boundary.
     """
     from repro.cypher.physical import execute_plan
 
-    graphs, tasks = payload
+    graphs, tasks, vectorized = payload
     started = time.perf_counter()
     tables: List[Table] = []
     timings: List[Tuple[float, float]] = []
     rows_per_task: List[Dict[int, int]] = []
+    prunes_per_task: List[Dict[int, List[int]]] = []
     for text, lo, hi, plan_entry in tasks:
         task_started = time.perf_counter()
         rows: Dict[int, int] = {}
+        prunes: Dict[int, List[int]] = {}
         if plan_entry is not None:
             plan = _plan_cached(text, plan_entry[0], plan_entry[1])
             tables.append(
@@ -143,6 +148,8 @@ def _worker_evaluate_group(
                     TimeInterval(lo, hi),
                     expr_cache=_EXPR_CACHES.setdefault(text, {}),
                     rows=rows,
+                    vectorized=vectorized,
+                    prunes=prunes if vectorized else None,
                 )
             )
         else:
@@ -153,14 +160,16 @@ def _worker_evaluate_group(
                     lambda stream, width: graphs[(stream, width)],
                     TimeInterval(lo, hi),
                     expr_cache=_EXPR_CACHES.setdefault(text, {}),
+                    vectorized=vectorized,
                 )
             )
         rows_per_task.append(rows)
+        prunes_per_task.append(prunes)
         timings.append(
             (task_started - started, time.perf_counter() - task_started)
         )
     return (os.getpid(), time.perf_counter() - started, tables, timings,
-            rows_per_task)
+            rows_per_task, prunes_per_task)
 
 
 def _worker_run_shard(payload):
@@ -415,7 +424,7 @@ class ParallelEngine(SeraphEngine):
                         (plan.band, plan) if plan is not None else None,
                     )
                 )
-            payloads.append((graphs, tasks))
+            payloads.append((graphs, tasks, self.vectorized))
             group_indices.append(indices)
             # A stable, pickle-friendly label for failures: the group's
             # window keys plus the evaluation instant.
@@ -432,7 +441,7 @@ class ParallelEngine(SeraphEngine):
         )
         for result, indices in zip(results, group_indices):
             (worker_pid, elapsed, group_tables, timings,
-             rows_per_task) = result
+             rows_per_task, prunes_per_task) = result
             self.parallel_metrics.observe_task(worker_pid, elapsed)
             for position, (i, table) in enumerate(
                 zip(indices, group_tables)
@@ -452,6 +461,10 @@ class ParallelEngine(SeraphEngine):
                             f"query.{registered.name}.op.{op_id}.rows",
                             count,
                         )
+                if prunes_per_task[position]:
+                    self._merge_plan_prunes(
+                        registered, prunes_per_task[position]
+                    )
                 self.parallel_metrics.offloaded_evaluations += 1
                 if self.obs.enabled:
                     offset, duration = timings[position]

@@ -97,6 +97,10 @@ class DeltaStats:
     full_refresh: bool
     retained: int
     recomputed: int
+    #: Seconds the vectorized pruner spent building candidate sets during
+    #: this evaluation (0.0 with vectorization off or on memo hits) — the
+    #: engine's ``vectorize`` observability stage.
+    vectorize_seconds: float = 0.0
 
 
 @dataclass(slots=True)
@@ -216,6 +220,7 @@ def evaluate_delta(
     expr_cache: Optional[dict] = None,
     span=None,
     plan=None,
+    vectorized: bool = False,
 ) -> Tuple[Table, DeltaStats]:
     """One evaluation through the incremental path.
 
@@ -232,10 +237,21 @@ def evaluate_delta(
     given, its already-planned pattern (join order, orientation, seeks
     baked in at compile time) replaces the per-evaluation
     :func:`~repro.cypher.planner.plan_pattern` call.
+
+    ``vectorized`` routes the matcher through the snapshot's shared
+    :class:`~repro.cypher.vectorized.CandidatePruner`.  The anchored
+    re-match composes with it naturally: the matcher enumerates the
+    pattern's *pruned* start candidates and the dirty neighbourhood
+    arrives as ``first_candidates``, so each re-match start is one
+    dirty-set membership probe over the already-pruned ordered array —
+    the intersection of the two supersets, never a full scan of either.
     """
     base_scope = {WIN_START: interval.start, WIN_END: interval.end}
     evaluator = QueryEvaluator(graph, base_scope=base_scope,
-                               compile_cache=expr_cache)
+                               compile_cache=expr_cache,
+                               vectorized=vectorized)
+    pruner = evaluator.matcher.pruner
+    pruner_seconds = pruner.build_seconds if pruner is not None else 0.0
     clause = query.body[0].match
     out_fields = frozenset(clause.pattern.free_variables())
     if plan is not None:
@@ -309,6 +325,8 @@ def evaluate_delta(
                 retained=len(retained),
                 recomputed=len(fresh),
             )
+    if pruner is not None:
+        stats.vectorize_seconds = pruner.build_seconds - pruner_seconds
     if span is not None:
         if stats.full_refresh:
             path = "full_refresh"

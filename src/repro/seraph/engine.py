@@ -228,6 +228,9 @@ class RegisteredQuery:
     physical_plan: Optional[PhysicalPlan] = None
     #: Cumulative per-operator row counts for the current plan.
     plan_rows: Dict[int, int] = field(default_factory=dict)
+    #: Cumulative per-operator ``[candidates, pruned]`` counters from the
+    #: vectorized pruner (empty when vectorization is off).
+    plan_prunes: Dict[int, List[int]] = field(default_factory=dict)
     plan_compiles: int = 0
     plan_failed: bool = False
     _last_fingerprint: Optional[Tuple] = None
@@ -356,9 +359,11 @@ class SeraphEngine:
         delta_eval: bool = True,
         physical_plans: bool = True,
         graph_backend: Optional[str] = None,
+        vectorized: Optional[bool] = None,
         parallel: Optional[int] = None,
         obs: Optional[Observability] = None,
     ):
+        from repro.cypher.vectorized import resolve_vectorized
         from repro.graph.columnar import GRAPH_BACKENDS, resolve_backend_name
 
         self.policy = policy
@@ -370,6 +375,11 @@ class SeraphEngine:
         self.physical_plans = physical_plans
         self.graph_backend = resolve_backend_name(graph_backend)
         self._graph_cls = GRAPH_BACKENDS[self.graph_backend]
+        # Set-at-a-time candidate pruning (docs/VECTORIZED.md): None
+        # defers to REPRO_VECTORIZED, else on by default under the
+        # columnar backend whose columns the pruner reads.  Results are
+        # byte-identical on or off (superset rule + residual checks).
+        self.vectorized = resolve_vectorized(vectorized, self.graph_backend)
         self.plan_cache = PlanCache()
         self._streams: Dict[str, _StreamState] = {}
         self.obs = obs if obs is not None else NOOP_OBS
@@ -663,10 +673,15 @@ class SeraphEngine:
                         plan=self._physical_plan(
                             registered, lambda _s, _w: snapshot
                         ),
+                        vectorized=self.vectorized,
                     )
                 obs.record_stage(
                     registered.name, "match_delta", stage.duration_seconds
                 )
+                if self.vectorized:
+                    obs.record_stage(
+                        registered.name, "vectorize", stats.vectorize_seconds
+                    )
             else:
                 snapshot = window_state.graph()
                 table, stats = evaluate_delta(
@@ -679,6 +694,7 @@ class SeraphEngine:
                     plan=self._physical_plan(
                         registered, lambda _s, _w: snapshot
                     ),
+                    vectorized=self.vectorized,
                 )
             if stats.full_refresh:
                 registered.delta_full_refreshes += 1
@@ -706,6 +722,7 @@ class SeraphEngine:
                 provider,
                 pending.interval,
                 expr_cache=registered._expr_cache,
+                vectorized=self.vectorized,
             )
         with obs.tracer.span("match_full", parent=pending.span) as stage:
             provider = self._memoized_provider(
@@ -722,6 +739,7 @@ class SeraphEngine:
                     provider,
                     pending.interval,
                     expr_cache=registered._expr_cache,
+                    vectorized=self.vectorized,
                 )
         obs.record_stage(
             registered.name, "match_full", stage.duration_seconds
@@ -858,6 +876,7 @@ class SeraphEngine:
         if registered.physical_plan is not plan:
             registered.physical_plan = plan
             registered.plan_rows = {}
+            registered.plan_prunes = {}
         return plan
 
     def _run_plan(
@@ -867,14 +886,25 @@ class SeraphEngine:
         graph_for,
         interval,
     ) -> Table:
-        """Execute a compiled plan, accumulating per-operator row counts."""
+        """Execute a compiled plan, accumulating per-operator row counts
+        (and, when vectorized, candidate/pruned counters plus the
+        ``vectorize`` stage's set-construction time)."""
         rows: Dict[int, int] = {}
+        prunes: Optional[Dict[int, List[int]]] = (
+            {} if self.vectorized else None
+        )
+        prune_stats: Optional[Dict[str, float]] = (
+            {} if self.vectorized else None
+        )
         table = execute_plan(
             plan,
             graph_for,
             interval,
             expr_cache=registered._expr_cache,
             rows=rows,
+            vectorized=self.vectorized,
+            prunes=prunes,
+            prune_stats=prune_stats,
         )
         plan_rows = registered.plan_rows
         obs = self.obs
@@ -884,7 +914,28 @@ class SeraphEngine:
                 obs.registry.inc(
                     f"query.{registered.name}.op.{op_id}.rows", count
                 )
+        if prunes:
+            self._merge_plan_prunes(registered, prunes)
+        if obs.enabled and prune_stats is not None:
+            obs.record_stage(
+                registered.name,
+                "vectorize",
+                prune_stats.get("build_seconds", 0.0),
+            )
         return table
+
+    @staticmethod
+    def _merge_plan_prunes(
+        registered: RegisteredQuery, prunes: Dict[int, List[int]]
+    ) -> None:
+        plan_prunes = registered.plan_prunes
+        for op_id, (candidates, pruned) in prunes.items():
+            slot = plan_prunes.get(op_id)
+            if slot is None:
+                plan_prunes[op_id] = [candidates, pruned]
+            else:
+                slot[0] += candidates
+                slot[1] += pruned
 
     def _evict(self) -> None:
         """Drop stream elements no future evaluation can reach, and shared
@@ -966,6 +1017,7 @@ class SeraphEngine:
             "incremental": self.incremental,
             "delta_eval": self.delta_eval,
             "graph_backend": self.graph_backend,
+            "vectorized": self.vectorized,
             "shared_window_states": len(self._shared_windows),
         }
 

@@ -137,7 +137,14 @@ def explain_analyze(engine, query_name: str) -> str:
             f"band {len(plan.band)} windows)"
         )
         lines.extend(
-            _indent(render_plan(plan, rows=registered.plan_rows), "    ")
+            _indent(
+                render_plan(
+                    plan,
+                    rows=registered.plan_rows,
+                    prunes=registered.plan_prunes or None,
+                ),
+                "    ",
+            )
         )
     elif registered.plan_failed:
         lines.append(

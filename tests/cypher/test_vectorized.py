@@ -1,0 +1,446 @@
+"""Unit tests for set-at-a-time candidate pruning (docs/VECTORIZED.md).
+
+The contract under test: the pruner's candidate sets are exact-or-
+superset intersections **in global node order**, memoized per snapshot
+and invalidated by construction on graph change; the matcher consumes
+them (start enumeration, expand-target probes, hoisted constant
+properties) without changing a single result byte; and the counters
+surface through EXPLAIN ANALYZE as ``candidates=``/``pruned=``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cypher import ast
+from repro.cypher.evaluator import QueryEvaluator, run_cypher
+from repro.cypher.expressions import ExpressionEvaluator
+from repro.cypher.parser import parse_cypher
+from repro.cypher.physical import compile_query, execute_plan, render_plan
+from repro.cypher.vectorized import (
+    PRUNE_ENV_VAR,
+    CandidatePruner,
+    ColumnarCandidatePruner,
+    pattern_signature,
+    pruner_for,
+    resolve_vectorized,
+)
+from repro.graph.columnar import ColumnarGraph
+from repro.graph.model import Node, PropertyGraph, Relationship
+from repro.seraph.parser import parse_seraph
+from repro.stream.timeline import TimeInterval
+
+
+def n(node_id, labels=(), **props):
+    return Node(id=node_id, labels=frozenset(labels), properties=props)
+
+
+def r(rel_id, src, trg, rel_type="R", **props):
+    return Relationship(id=rel_id, type=rel_type, src=src, trg=trg,
+                        properties=props)
+
+
+def _pair():
+    """The same selective graph in both backends: 12 nodes, 4 hot."""
+    nodes = [
+        n(i, ["N", "Hot"] if i % 3 == 0 else ["N"],
+          flag=(i % 3 == 0), score=i % 4)
+        for i in range(12)
+    ]
+    rels = [r(100 + i, i, (i + 1) % 12, "R") for i in range(12)]
+    return (PropertyGraph.of(nodes, rels), ColumnarGraph.of(nodes, rels))
+
+
+def _node_pattern(fragment):
+    """The first node pattern of ``MATCH <fragment> RETURN 1``."""
+    query = parse_cypher(f"MATCH {fragment} RETURN 1")
+    return query.parts[0].clauses[0].pattern.paths[0].nodes[0]
+
+
+BOTH = pytest.mark.parametrize("backend", ["reference", "columnar"])
+
+
+def _graph_for(backend):
+    ref, col = _pair()
+    return ref if backend == "reference" else col
+
+
+class TestResolveVectorized:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv(PRUNE_ENV_VAR, "1")
+        assert resolve_vectorized(False, "columnar") is False
+        monkeypatch.setenv(PRUNE_ENV_VAR, "0")
+        assert resolve_vectorized(True, "reference") is True
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("yes", True), ("on", True), ("TRUE", True),
+        ("0", False), ("false", False), ("no", False), ("off", False),
+        ("", False), ("  OFF  ", False),
+    ])
+    def test_environment_default(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(PRUNE_ENV_VAR, raw)
+        assert resolve_vectorized(None, "reference") is expected
+
+    def test_backend_default(self, monkeypatch):
+        monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
+        assert resolve_vectorized(None, "columnar") is True
+        assert resolve_vectorized(None, "reference") is False
+        assert resolve_vectorized(None, None) is False
+
+
+class TestPatternSignature:
+    def test_label_less_pattern_is_unprunable(self):
+        assert pattern_signature(_node_pattern("(a {flag: true})")) is None
+        assert pattern_signature(_node_pattern("(a)")) is None
+
+    def test_non_literal_property_stays_residual(self):
+        signature = pattern_signature(
+            _node_pattern("(a:N {flag: true, score: 1 + 1})")
+        )
+        labels, const_props = signature
+        assert labels == frozenset({"N"})
+        assert [key for key, _bucket in const_props] == ["flag"]
+
+    def test_unindexable_literal_stays_residual(self):
+        signature = pattern_signature(_node_pattern("(a:N {flag: null})"))
+        assert signature == (frozenset({"N"}), ())
+
+    def test_numeric_literals_share_a_bucket(self):
+        one = pattern_signature(_node_pattern("(a:N {score: 1})"))
+        one_f = pattern_signature(_node_pattern("(a:N {score: 1.0})"))
+        assert one == one_f
+
+
+class TestPrunedSets:
+    @BOTH
+    def test_label_only_set_equals_label_scan(self, backend):
+        graph = _graph_for(backend)
+        pruned = pruner_for(graph).pruned_set(_node_pattern("(a:N:Hot)"))
+        scan = list(graph.nodes_with_labels(["N", "Hot"]))
+        assert list(pruned.nodes) == scan
+        assert pruned.ids == {node.id for node in scan}
+        assert pruned.pruned >= 0
+
+    @BOTH
+    def test_property_set_is_ordered_superset_of_matches(self, backend):
+        graph = _graph_for(backend)
+        pruned = pruner_for(graph).pruned_set(
+            _node_pattern("(a:N {flag: true})")
+        )
+        scan = [node.id for node in graph.nodes_with_labels(["N"])]
+        true_matches = [
+            node.id for node in graph.nodes_with_labels(["N"])
+            if node.properties.get("flag") is True
+        ]
+        kept = [node.id for node in pruned.nodes]
+        # Superset of the true matches, subset of the label scan, and in
+        # global (label-scan) order.
+        assert set(true_matches) <= set(kept) <= set(scan)
+        assert kept == [node_id for node_id in scan if node_id in set(kept)]
+        assert pruned.base_count == len(scan)
+        assert pruned.pruned == len(scan) - len(kept)
+
+    @BOTH
+    def test_missing_label_yields_empty_set(self, backend):
+        graph = _graph_for(backend)
+        pruned = pruner_for(graph).pruned_set(_node_pattern("(a:N:Ghost)"))
+        assert pruned.nodes == () and pruned.ids == frozenset()
+
+    @BOTH
+    def test_missing_property_bucket_yields_empty_set(self, backend):
+        graph = _graph_for(backend)
+        pruned = pruner_for(graph).pruned_set(
+            _node_pattern("(a:N {flag: 'nope'})")
+        )
+        assert pruned.nodes == ()
+        assert pruned.base_count == len(list(graph.nodes_with_labels(["N"])))
+
+    @BOTH
+    def test_backend_picks_matching_pruner_class(self, backend):
+        graph = _graph_for(backend)
+        expected = (
+            ColumnarCandidatePruner if backend == "columnar"
+            else CandidatePruner
+        )
+        pruner = pruner_for(graph)
+        assert type(pruner) is expected
+        assert pruner.backend == backend
+
+    def test_backends_agree_on_every_set(self):
+        ref, col = _pair()
+        for fragment in ["(a:N)", "(a:Hot)", "(a:N:Hot)",
+                         "(a:N {flag: true})", "(a:N {score: 1})",
+                         "(a:N {flag: false, score: 2})"]:
+            pattern = _node_pattern(fragment)
+            left = pruner_for(ref).pruned_set(pattern)
+            right = pruner_for(col).pruned_set(pattern)
+            assert [node.id for node in left.nodes] \
+                == [node.id for node in right.nodes]
+            assert left.base_count == right.base_count
+
+
+class TestMemoLifecycle:
+    @BOTH
+    def test_one_shared_pruner_per_snapshot(self, backend):
+        graph = _graph_for(backend)
+        assert pruner_for(graph) is pruner_for(graph)
+
+    @BOTH
+    def test_repeated_sets_hit_the_memo(self, backend):
+        pruner = pruner_for(_graph_for(backend))
+        pattern = _node_pattern("(a:N {flag: true})")
+        first = pruner.pruned_set(pattern)
+        # A *distinct* AST node with the same constant part shares the
+        # signature, so the memo serves the identical object.
+        again = pruner.pruned_set(_node_pattern("(a:N {flag: true})"))
+        assert again is first
+        assert pruner.builds == 1
+        assert pruner.build_seconds >= 0.0
+
+    @BOTH
+    def test_patched_overlay_invalidates_by_construction(self, backend):
+        graph = _graph_for(backend)
+        pruner = pruner_for(graph)
+        stale = pruner.pruned_set(_node_pattern("(a:N {flag: true})"))
+        patched = graph.patched(nodes=[n(50, ["N"], flag=True)])
+        fresh_pruner = pruner_for(patched)
+        assert fresh_pruner is not pruner
+        fresh = fresh_pruner.pruned_set(_node_pattern("(a:N {flag: true})"))
+        assert 50 in fresh.ids and 50 not in stale.ids
+        # The original snapshot's memo is untouched.
+        assert pruner.pruned_set(_node_pattern("(a:N {flag: true})")) is stale
+
+    @BOTH
+    def test_memo_never_crosses_a_pickle_boundary(self, backend):
+        graph = _graph_for(backend)
+        pruner_for(graph).pruned_set(_node_pattern("(a:N)"))
+        clone = pickle.loads(pickle.dumps(graph))
+        assert getattr(clone, "_candidate_pruner", None) is None
+        rebuilt = pruner_for(clone)
+        assert rebuilt.builds == 0  # a fresh memo, rebuilt on demand
+
+
+QUERIES = [
+    "MATCH (a:N {flag: true})-[:R]->(b:N) RETURN id(a) AS a, id(b) AS b",
+    "MATCH (a:N:Hot)-[:R]->(b:N {flag: false}) RETURN id(a), id(b)",
+    "MATCH (a:Hot)-[*1..2]->(b:N {flag: true}) RETURN id(a), id(b)",
+    "MATCH (a:N {score: 1})-[:R]->(b) RETURN id(a), id(b)",
+    "MATCH (a:N {score: 1.0}) RETURN id(a)",
+    "MATCH (a:N {flag: true}) WHERE a.score > 0 RETURN count(a) AS hits",
+    "MATCH p = shortestPath((a:Hot)-[*..3]->(b:Hot)) "
+    "WHERE id(a) <> id(b) RETURN id(a), id(b)",
+    "OPTIONAL MATCH (a:Ghost {flag: true}) RETURN id(a)",
+    "MATCH (a {flag: true}) RETURN id(a)",  # unprunable: no label
+]
+
+
+class TestByteIdentity:
+    @BOTH
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_vectorized_equals_interpreted(self, backend, text):
+        graph = _graph_for(backend)
+        plain = run_cypher(text, graph, vectorized=False)
+        pruned = run_cypher(text, graph, vectorized=True)
+        assert plain.render() == pruned.render()
+        assert list(plain) == list(pruned)
+
+
+class TestConstantPropertyHoist:
+    def test_literal_evaluated_once_per_pattern_not_per_candidate(
+        self, monkeypatch
+    ):
+        graph, _ = _pair()
+        literal_evals = []
+        original = ExpressionEvaluator.evaluate
+
+        def counting(self, expression, scope):
+            if isinstance(expression, ast.Literal):
+                literal_evals.append(expression)
+            return original(self, expression, scope)
+
+        monkeypatch.setattr(ExpressionEvaluator, "evaluate", counting)
+        table = run_cypher(
+            "MATCH (a:N {flag: true}) RETURN id(a)", graph,
+            vectorized=False,
+        )
+        assert len(table) == 4  # 12 N-candidates walked
+        # Hoisted: one evaluation for the pattern's literal, not one per
+        # candidate the label scan enumerates.
+        assert len(literal_evals) == 1
+
+    def test_hoist_cache_is_per_matcher_and_id_safe(self):
+        graph, _ = _pair()
+        evaluator = QueryEvaluator(graph)
+        properties = _node_pattern("(a:N {flag: true})").properties
+        first = evaluator.matcher._const_entries(properties)
+        assert evaluator.matcher._const_entries(properties) is first
+        key, is_const, value = first[0]
+        assert (key, is_const, value) == ("flag", True, True)
+
+
+SEEK_QUERY = """
+REGISTER QUERY q STARTING AT 1970-01-01T00:00h
+{
+  MATCH (a:N {flag: true})-[:R]->(b:N)
+  WITHIN PT10S
+  EMIT id(a) AS a, id(b) AS b
+  SNAPSHOT EVERY PT10S
+}
+"""
+
+VARLEN_QUERY = """
+REGISTER QUERY q STARTING AT 1970-01-01T00:00h
+{
+  MATCH (a:Hot)-[*1..2]->(b:N {flag: true})
+  WITHIN PT10S
+  EMIT id(a) AS a, id(b) AS b
+  SNAPSHOT EVERY PT10S
+}
+"""
+
+
+class TestPlanCounters:
+    def _execute(self, text, graph, vectorized):
+        plan = compile_query(parse_seraph(text), lambda _s, _w: graph)
+        rows, prunes = {}, {}
+        table = execute_plan(
+            plan, lambda _s, _w: graph, TimeInterval(0, 100),
+            rows=rows, vectorized=vectorized,
+            prunes=prunes if vectorized else None,
+        )
+        return plan, table, rows, prunes
+
+    @BOTH
+    def test_prune_counters_reach_render_plan(self, backend):
+        graph = _graph_for(backend)
+        plan, table, _rows, prunes = self._execute(
+            SEEK_QUERY, graph, vectorized=True
+        )
+        assert prunes  # at least one operator counted
+        text = render_plan(plan, prunes=prunes)
+        assert "candidates=" in text and "pruned=" in text
+        baseline = execute_plan(
+            plan, lambda _s, _w: graph, TimeInterval(0, 100)
+        )
+        assert table.render() == baseline.render()
+
+    @BOTH
+    def test_expand_probe_prunes_targets(self, backend):
+        graph = _graph_for(backend)
+        plan, table, _rows, prunes = self._execute(
+            "REGISTER QUERY q STARTING AT 1970-01-01T00:00h\n"
+            "{ MATCH (a:N {flag: true})-[:R]->(b:N {flag: true}) "
+            "WITHIN PT10S\n"
+            "  EMIT id(a) AS a SNAPSHOT EVERY PT10S }",
+            graph, vectorized=True,
+        )
+        (_anchor_op, hop_ops), = plan.stages[0].hop_ops
+        candidates, pruned = prunes[hop_ops[0]]
+        # Whichever end the planner anchors on, the 4 flagged starts each
+        # expand to one ring neighbour, and every neighbour fails the
+        # membership probe into the other end's pruned set.
+        assert (candidates, pruned) == (4, 4)
+        assert len(table) == 0
+
+    @BOTH
+    def test_var_length_rows_count_expanded_before_filtering(self, backend):
+        graph = _graph_for(backend)
+        plan, table, rows, _prunes = self._execute(
+            VARLEN_QUERY, graph, vectorized=False
+        )
+        (_anchor_op, hop_ops), = plan.stages[0].hop_ops
+        # Every hop-1 and hop-2 expansion is accounted, not just the ones
+        # whose terminal node passes the (b:N {flag: true}) filter.
+        assert rows[hop_ops[0]] == 8  # 4 Hot starts x 2 depths x 1 neighbour
+        assert len(table) < rows[hop_ops[0]]
+
+    @BOTH
+    def test_counters_are_identical_with_and_without_pruning(self, backend):
+        graph = _graph_for(backend)
+        _plan, _table, plain_rows, _ = self._execute(
+            VARLEN_QUERY, graph, vectorized=False
+        )
+        _plan, _table, pruned_rows, _ = self._execute(
+            VARLEN_QUERY, graph, vectorized=True
+        )
+        assert plain_rows == pruned_rows
+
+
+class TestEngineWiring:
+    def _stream(self):
+        from repro.stream.stream import StreamElement
+
+        ref, _ = _pair()
+        return [StreamElement(graph=ref, instant=1)]
+
+    def test_engine_status_reports_the_resolved_flag(self, monkeypatch):
+        from repro import EngineConfig, build_engine
+
+        engine = build_engine(EngineConfig(vectorized=True))
+        assert engine.status()["vectorized"] is True
+        monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
+        reference = build_engine(EngineConfig(graph_backend="reference"))
+        assert reference.status()["vectorized"] is False
+
+    def test_explain_analyze_surfaces_prunes_and_vectorize_stage(self):
+        from repro import EngineConfig, build_engine
+        from repro.seraph import CollectingSink
+        from repro.seraph.explain import explain_analyze
+
+        engine = build_engine(EngineConfig(
+            observability=True, vectorized=True, delta_eval=False,
+        ))
+        sink = CollectingSink()
+        engine.register(SEEK_QUERY, sink=sink)
+        engine.run_stream(self._stream())
+        text = explain_analyze(engine, "q")
+        assert "pruned=" in text and "candidates=" in text
+        assert "vectorize" in text
+
+    def test_vectorized_engine_emits_identically(self):
+        from repro import EngineConfig, build_engine
+        from repro.seraph import CollectingSink
+
+        def emissions(**kwargs):
+            engine = build_engine(EngineConfig(**kwargs))
+            sink = CollectingSink()
+            engine.register(VARLEN_QUERY, sink=sink)
+            engine.run_stream(self._stream())
+            return [e.render() for e in sink.emissions]
+
+        baseline = emissions(vectorized=False)
+        for kwargs in [
+            dict(vectorized=True),
+            dict(vectorized=True, graph_backend="columnar"),
+            dict(vectorized=True, delta_eval=False),
+            dict(vectorized=True, physical_plans=False),
+        ]:
+            assert emissions(**kwargs) == baseline
+
+    def test_checkpoint_round_trips_the_flag(self, monkeypatch):
+        from repro.runtime.checkpoint import engine_from_dict, engine_to_dict
+        from repro.seraph import SeraphEngine
+
+        engine = SeraphEngine(vectorized=True)
+        restored = engine_from_dict(engine_to_dict(engine))
+        assert restored.vectorized is True
+        # Documents written before the knob re-resolve from the default
+        # (env cleared and backend pinned so the default is deterministic).
+        monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
+        document = engine_to_dict(SeraphEngine(graph_backend="reference"))
+        del document["config"]["vectorized"]
+        assert engine_from_dict(document).vectorized is False
+
+    def test_cli_flag_reaches_the_engine_config(self):
+        from repro.cli import _build_parser, _run_config
+
+        args = _build_parser().parse_args(
+            ["run", "q.seraph", "s.jsonl", "--vectorized"]
+        )
+        assert _run_config(args).vectorized is True
+        args = _build_parser().parse_args(
+            ["run", "q.seraph", "s.jsonl", "--no-vectorized"]
+        )
+        assert _run_config(args).vectorized is False
+        args = _build_parser().parse_args(["run", "q.seraph", "s.jsonl"])
+        assert _run_config(args).vectorized is None

@@ -77,8 +77,8 @@ class TestGoldenStatusShape:
         engine = serial_status["engine"]
         assert set(engine) == {
             "policy", "incremental", "delta_eval", "graph_backend",
-            "watermark", "shared_window_states", "queries", "streams",
-            "planner",
+            "vectorized", "watermark", "shared_window_states", "queries",
+            "streams", "planner",
         }
         assert set(engine["queries"]) == {"student_trick"}
         assert set(engine["queries"]["student_trick"]) == GOLDEN_QUERY_KEYS

@@ -56,11 +56,12 @@ def _run_traced(elements, texts, config, pool):
 def test_traced_stack_is_emission_equal_to_the_untraced_serial_engine(
     data, parallel, resilient, pool
 ):
-    elements, texts, delta_eval, backend = data
+    elements, texts, delta_eval, backend, vectorized = data
     baseline = _run_serial(elements, texts, delta_eval)
     config = EngineConfig(
         delta_eval=delta_eval,
         graph_backend=backend,
+        vectorized=vectorized,
         parallel_workers=2 if parallel else None,
         offload_threshold=0.0 if parallel else None,
         resilient=resilient,

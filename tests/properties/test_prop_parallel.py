@@ -93,7 +93,11 @@ def scenario(draw):
     # the reference backend, so every comparison also asserts the
     # columnar core emits byte-identically.
     backend = draw(st.sampled_from(["reference", "columnar"]))
-    return elements, texts, delta_eval, backend
+    # Vectorized axis: candidate pruning on the engine under test while
+    # the serial baseline stays unpruned — byte-identity across the
+    # vectorized x backend x delta x parallel matrix.
+    vectorized = draw(st.booleans())
+    return elements, texts, delta_eval, backend, vectorized
 
 
 @pytest.fixture(scope="module")
@@ -115,11 +119,12 @@ class TestParallelEqualsSerial:
     @given(data=scenario())
     @settings(max_examples=40, deadline=None)
     def test_forced_offload_order_and_bag_equal(self, data, pool):
-        elements, texts, delta_eval, backend = data
+        elements, texts, delta_eval, backend, vectorized = data
         serial = _run_serial(elements, texts, delta_eval)
         engine = ParallelEngine(
             workers=2, pool=pool, offload_threshold=0.0,
             delta_eval=delta_eval, graph_backend=backend,
+            vectorized=vectorized,
         )
         sinks = [CollectingSink() for _ in texts]
         for text, sink in zip(texts, sinks):
@@ -133,11 +138,12 @@ class TestParallelEqualsSerial:
     def test_resilient_parallel_delta_matrix(self, data, pool):
         """The full composition: ResilientEngine wrapping a parallel
         engine, delta path on or off, must replay the serial run."""
-        elements, texts, delta_eval, backend = data
+        elements, texts, delta_eval, backend, vectorized = data
         serial = _run_serial(elements, texts, delta_eval)
         inner = ParallelEngine(
             workers=2, pool=pool, offload_threshold=0.0,
             delta_eval=delta_eval, graph_backend=backend,
+            vectorized=vectorized,
         )
         engine = ResilientEngine(inner)
         for text in texts:
