@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install lint test test-columnar test-vectorized bench chaos examples verify ci all
+.PHONY: install lint test test-columnar test-vectorized bench chaos examples serve-smoke verify ci all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -45,9 +45,16 @@ examples:
 	done
 	@echo "all examples ran"
 
+# End-to-end service smoke: boots the asyncio service on an ephemeral
+# port, registers the paper's Listing 5 query, pushes the Figure 1
+# stream over HTTP, and asserts the SSE emissions are byte-identical to
+# an offline build_engine run (docs/SERVICE.md).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.service.smoke
+
 ci:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
-verify: lint test bench examples
+verify: lint test bench examples serve-smoke
 
 all: install verify

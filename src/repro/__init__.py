@@ -16,6 +16,13 @@ Public API highlights
 * :class:`repro.EngineConfig`, :func:`repro.build_engine` — the one
   front door composing the serial/parallel core, the fault-tolerant
   wrapper, and the observability layer (docs/OBSERVABILITY.md).
+* :class:`repro.SeraphService`, :class:`repro.ServiceConfig` — the
+  multi-tenant continuous-query HTTP service over that front door
+  (``python -m repro serve``; docs/SERVICE.md).
+
+The export list is curated and pinned by test: everything in
+``__all__`` is stable API surface; reach into submodules for the rest
+at your own risk.
 
 Quickstart::
 
@@ -27,6 +34,24 @@ Quickstart::
 
 from repro.api import EngineConfig, build_engine
 from repro.cypher import parse_cypher, run_cypher, run_update
+from repro.errors import (
+    AuthenticationError,
+    CheckpointError,
+    ConsumerLagError,
+    CypherError,
+    EngineError,
+    GraphError,
+    QueryRegistryError,
+    QuotaExceededError,
+    ReproError,
+    SeraphError,
+    SeraphSemanticError,
+    SeraphSyntaxError,
+    ServiceError,
+    StreamError,
+    TenantQuarantinedError,
+    UnknownTenantError,
+)
 from repro.runtime.faults import ChaosConfig
 from repro.metrics import RunReport, instrumented_run
 from repro.obs import Observability
@@ -46,6 +71,14 @@ from repro.seraph import (
     SeraphQuery,
     parse_seraph,
 )
+from repro.seraph.explain import explain, explain_analyze
+from repro.service import (
+    SeraphService,
+    ServiceClient,
+    ServiceConfig,
+    TenantQuotas,
+    TenantSpec,
+)
 from repro.stream import (
     ActiveSubstreamPolicy,
     PropertyGraphStream,
@@ -56,35 +89,68 @@ from repro.stream import (
     WindowConfig,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The curated public surface, pinned by ``tests/test_exports.py``.
+#: Grouped: engine front door, language, data model, streams, service,
+#: observability, typed errors.
 __all__ = [
-    "ActiveSubstreamPolicy",
+    # engine front door
+    "EngineConfig",
+    "build_engine",
     "ChaosConfig",
+    "SeraphEngine",
+    # language + explain
+    "parse_seraph",
+    "parse_cypher",
+    "run_cypher",
+    "run_update",
+    "explain",
+    "explain_analyze",
+    "SeraphQuery",
     "CollectingSink",
     "Emission",
-    "EngineConfig",
-    "Observability",
-    "build_engine",
+    # data model
     "GraphBuilder",
     "Node",
     "Path",
     "PropertyGraph",
-    "PropertyGraphStream",
     "Record",
     "Relationship",
-    "ReportPolicy",
-    "SeraphEngine",
-    "SeraphQuery",
-    "StreamElement",
     "Table",
+    # streams + windows
+    "ActiveSubstreamPolicy",
+    "PropertyGraphStream",
+    "ReportPolicy",
+    "StreamElement",
     "TimeAnnotatedTable",
     "TimeInterval",
     "WindowConfig",
+    # service
+    "SeraphService",
+    "ServiceClient",
+    "ServiceConfig",
+    "TenantQuotas",
+    "TenantSpec",
+    # observability
+    "Observability",
     "RunReport",
     "instrumented_run",
-    "parse_cypher",
-    "parse_seraph",
-    "run_cypher",
-    "run_update",
+    # typed errors
+    "ReproError",
+    "GraphError",
+    "StreamError",
+    "CypherError",
+    "SeraphError",
+    "SeraphSyntaxError",
+    "SeraphSemanticError",
+    "QueryRegistryError",
+    "EngineError",
+    "CheckpointError",
+    "ServiceError",
+    "AuthenticationError",
+    "UnknownTenantError",
+    "QuotaExceededError",
+    "TenantQuarantinedError",
+    "ConsumerLagError",
 ]

@@ -1,0 +1,13 @@
+"""``python -m repro`` — the package-level entry point.
+
+Delegates to :mod:`repro.cli`, so ``python -m repro serve`` boots the
+continuous-query service and the recorded-stream subcommands keep their
+``python -m repro.cli`` spelling too.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

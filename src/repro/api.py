@@ -21,12 +21,16 @@ wrapper, optional observability bundle), and every layer shares the same
     engine.run_stream(elements)
     print(engine.unified_status()["obs"]["metrics"])
 
-The legacy constructors keep working but are deprecation-shimmed
-(``SeraphEngine(parallel=N)``, ``ResilientEngine(**engine_kwargs)``).
+The legacy construction idioms (``SeraphEngine(parallel=N)``,
+``ResilientEngine(**engine_kwargs)``) finished their deprecation cycle
+and now hard-error with a migration message: this module is the single
+front door, and the continuous-query service (:mod:`repro.service`)
+builds exclusively on it.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, fields
 from typing import Callable, Optional, Union
 
@@ -39,6 +43,25 @@ from repro.runtime.policies import FaultPolicy
 from repro.runtime.resilient_sink import RetryPolicy
 from repro.seraph.engine import SeraphEngine
 from repro.stream.window import ActiveSubstreamPolicy
+
+
+def _env_bool(raw: str) -> bool:
+    """Shared boolean parse for every ``REPRO_*`` toggle (same falsy set
+    as the legacy ``REPRO_VECTORIZED`` handling)."""
+    return raw.strip().lower() not in {"", "0", "false", "no", "off"}
+
+
+#: Environment variable -> (EngineConfig field, parser).  The complete
+#: environment surface of the engine front door; resolved in one place
+#: by :meth:`EngineConfig.from_env` (precedence: explicit arg > env >
+#: default — see the table in docs/API.md).
+ENV_KNOBS = {
+    "REPRO_GRAPH_BACKEND": ("graph_backend", str),
+    "REPRO_VECTORIZED": ("vectorized", _env_bool),
+    "REPRO_DELTA_EVAL": ("delta_eval", _env_bool),
+    "REPRO_PHYSICAL_PLANS": ("physical_plans", _env_bool),
+    "REPRO_PARALLEL_WORKERS": ("parallel_workers", int),
+}
 
 
 @dataclass
@@ -169,6 +192,38 @@ class EngineConfig:
         values = {f.name: getattr(self, f.name) for f in fields(self)}
         values.update(changes)
         return EngineConfig(**values)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[dict] = None, **overrides
+    ) -> "EngineConfig":
+        """The one knob-resolution path: explicit arg > env > default.
+
+        Reads every ``REPRO_*`` engine knob (:data:`ENV_KNOBS`; table in
+        docs/API.md) from ``environ`` (default ``os.environ``), then
+        applies ``overrides`` on top — an explicit override always wins,
+        including an explicit ``None`` (= defer to the engine-side
+        default).  This replaces ad-hoc env reading scattered across the
+        CLI, the service, and callers of :class:`EngineConfig`: resolve
+        once here, pass the config around.
+        """
+        if environ is None:
+            environ = os.environ
+        values = {}
+        for variable, (field_name, parse) in ENV_KNOBS.items():
+            if field_name in overrides:
+                continue
+            raw = environ.get(variable)
+            if raw is not None:
+                try:
+                    values[field_name] = parse(raw)
+                except ValueError as exc:
+                    raise EngineError(
+                        f"cannot parse environment variable "
+                        f"{variable}={raw!r}: {exc}"
+                    ) from exc
+        values.update(overrides)
+        return cls(**values)
 
 
 def build_engine(

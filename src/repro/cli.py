@@ -2,11 +2,13 @@
 
 Usage (installed as a module)::
 
-    python -m repro.cli run QUERY.seraph STREAM.jsonl [--until ISO] \
+    python -m repro run QUERY.seraph STREAM.jsonl [--until ISO] \
         [--policy trailing|formal] [--all]
-    python -m repro.cli explain QUERY.seraph
-    python -m repro.cli validate QUERY.seraph
-    python -m repro.cli oneshot QUERY.cypher GRAPH.json
+    python -m repro explain QUERY.seraph
+    python -m repro validate QUERY.seraph
+    python -m repro oneshot QUERY.cypher GRAPH.json
+    python -m repro serve [--port N] [--tenants-config FILE] \
+        [--allow-dynamic-tenants] [--snapshot FILE]
 
 Streams are JSON-lines files (one ``{"instant": ..., "graph": ...}`` per
 line, the format of :mod:`repro.graph.io`); graphs are JSON documents.
@@ -164,6 +166,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     one.add_argument("query", help="path to a Cypher query file")
     one.add_argument("graph", help="path to a JSON graph file")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant continuous-query HTTP service "
+        "(docs/SERVICE.md)",
+    )
+    # Explicit flag > --tenants-config file > ServiceConfig default —
+    # the same precedence rule as the engine knobs, so every default
+    # is None here and resolution happens in _cmd_serve.
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port, default 8080 "
+        "(0 binds an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--tenants-config", metavar="FILE",
+        help="JSON service configuration (tenants, tokens, quotas, "
+        "engine settings; docs/SERVICE.md has the schema)",
+    )
+    serve.add_argument(
+        "--allow-dynamic-tenants", action="store_true", default=None,
+        help="auto-create unknown tenants on first use (open tenants "
+        "with default quotas; otherwise unknown tenants answer 404)",
+    )
+    serve.add_argument(
+        "--snapshot", metavar="FILE",
+        help="service snapshot file: restored on startup when present, "
+        "written on clean shutdown (tenant checkpoint format)",
+    )
+    serve.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="idle interval between SSE heartbeat comments "
+        "(default 15)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="SSE backpressure bound: consumers that cannot drain one "
+        "frame within this window are circuit-broken (default 5)",
+    )
     return parser
 
 
@@ -192,16 +235,20 @@ def _wants_observability(args: argparse.Namespace) -> bool:
 
 
 def _run_config(args: argparse.Namespace) -> EngineConfig:
-    """One declarative config for everything the run flags describe."""
+    """One declarative config for everything the run flags describe.
+
+    Resolved through :meth:`EngineConfig.from_env` so the precedence is
+    the documented one everywhere: explicit flag > ``REPRO_*``
+    environment variable > default (table in docs/API.md).  Flags the
+    user did not pass are simply omitted, letting the environment fill
+    them in.
+    """
     from repro.runtime import FaultPolicy
     from repro.runtime.faults import ChaosConfig
 
-    return EngineConfig(
+    overrides = dict(
         policy=_POLICIES[args.policy],
         delta_eval=args.incremental_eval,
-        graph_backend=args.graph_backend,
-        vectorized=args.vectorized,
-        parallel_workers=args.parallel,
         max_worker_restarts=args.max_worker_restarts,
         chaos=(
             ChaosConfig.profile(args.chaos_seed)
@@ -213,6 +260,14 @@ def _run_config(args: argparse.Namespace) -> EngineConfig:
         late_policy=FaultPolicy.parse(args.on_late),
         observability=_wants_observability(args),
     )
+    for name, value in (
+        ("graph_backend", args.graph_backend),
+        ("vectorized", args.vectorized),
+        ("parallel_workers", args.parallel),
+    ):
+        if value is not None:
+            overrides[name] = value
+    return EngineConfig.from_env(**overrides)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -228,7 +283,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with _maybe_profiled(args):
             engine.run_stream(elements, until=until)
     finally:
-        if args.parallel is not None:
+        # The pool may also come from REPRO_PARALLEL_WORKERS, so probe
+        # the built engine rather than the --parallel flag.
+        if hasattr(engine, "close"):
             engine.close()
             print(engine.parallel_metrics.render(), file=sys.stderr)
             print(engine.supervisor.render(), file=sys.stderr)
@@ -352,11 +409,70 @@ def _cmd_oneshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import os
+
+    from repro.service.server import SeraphService, ServiceConfig
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("host", args.host),
+            ("port", args.port),
+            ("allow_dynamic_tenants", args.allow_dynamic_tenants),
+            ("heartbeat_seconds", args.heartbeat),
+            ("drain_timeout", args.drain_timeout),
+        )
+        if value is not None
+    }
+    if args.tenants_config:
+        config = ServiceConfig.from_file(args.tenants_config, **overrides)
+    else:
+        config = ServiceConfig(**overrides)
+
+    async def serve() -> None:
+        service = SeraphService(config)
+        await service.start()
+        if args.snapshot and os.path.exists(args.snapshot):
+            with open(args.snapshot, "r", encoding="utf-8") as handle:
+                service.manager.restore_snapshot(json.load(handle))
+            print(f"-- restored snapshot from {args.snapshot}",
+                  file=sys.stderr)
+        print(
+            f"repro service listening on http://{config.host}:"
+            f"{service.port} ({len(service.manager.tenants)} tenants"
+            f"{', dynamic' if config.allow_dynamic_tenants else ''})",
+            file=sys.stderr,
+        )
+        try:
+            assert service._server is not None
+            await service._server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            if args.snapshot:
+                snapshot = service.manager.snapshot()
+                with open(args.snapshot, "w", encoding="utf-8") as handle:
+                    json.dump(snapshot, handle, sort_keys=True)
+                print(f"-- snapshot written to {args.snapshot}",
+                      file=sys.stderr)
+            await service.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "explain": _cmd_explain,
     "validate": _cmd_validate,
     "oneshot": _cmd_oneshot,
+    "serve": _cmd_serve,
 }
 
 

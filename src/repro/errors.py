@@ -171,6 +171,60 @@ class CheckpointError(ReproError):
     """An engine checkpoint document is malformed or incompatible."""
 
 
+class ServiceError(ReproError):
+    """Base class for continuous-query service errors.
+
+    Every service-layer failure maps to one HTTP status code via
+    ``status``, so the server can translate typed errors into responses
+    without string matching.
+    """
+
+    status = 500
+
+
+class AuthenticationError(ServiceError):
+    """A request failed the tenant's bearer-token auth boundary."""
+
+    status = 401
+
+
+class UnknownTenantError(ServiceError):
+    """The request names a tenant the service does not know."""
+
+    status = 404
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exceeded one of its configured quotas.
+
+    Covers registered-query count, events/sec admission (token bucket),
+    and any other per-tenant limit; always surfaces as HTTP 429.
+    """
+
+    status = 429
+
+
+class TenantQuarantinedError(ServiceError):
+    """The tenant's engine kept failing and was fenced off.
+
+    Per-tenant crash containment: after the configured number of
+    consecutive engine failures the tenant answers 503 (other tenants
+    are unaffected) until it is restored from a checkpoint or reset.
+    """
+
+    status = 503
+
+
+class ConsumerLagError(ServiceError):
+    """An SSE consumer fell behind the bounded emission buffer.
+
+    Raised server-side to circuit-break the consumer: the connection is
+    shed instead of letting the buffer grow without bound.
+    """
+
+    status = 409
+
+
 class MetricsError(ReproError):
     """A metrics query was invalid (bad percentile, kind mismatch)."""
 

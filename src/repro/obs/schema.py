@@ -25,6 +25,10 @@ of them under one namespaced document with a stable, documented contract
     ``None`` outside a :class:`~repro.runtime.ResilientEngine`;
     otherwise the runtime policies, buffer depths, dead-letter count,
     and the :class:`~repro.metrics.ResilienceMetrics` counters.
+``service.*``
+    Absent on offline documents; injected per tenant by the
+    continuous-query service (quotas, admission, counters, per-query
+    emission-log offsets — docs/SERVICE.md).
 ``obs.*``
     Whether observability is on, the registry snapshot
     (counters/gauges/histograms), and trace span counts.
@@ -173,6 +177,20 @@ def validate_status(document: Mapping[str, Any]) -> None:
         for key in ("allowed_lateness", "poison_policy", "late_policy",
                     "sink_policy", "dead_letters", "metrics"):
             _require(key in resilience, f"resilience misses {key!r}")
+    # 'service' is injected by the per-tenant service layer
+    # (TenantState.status()); validate it when present, tolerate its
+    # absence on offline documents.
+    service = document.get("service")
+    if service is not None:
+        for key in ("tenant", "quarantined", "quotas", "admission",
+                    "metrics", "queries"):
+            _require(key in service, f"service misses {key!r}")
+        _require(isinstance(service["queries"], Mapping),
+                 "service.queries is not an object")
+        for name, info in service["queries"].items():
+            for key in ("buffered", "next_event_id", "evicted"):
+                _require(key in info,
+                         f"service query {name!r} misses {key!r}")
     obs = document.get("obs")
     _require(isinstance(obs, Mapping) and "enabled" in obs,
              "missing 'obs' section")

@@ -192,7 +192,7 @@ def engine_from_dict(
             )
         config = data["config"]
         static = config.get("static_graph")
-        engine = SeraphEngine(
+        core_kwargs = dict(
             policy=ActiveSubstreamPolicy[config["policy"]],
             incremental=config["incremental"],
             static_graph=graph_from_dict(static) if static is not None
@@ -206,9 +206,18 @@ def engine_from_dict(
             # Absent in documents written before vectorized pruning; None
             # re-resolves from the environment/backend default.
             vectorized=config.get("vectorized"),
-            # Non-None restores a ParallelEngine with that worker count.
-            parallel=config.get("parallel_workers"),
         )
+        workers = config.get("parallel_workers")
+        if workers is not None:
+            # Restore the parallel subclass directly (the legacy
+            # SeraphEngine(parallel=N) factory hook is gone).
+            from repro.runtime.parallel import ParallelEngine
+
+            engine: SeraphEngine = ParallelEngine(
+                workers=workers, **core_kwargs
+            )
+        else:
+            engine = SeraphEngine(**core_kwargs)
         for name, stream_data in data["streams"].items():
             state = engine._stream_state(name)
             for element_data in stream_data["elements"]:

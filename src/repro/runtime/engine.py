@@ -26,10 +26,9 @@ from __future__ import annotations
 
 import json
 import time
-import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
-from repro.errors import PoisonMessageError, ReproError
+from repro.errors import EngineError, PoisonMessageError, ReproError
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.graph.model import PropertyGraph
 from repro.graph.temporal import TimeInstant
@@ -107,8 +106,10 @@ class ResilientEngine:
     Parameters
     ----------
     engine:
-        The wrapped engine (a fresh default one when omitted;
-        ``engine_kwargs`` are forwarded to its constructor).
+        The wrapped engine (a fresh default one when omitted).  Build
+        composed stacks through
+        :func:`repro.build_engine`/``EngineConfig(resilient=True)``;
+        the removed ``**engine_kwargs`` pass-through hard-errors.
     allowed_lateness:
         Out-of-order tolerance in stream time units: an element may
         arrive up to this much after a newer element and still be
@@ -157,16 +158,17 @@ class ResilientEngine:
         chaos=None,
         **engine_kwargs,
     ):
-        if engine is None and engine_kwargs:
-            warnings.warn(
-                "ResilientEngine(**engine_kwargs) is deprecated; build the "
-                "inner engine via repro.build_engine(EngineConfig(...)) and "
-                "pass it explicitly",
-                DeprecationWarning,
-                stacklevel=2,
+        if engine_kwargs:
+            # The PR 4 pass-through (forwarding **engine_kwargs to an
+            # implicit SeraphEngine) went through a DeprecationWarning
+            # cycle and is now removed; fail with the migration path.
+            raise EngineError(
+                "ResilientEngine(**engine_kwargs) was removed; build the "
+                "stack through the front door instead: "
+                "repro.build_engine(EngineConfig(resilient=True, ...)), "
+                "or construct the inner engine and pass it explicitly"
             )
-        self.engine = engine if engine is not None \
-            else SeraphEngine(**engine_kwargs)
+        self.engine = engine if engine is not None else SeraphEngine()
         self.obs = self.engine.obs
         self.allowed_lateness = allowed_lateness
         self.poison_policy = poison_policy

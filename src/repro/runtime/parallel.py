@@ -204,9 +204,10 @@ def _worker_run_shard(payload):
 class ParallelEngine(SeraphEngine):
     """A SeraphEngine that offloads full evaluations to worker processes.
 
-    Construct directly, or via ``SeraphEngine(parallel=N)``.  ``workers``
-    (alias ``parallel``) sizes the process pool; ``0`` means
-    ``os.cpu_count()``.  The pool is created lazily on the first offload
+    Construct through :func:`repro.build_engine`
+    (``EngineConfig(parallel_workers=N)``) or directly.  ``workers``
+    sizes the process pool; ``0`` means ``os.cpu_count()``.  The pool is
+    created lazily on the first offload
     and released by :meth:`close` (the engine is also a context
     manager); ``pool`` injects an externally managed executor instead —
     the engine then never shuts it down.
@@ -227,7 +228,6 @@ class ParallelEngine(SeraphEngine):
     def __init__(
         self,
         *args,
-        parallel: Optional[int] = None,
         workers: Optional[int] = None,
         pool: Optional[ProcessPoolExecutor] = None,
         offload_threshold: float = DEFAULT_OFFLOAD_THRESHOLD,
@@ -238,7 +238,7 @@ class ParallelEngine(SeraphEngine):
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
-        resolved = workers if workers is not None else parallel
+        resolved = workers
         if resolved is None or resolved <= 0:
             resolved = os.cpu_count() or 1
         self.workers = int(resolved)

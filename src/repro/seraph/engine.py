@@ -313,17 +313,6 @@ class SeraphEngine:
         ``REPRO_GRAPH_BACKEND`` environment variable, falling back to
         ``"reference"``.  Semantically transparent: emissions are
         byte-identical across backends.
-    parallel:
-        ``None`` (default) keeps evaluation on the calling thread.  An
-        integer requests a :class:`repro.runtime.parallel.ParallelEngine`
-        instead — ``SeraphEngine(parallel=N)`` *returns* a ParallelEngine
-        offloading full evaluations to a pool of N worker processes
-        (``0`` → ``os.cpu_count()``).  Emissions are byte-identical to
-        the serial engine (see docs/PARALLEL.md).
-
-        .. deprecated:: 1.1
-            Construct composed engines through
-            :func:`repro.build_engine` instead.
     obs:
         An :class:`repro.obs.Observability` bundle (tracer + metrics
         registry).  ``None`` (default) installs the shared no-op bundle:
@@ -331,22 +320,16 @@ class SeraphEngine:
         (docs/OBSERVABILITY.md).
     """
 
-    def __new__(cls, *args, parallel: Optional[int] = None, **kwargs):
-        if parallel is not None and cls is SeraphEngine:
-            # Factory hook (the pathlib.Path pattern): constructing the
-            # base class with parallel= yields the parallel subclass;
-            # type.__call__ then runs ParallelEngine.__init__.
-            import warnings
-
-            from repro.runtime.parallel import ParallelEngine
-
-            warnings.warn(
-                "SeraphEngine(parallel=N) is deprecated; use "
-                "repro.build_engine(EngineConfig(parallel_workers=N))",
-                DeprecationWarning,
-                stacklevel=2,
+    def __new__(cls, *args, **kwargs):
+        if "parallel" in kwargs and cls is SeraphEngine:
+            # The PR 4 factory hook (SeraphEngine(parallel=N) returning a
+            # ParallelEngine) went through a DeprecationWarning cycle and
+            # is now removed; fail with the migration path.
+            raise EngineError(
+                "SeraphEngine(parallel=N) was removed; build parallel "
+                "stacks through the front door: "
+                "repro.build_engine(EngineConfig(parallel_workers=N))"
             )
-            return object.__new__(ParallelEngine)
         return object.__new__(cls)
 
     def __init__(
@@ -360,7 +343,6 @@ class SeraphEngine:
         physical_plans: bool = True,
         graph_backend: Optional[str] = None,
         vectorized: Optional[bool] = None,
-        parallel: Optional[int] = None,
         obs: Optional[Observability] = None,
     ):
         from repro.cypher.vectorized import resolve_vectorized

@@ -1,0 +1,73 @@
+"""Token-bucket admission control for the continuous-query service.
+
+Each tenant owns one :class:`TokenBucket` sized from its
+``max_events_per_sec`` quota; every ingested event costs one token.  A
+request that cannot afford its tokens is rejected up front (HTTP 429)
+instead of queueing work the engine cannot keep up with — admission
+control is the first line of the service's backpressure story
+(docs/SERVICE.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    The bucket starts full.  ``clock`` is injectable (monotonic seconds)
+    so tests drive time deterministically.  A non-positive ``rate``
+    disables throttling entirely — every acquire succeeds.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(self.rate, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled = clock()
+        #: Total tokens ever refused (for the tenant's throttle counter).
+        self.rejected = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._refilled = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` (and count) otherwise."""
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if tokens <= self._tokens:
+            self._tokens -= tokens
+            return True
+        self.rejected += int(tokens) or 1
+        return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently affordable (refilled view)."""
+        if self.rate <= 0:
+            return float("inf")
+        self._refill()
+        return self._tokens
+
+    def as_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "available": (
+                self.available if self.rate > 0 else None
+            ),
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,64 @@
+"""Bearer-token authentication boundary for the service.
+
+Each tenant may carry one secret token; requests under
+``/tenants/{t}/...`` must then present ``Authorization: Bearer <token>``.
+Tokens are compared with :func:`hmac.compare_digest` (no timing oracle).
+A tenant configured *without* a token is open — the single-user
+quickstart path — but mixing open and protected tenants in one service
+is fully supported.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Dict, Optional
+
+from repro.errors import AuthenticationError
+
+
+def parse_bearer(header: Optional[str]) -> Optional[str]:
+    """The token inside an ``Authorization: Bearer ...`` header value."""
+    if header is None:
+        return None
+    scheme, _, credentials = header.strip().partition(" ")
+    if scheme.lower() != "bearer" or not credentials.strip():
+        return None
+    return credentials.strip()
+
+
+class Authenticator:
+    """Per-tenant bearer-token check.
+
+    ``tokens`` maps tenant name to its secret (``None`` = open tenant).
+    Unknown tenants are *not* this layer's concern — the tenant manager
+    404s them first; :meth:`check` only answers "may this request act as
+    tenant ``t``".
+    """
+
+    def __init__(self, tokens: Optional[Dict[str, Optional[str]]] = None):
+        self._tokens: Dict[str, Optional[str]] = dict(tokens or {})
+
+    def set_token(self, tenant: str, token: Optional[str]) -> None:
+        self._tokens[tenant] = token
+
+    def forget(self, tenant: str) -> None:
+        self._tokens.pop(tenant, None)
+
+    def check(self, tenant: str, authorization: Optional[str]) -> None:
+        """Raise :class:`AuthenticationError` unless the request may act
+        as ``tenant``."""
+        expected = self._tokens.get(tenant)
+        if expected is None:
+            return
+        presented = parse_bearer(authorization)
+        if presented is None:
+            raise AuthenticationError(
+                f"tenant {tenant!r} requires a bearer token "
+                "(Authorization: Bearer <token>)"
+            )
+        if not hmac.compare_digest(
+            presented.encode("utf-8"), expected.encode("utf-8")
+        ):
+            raise AuthenticationError(
+                f"invalid bearer token for tenant {tenant!r}"
+            )

@@ -1,0 +1,168 @@
+"""Server-sent-events plumbing: bounded emission logs + wire format.
+
+Every registered query gets one :class:`EmissionLog` — a bounded,
+monotonically-numbered buffer its :class:`ServiceSink` appends to as the
+engine evaluates.  SSE consumers are cursors over the log: they stream
+the backlog after their ``Last-Event-ID`` and then wait (with
+heartbeats) for new entries.  The log is the service's only emission
+buffer, and it is *bounded*: when it overflows, the oldest entries are
+evicted and any consumer whose cursor falls off the tail is
+circuit-broken (disconnected with a ``shed`` event) instead of letting
+per-consumer buffers grow without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConsumerLagError
+from repro.runtime.checkpoint import encode_value
+from repro.seraph.sinks import Emission, Sink
+
+
+def emission_document(emission: Emission) -> Dict[str, Any]:
+    """The JSON-safe document one emission serializes to on the wire.
+
+    Rows reuse the checkpoint value codec (full node/relationship/path
+    fidelity), so an offline run serialized through this same function
+    is byte-identical to what the service streams — the property the
+    integration tests pin.
+    """
+    return {
+        "query": emission.query_name,
+        "instant": emission.instant,
+        "win_start": emission.table.win_start,
+        "win_end": emission.table.win_end,
+        "rows": [
+            {name: encode_value(record[name]) for name in record}
+            for record in emission.table
+        ],
+    }
+
+
+def emission_json(emission: Emission) -> str:
+    """Canonical single-line JSON for one emission (sorted keys)."""
+    return json.dumps(emission_document(emission), sort_keys=True)
+
+
+def format_event(
+    data: str, event_id: Optional[int] = None, event: Optional[str] = None
+) -> bytes:
+    """One ``text/event-stream`` frame (id/event/data lines + blank)."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    for chunk in data.split("\n"):
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+HEARTBEAT_FRAME = b": heartbeat\n\n"
+
+
+class EmissionLog:
+    """Bounded, absolutely-numbered emission buffer for one query.
+
+    Entry ids start at 0 and never repeat; ``first_id`` advances as the
+    bounded buffer evicts from the front.  ``evicted`` counts entries
+    dropped before any consumer read obligation is checked — consumers
+    that still needed them are shed on their next read.
+    """
+
+    def __init__(self, capacity: int, next_id: int = 0):
+        if capacity < 1:
+            raise ValueError("emission log capacity must be >= 1")
+        self.capacity = capacity
+        self.next_id = next_id
+        self.first_id = next_id
+        self._entries: List[str] = []
+        self.evicted = 0
+        self._waiters: List[asyncio.Future] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, data: str) -> int:
+        """Append one serialized emission; returns its event id."""
+        entry_id = self.next_id
+        self._entries.append(data)
+        self.next_id += 1
+        overflow = len(self._entries) - self.capacity
+        if overflow > 0:
+            del self._entries[:overflow]
+            self.first_id += overflow
+            self.evicted += overflow
+        self._notify()
+        return entry_id
+
+    def after(self, last_id: int) -> List[Tuple[int, str]]:
+        """Entries with id > ``last_id`` (the consumer's cursor).
+
+        Raises :class:`ConsumerLagError` when the cursor has fallen off
+        the bounded buffer — entries the consumer never saw were already
+        evicted, so resuming would silently skip emissions.
+        """
+        start = last_id + 1
+        if start < self.first_id:
+            raise ConsumerLagError(
+                f"consumer cursor {last_id} fell behind the bounded "
+                f"emission buffer (oldest retained id {self.first_id}); "
+                "reconnect without Last-Event-ID for a fresh tail"
+            )
+        offset = start - self.first_id
+        return [
+            (self.first_id + offset + index, data)
+            for index, data in enumerate(self._entries[offset:])
+        ]
+
+    def _notify(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def wait(self) -> None:
+        """Block until the next append (cancellation-safe)."""
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        try:
+            await waiter
+        finally:
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)
+
+    def close(self) -> None:
+        """Wake every waiter (used on deregistration/shutdown)."""
+        self._notify()
+
+
+class ServiceSink(Sink):
+    """The engine-side sink bridging evaluations into an emission log.
+
+    Receives synchronously on the event-loop thread (engine calls are
+    plain function calls in the request handlers), serializes once, and
+    appends — every SSE consumer then shares the one serialized copy.
+    """
+
+    def __init__(
+        self,
+        log: EmissionLog,
+        skip_empty: bool = True,
+        on_append=None,
+    ):
+        self.log = log
+        self.skip_empty = skip_empty
+        self.on_append = on_append
+        self.received = 0
+
+    def receive(self, emission: Emission) -> None:
+        self.received += 1
+        if self.skip_empty and emission.is_empty():
+            return
+        self.log.append(emission_json(emission))
+        if self.on_append is not None:
+            self.on_append()

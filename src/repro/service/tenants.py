@@ -1,0 +1,461 @@
+"""Per-tenant namespaces: engines, quotas, metrics, checkpoints.
+
+One :class:`TenantState` owns one engine stack (built through the
+:class:`~repro.api.EngineConfig` front door — the service has no other
+construction path), its named input streams, one bounded
+:class:`~repro.service.sse.EmissionLog` per registered query, a
+token-bucket admission controller, and a small crash-containment fence:
+engine failures are counted per tenant, and a tenant whose engine keeps
+failing is quarantined (503) without touching its neighbours.
+
+:class:`TenantManager` is the service-wide registry: static tenants from
+configuration, optional dynamic creation, and whole-service snapshot /
+restore riding on the PR 1 checkpoint format
+(:mod:`repro.runtime.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.api import EngineConfig, build_engine
+from repro.errors import (
+    QuotaExceededError,
+    ReproError,
+    TenantQuarantinedError,
+    UnknownTenantError,
+)
+from repro.runtime.checkpoint import engine_from_dict, engine_to_dict
+from repro.runtime.engine import ResilientEngine
+from repro.seraph.ast import DEFAULT_STREAM
+from repro.seraph.parser import parse_seraph
+from repro.service.admission import TokenBucket
+from repro.service.auth import Authenticator
+from repro.service.sse import EmissionLog, ServiceSink
+from repro.stream.stream import StreamElement
+
+TENANT_CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TenantQuotas:
+    """Per-tenant resource limits (all enforced, all surfaced in status).
+
+    ``max_events_per_sec <= 0`` disables admission throttling;
+    ``burst`` defaults to one second's worth of tokens.
+    """
+
+    max_queries: int = 16
+    max_events_per_sec: float = 0.0
+    burst: Optional[float] = None
+    max_buffered_emissions: int = 256
+    max_engine_failures: int = 3
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "max_queries": self.max_queries,
+            "max_events_per_sec": self.max_events_per_sec,
+            "burst": self.burst,
+            "max_buffered_emissions": self.max_buffered_emissions,
+            "max_engine_failures": self.max_engine_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TenantQuotas":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one tenant (configuration-file shape)."""
+
+    name: str
+    token: Optional[str] = None
+    quotas: TenantQuotas = field(default_factory=TenantQuotas)
+    engine: Optional[EngineConfig] = None
+
+
+class TenantMetrics:
+    """Per-tenant service counters (requests, events, emissions, sheds)."""
+
+    __slots__ = (
+        "requests", "events", "throttled", "emissions",
+        "shed_consumers", "auth_failures", "engine_errors",
+        "checkpoints", "restores",
+    )
+
+    def __init__(self):
+        self.requests = 0
+        self.events = 0
+        self.throttled = 0
+        self.emissions = 0
+        self.shed_consumers = 0
+        self.auth_failures = 0
+        self.engine_errors = 0
+        self.checkpoints = 0
+        self.restores = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class TenantState:
+    """One live tenant: engine stack + logs + quotas + containment."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.spec = spec
+        self.name = spec.name
+        self.quotas = spec.quotas
+        self.metrics = TenantMetrics()
+        self.bucket = TokenBucket(
+            rate=spec.quotas.max_events_per_sec,
+            burst=spec.quotas.burst,
+            clock=clock,
+        )
+        self._clock = clock
+        self.engine = build_engine(spec.engine or EngineConfig())
+        self.logs: Dict[str, EmissionLog] = {}
+        self.sinks: Dict[str, ServiceSink] = {}
+        self.failures = 0  # consecutive unexpected engine failures
+        self.quarantined = False
+
+    # -- engine plumbing ---------------------------------------------------
+
+    @property
+    def _resilient(self) -> bool:
+        return isinstance(self.engine, ResilientEngine)
+
+    @property
+    def _core(self):
+        return self.engine.engine if self._resilient else self.engine
+
+    @property
+    def obs(self):
+        return self.engine.obs
+
+    def _check_fence(self) -> None:
+        if self.quarantined:
+            raise TenantQuarantinedError(
+                f"tenant {self.name!r} is quarantined after "
+                f"{self.failures} consecutive engine failures; restore it "
+                "from a checkpoint to resume"
+            )
+
+    def _contained(self, operation: Callable[[], Any]) -> Any:
+        """Run one engine operation inside the per-tenant crash fence.
+
+        Library-level :class:`ReproError` (bad queries, out-of-order
+        events, ...) passes through untouched — it is the caller's
+        input problem, not engine damage.  Anything else counts toward
+        the crash budget and quarantines the tenant when exhausted.
+        """
+        self._check_fence()
+        try:
+            result = operation()
+        except ReproError:
+            raise
+        except Exception:
+            self.failures += 1
+            self.metrics.engine_errors += 1
+            if self.failures >= self.quotas.max_engine_failures:
+                self.quarantined = True
+            raise
+        self.failures = 0
+        return result
+
+    # -- queries -----------------------------------------------------------
+
+    def register_query(self, text: str, skip_empty: bool = False):
+        """Register one Seraph query; returns its engine-side handle."""
+        if len(self.logs) >= self.quotas.max_queries:
+            raise QuotaExceededError(
+                f"tenant {self.name!r} is at its query quota "
+                f"({self.quotas.max_queries})"
+            )
+        query = parse_seraph(text)
+        log = EmissionLog(self.quotas.max_buffered_emissions)
+        sink = ServiceSink(
+            log, skip_empty=skip_empty, on_append=self._count_emission
+        )
+        handle = self._contained(
+            lambda: self.engine.register(query, sink=sink)
+        )
+        self.logs[query.name] = log
+        self.sinks[query.name] = sink
+        if self.obs.enabled:
+            self.obs.registry.inc(f"service.tenant.{self.name}.queries")
+        return handle
+
+    def _count_emission(self) -> None:
+        self.metrics.emissions += 1
+        if self.obs.enabled:
+            self.obs.registry.inc(f"service.tenant.{self.name}.emissions")
+
+    def deregister_query(self, name: str) -> None:
+        self._contained(lambda: self.engine.deregister(name))
+        self.sinks.pop(name, None)
+        log = self.logs.pop(name, None)
+        if log is not None:
+            log.close()
+
+    def log_for(self, name: str) -> EmissionLog:
+        log = self.logs.get(name)
+        if log is None:
+            raise UnknownTenantError(
+                f"tenant {self.name!r} has no registered query {name!r}"
+            )
+        return log
+
+    @property
+    def query_names(self):
+        return list(self.logs)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def admit(self, events: int) -> None:
+        """Token-bucket admission for a batch of ``events`` events."""
+        if not self.bucket.try_acquire(float(events)):
+            self.metrics.throttled += events
+            if self.obs.enabled:
+                self.obs.registry.inc(
+                    f"service.tenant.{self.name}.throttled", events
+                )
+            raise QuotaExceededError(
+                f"tenant {self.name!r} exceeded its event admission rate "
+                f"({self.quotas.max_events_per_sec}/s)"
+            )
+
+    def push(self, element: StreamElement, stream: str = DEFAULT_STREAM) -> None:
+        """Ingest one admitted element, firing due evaluations first.
+
+        Mirrors ``run_stream`` exactly: evaluations strictly before this
+        arrival must not see it — that discipline is what makes service
+        emissions byte-identical to an offline run on the same elements.
+        """
+        obs = self.obs
+
+        def ingest():
+            if self._resilient:
+                # The resilient runtime advances internally (reorder
+                # buffers release ripe elements in their own order).
+                self.engine.ingest_element(element, stream)
+            else:
+                self.engine.advance_to(element.instant - 1)
+                self.engine.ingest_element(element, stream)
+
+        if obs.enabled:
+            with obs.tracer.span(
+                "service_push", tenant=self.name, stream=stream,
+                instant=element.instant,
+            ):
+                self._contained(ingest)
+            obs.registry.inc(f"service.tenant.{self.name}.events")
+        else:
+            self._contained(ingest)
+        self.metrics.events += 1
+
+    def advance(self, until: int) -> None:
+        """Fire every due evaluation with ET instant <= ``until``."""
+        if self._resilient:
+            self._contained(lambda: self.engine.flush(until))
+        else:
+            self._contained(lambda: self.engine.advance_to(until))
+
+    # -- status / checkpoint -----------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """The tenant's unified status document plus its service section."""
+        document = self.engine.unified_status()
+        document["service"] = self.service_status()
+        return document
+
+    def service_status(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.name,
+            "quarantined": self.quarantined,
+            "quotas": self.quotas.as_dict(),
+            "admission": self.bucket.as_dict(),
+            "metrics": self.metrics.as_dict(),
+            "queries": {
+                name: {
+                    "buffered": len(log),
+                    "next_event_id": log.next_id,
+                    "evicted": log.evicted,
+                }
+                for name, log in self.logs.items()
+            },
+        }
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot this tenant's engine + emission offsets to JSON.
+
+        Rides on the PR 1 checkpoint format: the ``engine`` payload is
+        :func:`~repro.runtime.checkpoint.engine_to_dict` output for core
+        stacks, or the full :meth:`ResilientEngine.checkpoint` document
+        for resilient ones.  Emission logs persist their *offsets* only
+        (``next_event_id``), so Last-Event-ID cursors stay monotonic
+        across a restore while buffered rows are rebuilt by replay.
+        """
+        self.metrics.checkpoints += 1
+        return {
+            "version": TENANT_CHECKPOINT_VERSION,
+            "tenant": self.name,
+            "kind": "resilient" if self._resilient else "core",
+            "engine": (
+                self.engine.checkpoint() if self._resilient
+                else engine_to_dict(self.engine)
+            ),
+            "queries": {
+                name: {
+                    "next_event_id": log.next_id,
+                    "skip_empty": self.sinks[name].skip_empty,
+                }
+                for name, log in self.logs.items()
+            },
+        }
+
+    def restore(self, document: Dict[str, Any]) -> None:
+        """Rebuild the engine from a :meth:`checkpoint` document.
+
+        Clears the quarantine fence and reattaches a fresh bounded log
+        (seeded at the checkpointed event-id offset) to every restored
+        query.
+        """
+        from repro.errors import CheckpointError
+
+        version = document.get("version")
+        if version != TENANT_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported tenant checkpoint version {version!r}"
+            )
+        self.close()
+        resilient = document.get("kind") == "resilient"
+        if resilient:
+            engine = ResilientEngine.from_checkpoint(document["engine"])
+        else:
+            engine = engine_from_dict(document["engine"])
+        offsets = document.get("queries", {})
+        logs: Dict[str, EmissionLog] = {}
+        sinks: Dict[str, ServiceSink] = {}
+        for name in engine.query_names:
+            entry = offsets.get(name, {})
+            log = EmissionLog(
+                self.quotas.max_buffered_emissions,
+                next_id=int(entry.get("next_event_id", 0)),
+            )
+            logs[name] = log
+            sink = ServiceSink(
+                log,
+                skip_empty=bool(entry.get("skip_empty", False)),
+                on_append=self._count_emission,
+            )
+            sinks[name] = sink
+            if resilient:
+                # Re-wrap so the restored delivery layer (retries,
+                # breaker) still fronts the service sink.
+                engine.engine.registered(name).sink = engine._wrap_sink(sink)
+            else:
+                engine.registered(name).sink = sink
+        self.engine = engine
+        self.logs = logs
+        self.sinks = sinks
+        self.failures = 0
+        self.quarantined = False
+        self.metrics.restores += 1
+
+    def close(self) -> None:
+        """Release engine resources (worker pools) and wake consumers."""
+        for log in self.logs.values():
+            log.close()
+        core = self._core
+        close = getattr(core, "close", None)
+        if callable(close):
+            close()
+
+
+class TenantManager:
+    """Service-wide tenant registry + auth boundary + snapshots."""
+
+    def __init__(
+        self,
+        specs: Optional[Dict[str, TenantSpec]] = None,
+        allow_dynamic_tenants: bool = False,
+        default_quotas: Optional[TenantQuotas] = None,
+        default_engine: Optional[EngineConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.allow_dynamic_tenants = allow_dynamic_tenants
+        self.default_quotas = default_quotas or TenantQuotas()
+        self.default_engine = default_engine
+        self._clock = clock
+        self.authenticator = Authenticator()
+        self.tenants: Dict[str, TenantState] = {}
+        for spec in (specs or {}).values():
+            self.add(spec)
+
+    def add(self, spec: TenantSpec) -> TenantState:
+        if spec.name in self.tenants:
+            raise QuotaExceededError(
+                f"tenant {spec.name!r} already exists"
+            )
+        state = TenantState(spec, clock=self._clock)
+        self.tenants[spec.name] = state
+        self.authenticator.set_token(spec.name, spec.token)
+        return state
+
+    def get(self, name: str) -> TenantState:
+        state = self.tenants.get(name)
+        if state is None:
+            if not self.allow_dynamic_tenants:
+                raise UnknownTenantError(f"unknown tenant {name!r}")
+            state = self.add(TenantSpec(
+                name=name,
+                quotas=self.default_quotas,
+                engine=self.default_engine,
+            ))
+        return state
+
+    def authorize(self, name: str, authorization: Optional[str]) -> TenantState:
+        """Resolve + authenticate one tenant-scoped request."""
+        state = self.get(name)
+        from repro.errors import AuthenticationError
+
+        try:
+            self.authenticator.check(name, authorization)
+        except AuthenticationError:
+            state.metrics.auth_failures += 1
+            raise
+        state.metrics.requests += 1
+        return state
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON document checkpointing every tenant."""
+        return {
+            "version": TENANT_CHECKPOINT_VERSION,
+            "tenants": {
+                name: state.checkpoint()
+                for name, state in self.tenants.items()
+            },
+        }
+
+    def restore_snapshot(self, document: Dict[str, Any]) -> None:
+        for name, tenant_doc in document.get("tenants", {}).items():
+            state = self.get(name)
+            state.restore(tenant_doc)
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            name: state.service_status()
+            for name, state in self.tenants.items()
+        }
+
+    def close(self) -> None:
+        for state in self.tenants.values():
+            state.close()

@@ -431,7 +431,7 @@ class TestEngineWiring:
         del document["config"]["vectorized"]
         assert engine_from_dict(document).vectorized is False
 
-    def test_cli_flag_reaches_the_engine_config(self):
+    def test_cli_flag_reaches_the_engine_config(self, monkeypatch):
         from repro.cli import _build_parser, _run_config
 
         args = _build_parser().parse_args(
@@ -442,5 +442,12 @@ class TestEngineWiring:
             ["run", "q.seraph", "s.jsonl", "--no-vectorized"]
         )
         assert _run_config(args).vectorized is False
+        # An explicit flag beats the environment...
+        monkeypatch.setenv(PRUNE_ENV_VAR, "0")
+        assert _run_config(args).vectorized is False
+        # ...and without one, the CLI resolves through
+        # EngineConfig.from_env (explicit arg > env > default).
         args = _build_parser().parse_args(["run", "q.seraph", "s.jsonl"])
+        assert _run_config(args).vectorized is False
+        monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
         assert _run_config(args).vectorized is None

@@ -32,12 +32,7 @@ from tests.runtime.test_parallel import (
     _element,
 )
 
-pytestmark = [
-    pytest.mark.chaos,
-    # Checkpoint restore goes through the legacy SeraphEngine(parallel=N)
-    # factory hook, which warns by design.
-    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
-]
+pytestmark = pytest.mark.chaos
 
 #: Chaos profile for the acceptance runs: murderous enough to force
 #: pool rebuilds and poison retries, survivable enough to finish pooled.

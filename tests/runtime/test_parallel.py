@@ -88,9 +88,17 @@ def _run(engine, stream, queries=(CHAIN_QUERY, ROUTE_QUERY)):
     return [e.render() for sink in sinks for e in sink.emissions]
 
 
-class TestFactory:
-    def test_parallel_kwarg_builds_parallel_engine(self):
-        engine = SeraphEngine(parallel=2)
+class TestConstruction:
+    def test_parallel_kwarg_hard_errors_with_migration(self):
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError, match="parallel_workers"):
+            SeraphEngine(parallel=2)
+
+    def test_front_door_builds_parallel_engine(self):
+        from repro import EngineConfig, build_engine
+
+        engine = build_engine(EngineConfig(parallel_workers=2))
         assert isinstance(engine, ParallelEngine)
         assert engine.workers == 2
         engine.close()
@@ -98,8 +106,8 @@ class TestFactory:
     def test_plain_construction_stays_serial(self):
         assert not isinstance(SeraphEngine(), ParallelEngine)
 
-    def test_parallel_zero_means_cpu_count(self):
-        engine = SeraphEngine(parallel=0)
+    def test_workers_zero_means_cpu_count(self):
+        engine = ParallelEngine(workers=0)
         assert engine.workers >= 1
         engine.close()
 

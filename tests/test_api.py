@@ -68,6 +68,71 @@ class TestEngineConfig:
         assert bundle.registry.reservoir == 2
 
 
+class TestFromEnv:
+    """Knob resolution: explicit argument > environment > default."""
+
+    def test_empty_environment_yields_defaults(self):
+        assert EngineConfig.from_env(environ={}) == EngineConfig()
+
+    def test_environment_fills_unset_fields(self):
+        config = EngineConfig.from_env(environ={
+            "REPRO_GRAPH_BACKEND": "columnar",
+            "REPRO_VECTORIZED": "1",
+            "REPRO_DELTA_EVAL": "off",
+            "REPRO_PHYSICAL_PLANS": "false",
+            "REPRO_PARALLEL_WORKERS": "3",
+        })
+        assert config.graph_backend == "columnar"
+        assert config.vectorized is True
+        assert config.delta_eval is False
+        assert config.physical_plans is False
+        assert config.parallel_workers == 3
+
+    def test_explicit_override_beats_environment(self):
+        config = EngineConfig.from_env(
+            environ={"REPRO_PARALLEL_WORKERS": "8",
+                     "REPRO_DELTA_EVAL": "0"},
+            parallel_workers=2, delta_eval=True,
+        )
+        assert config.parallel_workers == 2
+        assert config.delta_eval is True
+
+    def test_explicit_none_beats_environment(self):
+        config = EngineConfig.from_env(
+            environ={"REPRO_PARALLEL_WORKERS": "8"},
+            parallel_workers=None,
+        )
+        assert config.parallel_workers is None
+
+    def test_boolean_falsy_spellings(self):
+        for raw in ("0", "false", "no", "off", "", "False", "NO"):
+            config = EngineConfig.from_env(
+                environ={"REPRO_VECTORIZED": raw}
+            )
+            assert config.vectorized is False, raw
+        for raw in ("1", "true", "yes", "on", "anything"):
+            config = EngineConfig.from_env(
+                environ={"REPRO_VECTORIZED": raw}
+            )
+            assert config.vectorized is True, raw
+
+    def test_unparseable_int_raises_engine_error(self):
+        with pytest.raises(EngineError, match="REPRO_PARALLEL_WORKERS"):
+            EngineConfig.from_env(
+                environ={"REPRO_PARALLEL_WORKERS": "many"}
+            )
+
+    def test_invalid_env_value_still_validates(self):
+        with pytest.raises(EngineError):
+            EngineConfig.from_env(
+                environ={"REPRO_GRAPH_BACKEND": "bogus"}
+            )
+
+    def test_real_environment_is_the_default_source(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_BACKEND", "columnar")
+        assert EngineConfig.from_env().graph_backend == "columnar"
+
+
 class TestBuildEngine:
     def test_default_is_a_serial_core_engine(self):
         engine = build_engine()
@@ -160,21 +225,21 @@ class TestBuildEngine:
         assert status["obs"]["enabled"] is True
 
 
-class TestDeprecationShims:
-    def test_seraph_engine_parallel_keyword_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="build_engine"):
-            engine = SeraphEngine(parallel=2)
-        try:
-            assert isinstance(engine, ParallelEngine)
-        finally:
-            engine.close()
+class TestRetiredShims:
+    """The PR 4 compatibility paths hard-error with migration messages."""
 
-    def test_resilient_engine_kwargs_warn_and_build_the_inner(self):
-        with pytest.warns(DeprecationWarning, match="build_engine"):
-            engine = ResilientEngine(delta_eval=False)
+    def test_seraph_engine_parallel_keyword_hard_errors(self):
+        with pytest.raises(EngineError, match="build_engine"):
+            SeraphEngine(parallel=2)
+
+    def test_resilient_engine_kwargs_hard_error(self):
+        with pytest.raises(EngineError, match="build_engine"):
+            ResilientEngine(delta_eval=False)
+
+    def test_parallel_subclass_still_constructs_directly(self):
+        with ParallelEngine(workers=2) as engine:
+            assert engine.workers == 2
+
+    def test_explicit_inner_engine_still_works(self):
+        engine = ResilientEngine(SeraphEngine(delta_eval=False))
         assert engine.engine.delta_eval is False
-
-    def test_explicit_inner_engine_does_not_warn(self, recwarn):
-        ResilientEngine(SeraphEngine())
-        assert not [w for w in recwarn
-                    if issubclass(w.category, DeprecationWarning)]
