@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install lint test test-columnar test-vectorized bench chaos examples serve-smoke verify ci all
+.PHONY: install lint test test-columnar test-vectorized test-dataflow bench chaos examples serve-smoke verify ci all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -28,6 +28,17 @@ test-columnar:
 test-vectorized:
 	PYTHONPATH=src REPRO_VECTORIZED=1 $(PYTHON) -m pytest tests/ -q -m "not slow"
 	PYTHONPATH=src REPRO_VECTORIZED=1 REPRO_GRAPH_BACKEND=columnar $(PYTHON) -m pytest tests/ -q -m "not slow"
+
+# Dataflow chaining (docs/DATAFLOW.md): grammar/DAG/materializer units,
+# the fused-vs-hand-composed hypothesis matrix, the socket-level derived
+# stream surface, and the bench's byte-identity gate.
+test-dataflow:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		tests/seraph/test_dataflow.py \
+		tests/properties/test_prop_dataflow.py \
+		tests/service/test_dataflow_service.py \
+		benchmarks/test_bench_dataflow.py \
+		-q -m "not slow" --benchmark-disable
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,212 @@
+"""Dataflow chaining: one fused engine vs. engines glued by hand.
+
+``EMIT ... INTO`` lets one engine run a whole detect → enrich → alert
+pipeline (docs/DATAFLOW.md).  The alternative it replaces is the glue
+people build by hand: one engine per stage, with each stage's emissions
+materialized into stream elements and shipped over a JSON wire into the
+next engine.  To deliver alerts at the same latency as the fused
+pipeline, the glue must run in *lockstep* — every stage advanced to
+every arrival instant, with the wire drained between stages — which is
+exactly what this bench's ``run_glued`` does.  (A fully offline batch
+glue — run stage 1 to completion, then stage 2 — avoids most of that
+overhead but is not a continuous system; it cannot emit an alert until
+the input stream ends.)
+
+Every run asserts the two compositions are **byte-identical** at every
+stage, so CI doubles as a correctness gate even with
+``--benchmark-disable``; the timed comparison is persisted to
+``BENCH_dataflow.json`` and the slow acceptance test pins that the
+fused pipeline beats the glue.
+"""
+
+import gc
+import json
+import re
+import time
+
+import pytest
+
+from benchmarks.record import record_results
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.seraph import CollectingSink, SeraphEngine, StreamMaterializer
+from repro.stream.stream import StreamElement
+from repro.usecases.network import (
+    NetworkConfig,
+    NetworkStreamGenerator,
+    pipeline_alert_query,
+    pipeline_detect_query,
+    pipeline_enrich_query,
+)
+
+ANOMALIES = "route_anomalies"
+ALERTS = "rack_alerts"
+
+
+def _without_into(text: str) -> str:
+    """The same query text with the ``INTO`` clause dropped (the shape
+    a standalone stage engine registers)."""
+    return re.sub(r"\n\s*INTO \w+", "", text)
+
+
+def _network_stream(events=20):
+    config = NetworkConfig(
+        racks=16, routers=6, events=events, fault_rate=0.5, seed=11
+    )
+    return NetworkStreamGenerator(config).stream()
+
+
+def _render(emissions):
+    return [emission.render() for emission in emissions]
+
+
+def run_fused(stream):
+    """One engine, all three stages, staged tick scheduling."""
+    engine = SeraphEngine()
+    sinks = [CollectingSink() for _ in range(3)]
+    engine.register(pipeline_detect_query(into=ANOMALIES), sink=sinks[0])
+    engine.register(
+        pipeline_enrich_query(source=ANOMALIES, into=ALERTS), sink=sinks[1]
+    )
+    engine.register(pipeline_alert_query(source=ALERTS), sink=sinks[2])
+    engine.run_stream(stream)
+    return [_render(sink.emissions) for sink in sinks]
+
+
+class _Wire:
+    """One inter-engine hop: materialize new upstream emissions and ship
+    them as JSON text into the downstream engine — the serialization
+    any cross-process hop pays."""
+
+    def __init__(self, sink, stream_name, target):
+        self.sink = sink
+        self.target = target
+        self.stream_name = stream_name
+        self.materializer = StreamMaterializer(stream_name)
+        self.shipped = 0
+
+    def drain(self):
+        for emission in self.sink.emissions[self.shipped:]:
+            self.shipped += 1
+            element = self.materializer.materialize(emission)
+            if element is None:
+                continue
+            line = json.dumps(
+                {"instant": element.instant,
+                 "graph": graph_to_dict(element.graph)},
+                sort_keys=True,
+            )
+            payload = json.loads(line)
+            self.target.ingest_element(
+                StreamElement(graph=graph_from_dict(payload["graph"]),
+                              instant=int(payload["instant"])),
+                self.stream_name,
+            )
+
+
+def run_glued(stream):
+    """Three engines glued by hand, advanced in lockstep.
+
+    Per arrival: advance stage 1, drain its wire, advance stage 2,
+    drain, advance stage 3 — the schedule a hand-glued deployment needs
+    to match the fused pipeline's alert latency (and its bytes)."""
+    first, second, third = SeraphEngine(), SeraphEngine(), SeraphEngine()
+    sinks = [CollectingSink() for _ in range(3)]
+    first.register(_without_into(pipeline_detect_query()), sink=sinks[0])
+    second.register(_without_into(pipeline_enrich_query(source=ANOMALIES)),
+                    sink=sinks[1])
+    third.register(pipeline_alert_query(source=ALERTS), sink=sinks[2])
+    wires = [_Wire(sinks[0], ANOMALIES, second),
+             _Wire(sinks[1], ALERTS, third)]
+
+    def advance(until):
+        first.advance_to(until)
+        wires[0].drain()
+        second.advance_to(until)
+        wires[1].drain()
+        third.advance_to(until)
+
+    for element in stream:
+        advance(element.instant - 1)
+        first.ingest_element(element)
+    advance(stream[-1].instant)
+    return [_render(sink.emissions) for sink in sinks]
+
+
+def _timed(fn, stream):
+    gc.collect()  # charge neither composition with the other's garbage
+    started = time.perf_counter()
+    fn(stream)
+    return time.perf_counter() - started
+
+
+def _compare(stream, rounds):
+    """Interleaved best-of-``rounds`` for both compositions.
+
+    Alternating the two keeps slow machine drift (thermal, allocator
+    growth) from being billed to whichever side happens to run last."""
+    fused_times, glued_times = [], []
+    for _ in range(rounds):
+        fused_times.append(_timed(run_fused, stream))
+        glued_times.append(_timed(run_glued, stream))
+    return min(fused_times), min(glued_times)
+
+
+@pytest.fixture(scope="module")
+def small_stream():
+    return _network_stream(events=20)
+
+
+def test_fused_pipeline_byte_identical_to_glue(benchmark, small_stream):
+    """The fused engine's staged scheduler must emit exactly what the
+    hand-glued lockstep composition emits — all three stages."""
+    glued = run_glued(small_stream)
+    fused = benchmark(run_fused, small_stream)
+    assert fused == glued
+    assert any("rack_id" in text for text in fused[2])  # alerts fired
+    record_results(
+        "dataflow",
+        "fused_byte_identical",
+        {"workload": "network racks=16 events=20",
+         "emissions_per_stage": [len(stage) for stage in fused]},
+    )
+
+
+def test_smoke_comparison_recorded(small_stream):
+    """One quick fused-vs-glue comparison persisted for the CI smoke
+    step (the slow test below repeats it on a larger workload and adds
+    the speedup assertion)."""
+    run_fused(small_stream)  # warm plan caches on both paths
+    run_glued(small_stream)
+    fused_seconds, glued_seconds = _compare(small_stream, rounds=3)
+    record_results(
+        "dataflow",
+        "fused_vs_glued_smoke",
+        {"workload": "network racks=16 events=20",
+         "fused_seconds": fused_seconds,
+         "glued_seconds": glued_seconds,
+         "speedup": glued_seconds / fused_seconds},
+    )
+
+
+@pytest.mark.slow
+def test_fused_beats_glue():
+    """Acceptance: the fused pipeline outruns the hand-glued one.
+
+    Interleaved best-of-7 on a larger workload; the glue pays two
+    JSON wires plus two extra engines' per-arrival scheduling."""
+    stream = _network_stream(events=40)
+    glued = run_glued(stream)  # warm + reference
+    fused = run_fused(stream)
+    assert fused == glued
+    fused_best, glued_best = _compare(stream, rounds=7)
+    record_results(
+        "dataflow",
+        "fused_vs_glued",
+        {"workload": "network racks=16 events=40",
+         "fused_seconds": fused_best,
+         "glued_seconds": glued_best,
+         "speedup": glued_best / fused_best},
+    )
+    assert fused_best < glued_best, (
+        f"fused {fused_best:.3f}s did not beat glued {glued_best:.3f}s"
+    )

@@ -39,6 +39,8 @@ from repro.errors import (
     CheckpointError,
     ConsumerLagError,
     CypherError,
+    DataflowCycleError,
+    DataflowError,
     EngineError,
     GraphError,
     QueryRegistryError,
@@ -50,6 +52,7 @@ from repro.errors import (
     ServiceError,
     StreamError,
     TenantQuarantinedError,
+    UnknownStreamError,
     UnknownTenantError,
 )
 from repro.runtime.faults import ChaosConfig
@@ -66,12 +69,14 @@ from repro.graph import (
 )
 from repro.seraph import (
     CollectingSink,
+    DataflowGraph,
     Emission,
     SeraphEngine,
     SeraphQuery,
+    StreamMaterializer,
     parse_seraph,
 )
-from repro.seraph.explain import explain, explain_analyze
+from repro.seraph.explain import explain, explain_analyze, explain_dataflow
 from repro.service import (
     SeraphService,
     ServiceClient,
@@ -107,9 +112,13 @@ __all__ = [
     "run_update",
     "explain",
     "explain_analyze",
+    "explain_dataflow",
     "SeraphQuery",
     "CollectingSink",
     "Emission",
+    # dataflow chaining (EMIT ... INTO, docs/DATAFLOW.md)
+    "DataflowGraph",
+    "StreamMaterializer",
     # data model
     "GraphBuilder",
     "Node",
@@ -147,6 +156,9 @@ __all__ = [
     "QueryRegistryError",
     "EngineError",
     "CheckpointError",
+    "DataflowError",
+    "DataflowCycleError",
+    "UnknownStreamError",
     "ServiceError",
     "AuthenticationError",
     "UnknownTenantError",

@@ -150,6 +150,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "after the run (implies observability)",
     )
     run.add_argument(
+        "--explain-dataflow", action="store_true",
+        help="print the dataflow DAG (stages, EMIT INTO streams, "
+        "per-edge emission counts) to stderr after the run "
+        "(implies observability; docs/DATAFLOW.md)",
+    )
+    run.add_argument(
         "--profile", nargs="?", const="", metavar="PATH", default=None,
         help="profile the run with cProfile: print the top functions to "
         "stderr, and dump binary pstats data to PATH when given",
@@ -231,7 +237,8 @@ def _wants_resilient(args: argparse.Namespace) -> bool:
 
 
 def _wants_observability(args: argparse.Namespace) -> bool:
-    return bool(args.metrics_out or args.trace_out or args.explain_analyze)
+    return bool(args.metrics_out or args.trace_out or args.explain_analyze
+                or args.explain_dataflow)
 
 
 def _run_config(args: argparse.Namespace) -> EngineConfig:
@@ -355,12 +362,12 @@ def _maybe_profiled(args: argparse.Namespace):
 def _write_observability(
     args: argparse.Namespace, engine, query_name: str
 ) -> None:
-    """Honor --metrics-out / --trace-out / --explain-analyze."""
+    """Honor --metrics-out/--trace-out/--explain-analyze/--explain-dataflow."""
     if not _wants_observability(args):
         return
     from repro.obs.export import trace_document, write_json, write_prometheus
     from repro.obs.schema import unified_status
-    from repro.seraph.explain import explain_analyze
+    from repro.seraph.explain import explain_analyze, explain_dataflow
 
     if args.metrics_out:
         if args.metrics_out.endswith(".prom"):
@@ -373,6 +380,8 @@ def _write_observability(
         print(f"-- trace written to {args.trace_out}", file=sys.stderr)
     if args.explain_analyze:
         print(explain_analyze(engine, query_name), file=sys.stderr)
+    if args.explain_dataflow:
+        print(explain_dataflow(engine), file=sys.stderr)
 
 
 def _print_emissions(args: argparse.Namespace, sink: CollectingSink) -> None:

@@ -67,6 +67,8 @@ KEYWORDS = frozenset(
         "ON", "ENTERING", "EXITING", "SNAPSHOT",
         # Multi-stream extension (the paper's future work i)
         "FROM", "STREAM",
+        # Dataflow chaining (EMIT ... INTO, docs/DATAFLOW.md)
+        "INTO",
     }
 )
 

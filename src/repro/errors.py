@@ -159,6 +159,35 @@ class ParallelExecutionError(EngineError):
         self.workers = workers
 
 
+class DataflowError(SeraphError):
+    """Base class for ``EMIT ... INTO`` dataflow errors.
+
+    Like :class:`ServiceError`, every dataflow failure carries an HTTP
+    ``status`` so the service boundary can translate typed errors into
+    responses without string matching.
+    """
+
+    status = 400
+
+
+class DataflowCycleError(DataflowError):
+    """Registering a query would close a cycle in the dataflow DAG.
+
+    The message names the cycle path through its derived streams
+    (``a -[s1]-> b -[s2]-> a``); a self-loop — a query consuming the
+    stream it emits into — is the length-1 case.  Maps to HTTP 409:
+    the registration conflicts with the current query set.
+    """
+
+    status = 409
+
+
+class UnknownStreamError(DataflowError):
+    """A lookup named a derived stream no registered query emits into."""
+
+    status = 404
+
+
 class SinkDeliveryError(SeraphError):
     """A sink kept failing after all configured delivery attempts."""
 

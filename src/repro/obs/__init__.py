@@ -15,8 +15,9 @@ children::
       ├─ snapshot_build          (per window, inside the match stage)
       ├─ reuse | match_delta | match_full | worker_evaluate
       ├─ report
-      └─ sink
-          └─ sink_attempt*       (retries, from ResilientSink)
+      ├─ sink
+      │   └─ sink_attempt*       (retries, from ResilientSink)
+      └─ materialize             (``EMIT ... INTO`` producers only)
 
 ``ingest`` spans are separate roots.  Pool workers return span
 fragments that the parent stitches in as ``worker_evaluate`` children
@@ -55,6 +56,7 @@ STAGES = (
     "worker_evaluate",
     "report",
     "sink",
+    "materialize",
     "total",
 )
 

@@ -161,6 +161,20 @@ def validate_status(document: Mapping[str, Any]) -> None:
     for name, info in engine["queries"].items():
         for key in ("evaluations", "reused", "delta", "done"):
             _require(key in info, f"query {name!r} misses {key!r}")
+    # 'dataflow' arrived with EMIT ... INTO chaining: validate it when
+    # present, tolerate its absence on documents written before it.
+    dataflow = engine.get("dataflow")
+    if dataflow is not None:
+        for key in ("streams", "order", "stages", "edges"):
+            _require(key in dataflow, f"engine.dataflow misses {key!r}")
+        _require(isinstance(dataflow["streams"], Mapping),
+                 "engine.dataflow.streams is not an object")
+        for name, info in dataflow["streams"].items():
+            for key in ("producers", "consumers", "cursor"):
+                _require(key in info,
+                         f"dataflow stream {name!r} misses {key!r}")
+        _require(isinstance(dataflow["edges"], list),
+                 "engine.dataflow.edges is not a list")
     _require("parallel" in document, "missing 'parallel' section")
     _require("resilience" in document, "missing 'resilience' section")
     # 'supervision' arrived after v1 documents were already in the wild:

@@ -39,6 +39,7 @@ from repro.graph.io import (
 )
 from repro.graph.model import Node, Path, Relationship
 from repro.graph.table import Record, Table
+from repro.seraph.dataflow import StreamMaterializer
 from repro.seraph.engine import SeraphEngine
 from repro.seraph.parser import parse_seraph
 from repro.seraph.sinks import Sink
@@ -126,7 +127,7 @@ def table_from_dict(data: Dict[str, Any]) -> Table:
 
 def engine_to_dict(engine: SeraphEngine) -> Dict[str, Any]:
     """Serialize a mid-run engine to a JSON-safe checkpoint document."""
-    return {
+    document: Dict[str, Any] = {
         "version": CHECKPOINT_VERSION,
         "config": {
             "policy": engine.policy.name,
@@ -172,6 +173,15 @@ def engine_to_dict(engine: SeraphEngine) -> Dict[str, Any]:
             for registered in engine._queries.values()
         ],
     }
+    if engine._materializers:
+        # Derived-stream cursors (docs/DATAFLOW.md): the materializer's
+        # merge store and counters, so restored pipelines keep node
+        # identity and the per-stream cursor across the restore.
+        document["dataflow"] = {
+            stream: materializer.to_dict()
+            for stream, materializer in engine._materializers.items()
+        }
+    return document
 
 
 def engine_from_dict(
@@ -239,6 +249,12 @@ def engine_from_dict(
             previous = query_data.get("report_previous")
             if previous is not None and registered.report is not None:
                 registered.report._previous = table_from_dict(previous)
+        # Re-registering producers created fresh materializers; overwrite
+        # them with the checkpointed state (absent in documents written
+        # before dataflow chaining).
+        for stream, materializer_data in data.get("dataflow", {}).items():
+            engine._materializers[stream] = \
+                StreamMaterializer.from_dict(materializer_data)
         engine._watermark = data["watermark"]
         return engine
     except CheckpointError:

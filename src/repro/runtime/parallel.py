@@ -298,24 +298,38 @@ class ParallelEngine(SeraphEngine):
         Each pass collects the same due set, in the same order, as the
         serial loop; window advancement and emission delivery stay
         serial, only the pure table computations fan out.
+
+        Dataflow stages act as barriers between the window-group
+        batches (docs/DATAFLOW.md): a chunk whose queries consume a
+        derived stream produced earlier in the pass only begins — i.e.
+        advances its windows — after the producer chunk has finished and
+        materialized.  Without ``INTO`` queries there is exactly one
+        chunk per pass, the pre-dataflow behavior.
         """
         emissions: List[Emission] = []
+        obs = self.obs
         while True:
-            due = [
-                registered
-                for registered in self._queries.values()
-                if not registered.done and registered.next_eval <= instant
-            ]
+            due = self._due_queries(instant)
             if not due:
                 break
-            due.sort(key=lambda registered: registered.next_eval)
             self.parallel_metrics.batches += 1
-            pendings = [
-                self._begin_evaluation(registered) for registered in due
-            ]
-            tables = self._compute_batch(pendings)
-            for pending, table in zip(pendings, tables):
-                emissions.append(self._finish_evaluation(pending, table))
+            staged = obs.enabled and not self._dataflow.is_trivial
+            for index, chunk in enumerate(self._dataflow_stages(due)):
+                if staged:
+                    started = time.perf_counter()
+                pendings = [
+                    self._begin_evaluation(registered)
+                    for registered in chunk
+                ]
+                tables = self._compute_batch(pendings)
+                for pending, table in zip(pendings, tables):
+                    emissions.append(self._finish_evaluation(pending, table))
+                if staged:
+                    obs.tracer.add_completed(
+                        "dataflow_stage", time.perf_counter() - started,
+                        stage=index, queries=len(chunk),
+                    )
+                    obs.registry.inc("dataflow.stages")
         self._evict()
         return emissions
 

@@ -7,10 +7,11 @@ from repro.seraph.construct import (
     NodeSpec,
     RelationshipSpec,
 )
+from repro.seraph.dataflow import DERIVED_NODE_ID_BASE, StreamMaterializer
 from repro.seraph.engine import RegisteredQuery, SeraphEngine
-from repro.seraph.explain import explain, explain_analyze
+from repro.seraph.explain import explain, explain_analyze, explain_dataflow
 from repro.seraph.parser import SeraphParser, parse_seraph
-from repro.seraph.registry import QueryRegistry
+from repro.seraph.registry import DataflowGraph, QueryRegistry
 from repro.seraph.semantics import continuous_run, evaluate_at, execute_body
 from repro.seraph.sinks import CallbackSink, CollectingSink, Emission, PrintingSink
 
@@ -19,6 +20,8 @@ __all__ = [
     "CollectingSink",
     "ConstructingSink",
     "DEFAULT_STREAM",
+    "DERIVED_NODE_ID_BASE",
+    "DataflowGraph",
     "Emission",
     "Emit",
     "GraphTemplate",
@@ -31,10 +34,12 @@ __all__ = [
     "SeraphMatch",
     "SeraphParser",
     "SeraphQuery",
+    "StreamMaterializer",
     "continuous_run",
     "evaluate_at",
     "execute_body",
     "explain",
     "explain_analyze",
+    "explain_dataflow",
     "parse_seraph",
 ]

@@ -52,12 +52,16 @@ class SeraphMatch:
 
 @dataclass(frozen=True)
 class Emit:
-    """``EMIT items <policy> EVERY β`` — the continuous terminal clause."""
+    """``EMIT items <policy> EVERY β [INTO stream]`` — the continuous
+    terminal clause.  ``into`` names the derived stream the emitted rows
+    are materialized into, making the query a producer other registered
+    queries can consume with ``FROM STREAM`` (docs/DATAFLOW.md)."""
 
     items: Tuple[cypher_ast.ProjectionItem, ...]
     star: bool = False
     policy: ReportPolicy = ReportPolicy.SNAPSHOT
     every: int = 0  # slide β in seconds
+    into: Optional[str] = None
 
     def render(self) -> str:
         parts = (["*"] if self.star else []) + [item.render() for item in self.items]
@@ -67,6 +71,8 @@ class Emit:
         else:
             out += " SNAPSHOT"
         out += f" EVERY {format_duration(self.every)}"
+        if self.into is not None:
+            out += f" INTO {self.into}"
         return out
 
 
@@ -108,6 +114,11 @@ class SeraphQuery:
     def slide(self) -> int:
         """β: the EVERY period (0 for RETURN-terminal queries)."""
         return self.emit.every if self.emit else 0
+
+    @property
+    def emits_into(self) -> Optional[str]:
+        """The derived stream this query produces (``EMIT ... INTO``)."""
+        return self.emit.into if self.emit is not None else None
 
     def stream_names(self) -> Tuple[str, ...]:
         """The input streams this query reads, in first-use order."""

@@ -35,13 +35,19 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cypher.physical import PhysicalPlan, execute_plan
 from repro.cypher.plan_cache import PlanCache
-from repro.errors import EngineError, PhysicalPlanError, QueryRegistryError
+from repro.errors import (
+    EngineError,
+    PhysicalPlanError,
+    QueryRegistryError,
+    UnknownStreamError,
+)
 from repro.obs import NOOP_OBS, Observability
 from repro.graph.model import PropertyGraph
 from repro.graph.table import Table
 from repro.graph.temporal import TimeInstant
 from repro.seraph import semantics
 from repro.seraph.ast import DEFAULT_STREAM, SeraphMatch, SeraphQuery
+from repro.seraph.dataflow import StreamMaterializer
 from repro.seraph.delta import (
     QueryDeltaState,
     WindowDelta,
@@ -49,6 +55,7 @@ from repro.seraph.delta import (
     evaluate_delta,
 )
 from repro.seraph.parser import parse_seraph
+from repro.seraph.registry import DataflowGraph
 from repro.seraph.sinks import CollectingSink, Emission, Sink
 from repro.stream.report import ReportState
 from repro.stream.snapshot import SnapshotMaintainer, snapshot_graph
@@ -233,6 +240,9 @@ class RegisteredQuery:
     plan_prunes: Dict[int, List[int]] = field(default_factory=dict)
     plan_compiles: int = 0
     plan_failed: bool = False
+    #: Per derived-stream count of upstream elements this query's windows
+    #: consumed (the per-edge counters EXPLAIN ANALYZE renders).
+    consumed_elements: Dict[str, int] = field(default_factory=dict)
     _last_fingerprint: Optional[Tuple] = None
     _last_table: Optional[Table] = None
     #: Per-query compiled-expression cache (see repro.cypher.expressions);
@@ -368,6 +378,15 @@ class SeraphEngine:
         self._queries: Dict[str, RegisteredQuery] = {}
         self._shared_windows: Dict[Tuple, _WindowState] = {}
         self._watermark: Optional[TimeInstant] = None
+        # Dataflow chaining (docs/DATAFLOW.md): the dependency graph over
+        # registered queries, plus one materializer per derived stream.
+        self._dataflow = DataflowGraph()
+        self._materializers: Dict[str, StreamMaterializer] = {}
+        # Streams created by an ``INTO`` clause: they stay marked derived
+        # even after their last producer deregisters (while consumers
+        # remain), so cascading eviction can reclaim their state once
+        # the last consumer goes too.
+        self._derived_streams: set = set()
 
     # -- registry (REGISTER QUERY contract) ----------------------------------
 
@@ -399,6 +418,11 @@ class SeraphEngine:
                 f"query {query.name!r} is already registered "
                 "(pass replace=True to edit it)"
             )
+        # Dataflow edges commit atomically: a registration that would
+        # close a cycle raises DataflowCycleError (naming the path) here,
+        # before any engine state — windows, shared states — is touched.
+        into = query.emits_into if query.is_continuous else None
+        self._dataflow.replace(query.name, query.stream_names(), into)
         windows = {}
         for stream_name, width in query.window_keys():
             self._stream_state(stream_name)  # ensure the stream exists
@@ -436,6 +460,14 @@ class SeraphEngine:
         )
         registered.warnings = warnings
         self._queries[query.name] = registered
+        if into is not None:
+            # One materializer per derived stream, shared by all of its
+            # producers; re-registering keeps the existing merge store so
+            # node identity stays continuous across query edits.
+            self._materializers.setdefault(into, StreamMaterializer(into))
+            self._stream_state(into)  # the derived stream exists eagerly
+            self._derived_streams.add(into)
+        self._cascade_derived()
         return registered
 
     def deregister(self, name: str) -> None:
@@ -443,7 +475,25 @@ class SeraphEngine:
             raise QueryRegistryError(f"no registered query named {name!r}")
         self.plan_cache.evict(self._queries[name].query)
         del self._queries[name]
+        self._dataflow.remove(name)
+        self._cascade_derived()
         self._evict()
+
+    def _cascade_derived(self) -> None:
+        """Cascading eviction for derived streams (docs/DATAFLOW.md).
+
+        A derived stream that lost its last producer drops its
+        materializer (node identity restarts if a producer is ever
+        re-registered); if additionally no live query consumes it, the
+        whole stream state — retained elements included — disappears.
+        """
+        for stream in list(self._derived_streams):
+            if self._dataflow.producers_of(stream):
+                continue
+            self._materializers.pop(stream, None)
+            if not self._dataflow.consumers_of(stream):
+                self._derived_streams.discard(stream)
+                self._streams.pop(stream, None)
 
     def registered(self, name: str) -> RegisteredQuery:
         if name not in self._queries:
@@ -506,21 +556,83 @@ class SeraphEngine:
         """
         emissions: List[Emission] = []
         while True:
-            due = [
-                registered
-                for registered in self._queries.values()
-                if not registered.done and registered.next_eval <= instant
-            ]
+            due = self._due_queries(instant)
             if not due:
                 break
-            # Fire in global ET order for deterministic interleaving.
-            due.sort(key=lambda registered: registered.next_eval)
-            for registered in due:
-                if registered.next_eval > instant or registered.done:
-                    continue
-                emissions.append(self._evaluate(registered))
+            for index, chunk in enumerate(self._dataflow_stages(due)):
+                self._run_stage(index, chunk, instant, emissions)
         self._evict()
         return emissions
+
+    def _due_queries(self, instant: TimeInstant) -> List[RegisteredQuery]:
+        """Due evaluations in firing order: global ET order, then
+        dataflow stage (producers fire before same-instant consumers,
+        so staged propagation is deterministic and replayable).  With no
+        ``INTO`` queries every stage is 0 and the order is exactly the
+        pre-dataflow one."""
+        due = [
+            registered
+            for registered in self._queries.values()
+            if not registered.done and registered.next_eval <= instant
+        ]
+        due.sort(key=lambda registered: (
+            registered.next_eval,
+            self._dataflow.stage_of(registered.name),
+        ))
+        return due
+
+    def _dataflow_stages(
+        self, due: List[RegisteredQuery]
+    ) -> Iterable[List[RegisteredQuery]]:
+        """Split a sorted due list into dataflow stage chunks.
+
+        A chunk boundary falls before any query that consumes a derived
+        stream some query already in the chunk produces: everything
+        before the boundary must finish (and materialize) before the
+        consumer's windows advance.  With no ``INTO`` queries this
+        yields the whole list once — the pre-dataflow fast path, and the
+        unit the parallel engine batches between its barriers.
+        """
+        if self._dataflow.is_trivial:
+            yield due
+            return
+        chunk: List[RegisteredQuery] = []
+        produced: set = set()
+        for registered in due:
+            if any(stream in produced
+                   for stream in registered.query.stream_names()):
+                yield chunk
+                chunk = []
+                produced = set()
+            chunk.append(registered)
+            into = registered.query.emits_into
+            if into is not None:
+                produced.add(into)
+        if chunk:
+            yield chunk
+
+    def _run_stage(
+        self,
+        index: int,
+        chunk: List[RegisteredQuery],
+        instant: TimeInstant,
+        emissions: List[Emission],
+    ) -> None:
+        """Evaluate one dataflow stage chunk (serial engine)."""
+        obs = self.obs
+        staged = obs.enabled and not self._dataflow.is_trivial
+        if staged:
+            started = time.perf_counter()
+        for registered in chunk:
+            if registered.next_eval > instant or registered.done:
+                continue
+            emissions.append(self._evaluate(registered))
+        if staged:
+            obs.tracer.add_completed(
+                "dataflow_stage", time.perf_counter() - started,
+                stage=index, queries=len(chunk),
+            )
+            obs.registry.inc("dataflow.stages")
 
     def run_stream(
         self,
@@ -587,9 +699,19 @@ class SeraphEngine:
                                     instant=instant)
             advance_started = time.perf_counter()
         deltas: List[Tuple[_WindowState, WindowDelta]] = []
+        derived = not self._dataflow.is_trivial
         for (stream_name, _width), state in registered.windows.items():
             delta = state.advance(self._stream_state(stream_name), instant)
             deltas.append((state, delta))
+            if derived and delta.added \
+                    and self._dataflow.producers_of(stream_name):
+                # Per-edge consumption counter: upstream emissions are
+                # the delta for this downstream window (EXPLAIN
+                # ANALYZE's dataflow edges render these).
+                registered.consumed_elements[stream_name] = (
+                    registered.consumed_elements.get(stream_name, 0)
+                    + len(delta.added)
+                )
         if span is not None:
             elapsed = time.perf_counter() - advance_started
             obs.tracer.add_completed(
@@ -793,6 +915,9 @@ class SeraphEngine:
                                  rows=len(annotated)) as stage:
                 registered.sink.receive(emission)
             obs.record_stage(query.name, "sink", stage.duration_seconds)
+            if query.emits_into is not None:
+                self._materialize_emission(registered, emission,
+                                           pending.span)
             span = pending.span
             span.annotate(rows=len(annotated))
             span.finish()
@@ -803,7 +928,44 @@ class SeraphEngine:
             )
         else:
             registered.sink.receive(emission)
+            if query.emits_into is not None:
+                self._materialize_emission(registered, emission, None)
         return emission
+
+    def _materialize_emission(
+        self, registered: RegisteredQuery, emission: Emission, span
+    ) -> None:
+        """Feed one producer emission into its derived stream.
+
+        Runs after sink delivery, inside the producer's evaluation turn,
+        so same-tick downstream stages see the new element when their
+        windows advance (the staged-propagation contract).
+        """
+        into = registered.query.emits_into
+        materializer = self._materializers.get(into)
+        if materializer is None:  # pragma: no cover — register creates it
+            materializer = self._materializers[into] = \
+                StreamMaterializer(into)
+        obs = self.obs
+        if obs.enabled:
+            started = time.perf_counter()
+        element = materializer.materialize(emission)
+        if element is not None:
+            self._stream_state(into).append(element)
+            if self._watermark is None or element.instant > self._watermark:
+                self._watermark = element.instant
+        if obs.enabled:
+            elapsed = time.perf_counter() - started
+            obs.tracer.add_completed(
+                "materialize", elapsed, parent=span, stream=into,
+                rows=len(emission.table) if element is not None else 0,
+            )
+            obs.record_stage(registered.name, "materialize", elapsed)
+            if element is not None:
+                obs.registry.inc("dataflow.materialized_elements")
+                obs.registry.inc("dataflow.materialized_rows",
+                                 len(emission.table))
+                obs.registry.inc(f"dataflow.stream.{into}.elements")
 
     def _graph_provider(self, registered: RegisteredQuery):
         def graph_for(stream_name: str, width: int) -> PropertyGraph:
@@ -958,6 +1120,72 @@ class SeraphEngine:
         """How many stream elements the engine currently retains."""
         return sum(len(state.elements) for state in self._streams.values())
 
+    # -- dataflow introspection -------------------------------------------------
+
+    @property
+    def dataflow(self) -> DataflowGraph:
+        """The dependency graph over registered queries."""
+        return self._dataflow
+
+    def derived_streams(self) -> List[str]:
+        """Named derived streams, in first-producer registration order."""
+        return self._dataflow.produced_streams()
+
+    def derived_stream(self, name: str) -> Dict[str, object]:
+        """One derived stream's status (producers, consumers, cursor).
+
+        Raises :class:`~repro.errors.UnknownStreamError` when no
+        registered query emits into ``name``.
+        """
+        status = self.dataflow_status()["streams"]
+        if name not in status:
+            raise UnknownStreamError(
+                f"no registered query emits into stream {name!r} "
+                f"(derived streams: {sorted(status) or 'none'})"
+            )
+        return status[name]
+
+    def dataflow_status(self) -> Dict[str, object]:
+        """The ``status()["dataflow"]`` section (docs/DATAFLOW.md).
+
+        ``cursor`` counts elements materialized into the stream over its
+        lifetime (monotonic; survives checkpoints), ``retained`` the
+        elements currently held for live consumers.
+        """
+        streams: Dict[str, Dict[str, object]] = {}
+        for stream in self._dataflow.produced_streams():
+            materializer = self._materializers.get(stream)
+            state = self._streams.get(stream)
+            streams[stream] = {
+                "producers": self._dataflow.producers_of(stream),
+                "consumers": self._dataflow.consumers_of(stream),
+                "cursor": materializer.elements if materializer else 0,
+                "rows": materializer.rows if materializer else 0,
+                "retained": len(state.elements) if state else 0,
+            }
+        return {
+            "streams": streams,
+            "order": self._dataflow.topological_names(),
+            "stages": {
+                name: self._dataflow.stage_of(name)
+                for name in self._queries
+            },
+            "edges": [
+                {
+                    "producer": producer,
+                    "stream": stream,
+                    "consumer": consumer,
+                    "emitted": streams[stream]["cursor"],
+                    "consumed": (
+                        self._queries[consumer]
+                        .consumed_elements.get(stream, 0)
+                        if consumer in self._queries else 0
+                    ),
+                }
+                for producer, stream, consumer in self._dataflow.edges()
+            ],
+        }
+
     def status(self) -> Dict[str, object]:
         """Operational snapshot for monitoring dashboards/logs."""
         return {
@@ -1001,6 +1229,7 @@ class SeraphEngine:
             "graph_backend": self.graph_backend,
             "vectorized": self.vectorized,
             "shared_window_states": len(self._shared_windows),
+            "dataflow": self.dataflow_status(),
         }
 
     def unified_status(self) -> Dict[str, object]:

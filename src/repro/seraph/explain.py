@@ -45,6 +45,11 @@ def explain(query: Union[str, SeraphQuery], graph=None) -> str:
             f"(ET = ω0 + i·β)"
         )
         lines.append(f"  report      : {query.emit.policy.value}")
+        if query.emits_into is not None:
+            lines.append(
+                f"  emits into  : stream {query.emits_into!r} "
+                "(rows materialize as derived elements)"
+            )
     else:
         lines.append("  cadence     : one-shot (RETURN terminal)")
     lines.append("  windows     :")
@@ -170,4 +175,50 @@ def explain_analyze(engine, query_name: str) -> str:
         )
     if not observed:
         lines.append("    (no evaluations observed yet)")
+    return "\n".join(lines)
+
+
+def explain_dataflow(engine) -> str:
+    """Render the engine's dataflow DAG in topological (stage) order.
+
+    Each query is shown under its scheduling stage with the streams it
+    reads and (for ``EMIT ... INTO`` producers) the derived stream it
+    feeds, followed by every producer→consumer edge annotated with the
+    elements emitted into and consumed from its stream so far.
+    ``engine`` is any layer of the stack; a
+    :class:`~repro.runtime.engine.ResilientEngine` wrapper is unwrapped
+    like in :func:`explain_analyze`.
+    """
+    inner = engine.engine if hasattr(engine, "dead_letters") \
+        and hasattr(engine, "engine") else engine
+    status = inner.dataflow_status()
+    lines = ["DataflowDAG"]
+    if not status["order"]:
+        lines.append("  (no registered queries)")
+        return "\n".join(lines)
+    streams = status["streams"]
+    stages = status["stages"]
+    current = None
+    for name in status["order"]:
+        stage = stages[name]
+        if stage != current:
+            lines.append(f"  stage {stage}:")
+            current = stage
+        query = inner.registered(name).query
+        reads = ", ".join(query.stream_names())
+        produced = query.emits_into if query.is_continuous else None
+        suffix = ""
+        if produced is not None:
+            cursor = streams.get(produced, {}).get("cursor", 0)
+            suffix = f" -> INTO {produced} ({cursor} elements)"
+        lines.append(f"    - {name} [reads {reads}]{suffix}")
+    lines.append("  edges:")
+    if not status["edges"]:
+        lines.append("    (none — every query reads external streams only)")
+    for edge in status["edges"]:
+        lines.append(
+            f"    {edge['producer']} -[{edge['stream']}]-> "
+            f"{edge['consumer']} (emitted {edge['emitted']}, "
+            f"consumed {edge['consumed']})"
+        )
     return "\n".join(lines)

@@ -186,7 +186,11 @@ class SeraphParser(CypherParser):
             self._match_keyword("SNAPSHOT")
         self._expect_keyword("EVERY")
         every = self._parse_duration_literal("after EVERY")
-        return Emit(items=tuple(items), star=star, policy=policy, every=every)
+        into = None
+        if self._match_keyword("INTO"):
+            into = self._name_token("as the derived stream name after INTO")
+        return Emit(items=tuple(items), star=star, policy=policy, every=every,
+                    into=into)
 
 
 def parse_seraph(text: str) -> SeraphQuery:

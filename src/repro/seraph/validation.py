@@ -23,7 +23,7 @@ from typing import Iterator, List, Optional, Set, Tuple, Union
 
 from repro.cypher import ast as cypher_ast
 from repro.cypher.expressions import contains_aggregate
-from repro.errors import SeraphSemanticError
+from repro.errors import DataflowCycleError, SeraphSemanticError
 from repro.graph.temporal import format_duration
 from repro.seraph.ast import SeraphMatch, SeraphQuery
 from repro.stream.tvt import WIN_END, WIN_START
@@ -220,6 +220,14 @@ def check(query: SeraphQuery) -> List[Issue]:
     for item in terminal_items:
         check_expression(item.expression, f"{context} item")
 
+    if query.is_continuous and query.emits_into is not None \
+            and query.emits_into in query.stream_names():
+        issues.append(Issue(
+            "error",
+            f"EMIT INTO {query.emits_into!r} reads its own output stream: "
+            f"{query.name} -[{query.emits_into}]-> {query.name}",
+        ))
+
     if query.is_continuous:
         for stream_name, width in query.window_keys():
             if query.slide > width:
@@ -239,6 +247,15 @@ def validate(query: Union[SeraphQuery, str]) -> List[Issue]:
         from repro.seraph.parser import parse_seraph
 
         query = parse_seraph(query)
+    if query.is_continuous and query.emits_into is not None \
+            and query.emits_into in query.stream_names():
+        # The length-1 dataflow cycle gets its typed error here already;
+        # longer cycles are only visible at registration time, where the
+        # dependency graph raises the same type (docs/DATAFLOW.md).
+        raise DataflowCycleError(
+            f"query {query.name!r} consumes the stream it emits into: "
+            f"{query.name} -[{query.emits_into}]-> {query.name}"
+        )
     issues = check(query)
     errors = [issue for issue in issues if issue.severity == "error"]
     if errors:

@@ -14,6 +14,8 @@ Endpoint map (full contract in docs/SERVICE.md)::
     GET    /tenants/{t}/queries                  list
     DELETE /tenants/{t}/queries/{q}              deregister
     GET    /tenants/{t}/queries/{q}/emissions    SSE stream
+    GET    /tenants/{t}/streams                  list derived streams
+    GET    /tenants/{t}/streams/{s}/emissions    SSE on a derived stream
     POST   /tenants/{t}/streams/{s}/events       push events (202)
     POST   /tenants/{t}/advance                  fire due evaluations
     GET    /tenants/{t}/status                   unified status + service
@@ -38,6 +40,7 @@ from repro.api import EngineConfig
 from repro.errors import (
     CheckpointError,
     ConsumerLagError,
+    DataflowError,
     EngineError,
     OutOfOrderEventError,
     PoisonMessageError,
@@ -183,6 +186,8 @@ class _HttpRequest:
 def _error_status(exc: Exception) -> int:
     if isinstance(exc, ServiceError):
         return exc.status
+    if isinstance(exc, DataflowError):
+        return exc.status  # 409 cycles, 404 unknown streams, else 400
     if isinstance(exc, (CypherError, SeraphSemanticError,
                         PoisonMessageError, CheckpointError)):
         return 400
@@ -391,6 +396,11 @@ class SeraphService:
         if (len(rest) == 3 and rest[0] == "queries"
                 and rest[2] == "emissions" and method == "GET"):
             return self._handle_emissions
+        if rest == ["streams"] and method == "GET":
+            return self._handle_list_streams
+        if (len(rest) == 3 and rest[0] == "streams"
+                and rest[2] == "emissions" and method == "GET"):
+            return self._handle_stream_emissions
         if (len(rest) == 3 and rest[0] == "streams"
                 and rest[2] == "events" and method == "POST"):
             return self._handle_events
@@ -435,6 +445,14 @@ class SeraphService:
         self._respond(writer, 200, {
             "tenant": tenant.name,
             "queries": tenant.service_status()["queries"],
+        })
+
+    async def _handle_list_streams(
+        self, request, writer, tenant: TenantState, rest
+    ) -> None:
+        self._respond(writer, 200, {
+            "tenant": tenant.name,
+            "streams": tenant.derived_streams(),
         })
 
     async def _handle_deregister(
@@ -534,6 +552,21 @@ class SeraphService:
                 "error": str(exc), "type": type(exc).__name__,
             })
             return
+        await self._serve_sse(request, writer, tenant, log)
+
+    async def _handle_stream_emissions(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter,
+        tenant: TenantState, rest: List[str],
+    ) -> None:
+        # Raises UnknownStreamError (404) for non-derived streams.
+        log = tenant.stream_log(rest[1])
+        await self._serve_sse(request, writer, tenant, log)
+
+    async def _serve_sse(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter,
+        tenant: TenantState, log,
+    ) -> None:
+        """Shared SSE body: cursor parse, headers, then the stream loop."""
         last_id = -1
         raw_cursor = request.headers.get(
             "last-event-id", request.param("last_event_id")

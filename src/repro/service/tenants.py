@@ -25,6 +25,7 @@ from repro.errors import (
     QuotaExceededError,
     ReproError,
     TenantQuarantinedError,
+    UnknownStreamError,
     UnknownTenantError,
 )
 from repro.runtime.checkpoint import engine_from_dict, engine_to_dict
@@ -216,6 +217,36 @@ class TenantState:
     @property
     def query_names(self):
         return list(self.logs)
+
+    # -- derived streams ---------------------------------------------------
+
+    def derived_streams(self) -> Dict[str, Any]:
+        """The tenant's derived streams (``EMIT ... INTO`` targets).
+
+        Keyed by stream name; each descriptor names the producing and
+        consuming queries plus the stream's cursor (elements
+        materialized so far) — the engine's dataflow status section
+        (docs/DATAFLOW.md).
+        """
+        return self._core.dataflow_status()["streams"]
+
+    def stream_log(self, stream: str) -> EmissionLog:
+        """The emission log feeding a derived stream.
+
+        Derived-stream SSE rides on the producing query's log (its
+        emissions *are* the stream, pre-materialization); with several
+        producers the first-registered one is served.  Raises
+        :class:`~repro.errors.UnknownStreamError` (404) when no
+        registered query emits into ``stream``.
+        """
+        producers = self._core.dataflow.producers_of(stream)
+        if not producers:
+            known = sorted(self._core.dataflow.produced_streams())
+            raise UnknownStreamError(
+                f"tenant {self.name!r} has no derived stream {stream!r} "
+                f"(derived streams: {known if known else 'none'})"
+            )
+        return self.log_for(producers[0])
 
     # -- ingestion ---------------------------------------------------------
 

@@ -258,3 +258,97 @@ def anomalous_routes_query_data_driven(
       SNAPSHOT EVERY {every}
     }}
     """
+
+
+def pipeline_detect_query(
+    starting_at: str = "2022-08-01T09:01",
+    within: str = "PT10M",
+    every: str = "PT1M",
+    mean_hops: float = MEAN_HOPS,
+    std_hops: float = STD_HOPS,
+    z_threshold: float = Z_THRESHOLD,
+    into: str = "route_anomalies",
+) -> str:
+    """Pipeline stage 1: Listing 2 detection, emitting INTO a stream.
+
+    Same anomaly predicate as :func:`anomalous_routes_query`, but the
+    emitted ``(rack_id, hops)`` rows materialize as elements of the
+    derived stream ``into`` for downstream stages (docs/DATAFLOW.md).
+    """
+    return f"""
+    REGISTER QUERY pipeline_detect STARTING AT {starting_at}
+    {{
+      MATCH p = shortestPath(
+          (rack:Rack)-[:HOLDS|ROUTES|CONNECTS|LINKS*..20]-(egress:Router {{egress: true}}))
+      WITHIN {within}
+      WITH rack, p, length(p) AS hops
+      WHERE (hops - {mean_hops}) / {std_hops} > {z_threshold}
+      EMIT rack.id AS rack_id, hops
+      SNAPSHOT EVERY {every}
+      INTO {into}
+    }}
+    """
+
+
+def pipeline_enrich_query(
+    starting_at: str = "2022-08-01T09:01",
+    within: str = "PT5M",
+    every: str = "PT1M",
+    source: str = "route_anomalies",
+    into: str = "rack_alerts",
+) -> str:
+    """Pipeline stage 2: aggregate anomalies per rack.
+
+    Consumes the detection stream; because materialized rows MERGE on
+    their values, ``count(*)`` counts the *distinct* anomalous route
+    lengths a rack showed inside the window, and ``max`` its worst one.
+    """
+    return f"""
+    REGISTER QUERY pipeline_enrich STARTING AT {starting_at}
+    {{
+      MATCH (a:{source}) FROM STREAM {source}
+      WITHIN {within}
+      WITH a.rack_id AS rack_id, count(*) AS variants,
+           max(a.hops) AS worst_hops
+      EMIT rack_id, variants, worst_hops
+      SNAPSHOT EVERY {every}
+      INTO {into}
+    }}
+    """
+
+
+def pipeline_alert_query(
+    starting_at: str = "2022-08-01T09:01",
+    within: str = "PT3M",
+    every: str = "PT1M",
+    source: str = "rack_alerts",
+    min_hops: int = 6,
+) -> str:
+    """Pipeline stage 3: the terminal alert over the enrichment stream."""
+    return f"""
+    REGISTER QUERY pipeline_alert STARTING AT {starting_at}
+    {{
+      MATCH (al:{source}) FROM STREAM {source}
+      WITHIN {within}
+      WITH al.rack_id AS rack_id, al.variants AS variants,
+           al.worst_hops AS worst_hops
+      WHERE worst_hops >= {min_hops}
+      EMIT rack_id, variants, worst_hops
+      SNAPSHOT EVERY {every}
+    }}
+    """
+
+
+def pipeline_queries(**kwargs) -> Tuple[str, str, str]:
+    """The detect → enrich → alert pipeline, ready to register in order.
+
+    One fused engine runs all three: stage scheduling makes every
+    detection visible to the same-instant enrichment, and every
+    enrichment to the same-instant alert (docs/DATAFLOW.md has the full
+    walk-through; ``make test-dataflow`` pins the semantics).
+    """
+    return (
+        pipeline_detect_query(**kwargs.get("detect", {})),
+        pipeline_enrich_query(**kwargs.get("enrich", {})),
+        pipeline_alert_query(**kwargs.get("alert", {})),
+    )

@@ -78,7 +78,10 @@ class TestGoldenStatusShape:
         assert set(engine) == {
             "policy", "incremental", "delta_eval", "graph_backend",
             "vectorized", "watermark", "shared_window_states", "queries",
-            "streams", "planner",
+            "streams", "planner", "dataflow",
+        }
+        assert set(engine["dataflow"]) == {
+            "streams", "order", "stages", "edges",
         }
         assert set(engine["queries"]) == {"student_trick"}
         assert set(engine["queries"]["student_trick"]) == GOLDEN_QUERY_KEYS

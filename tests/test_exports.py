@@ -9,8 +9,10 @@ PINNED_EXPORTS = {
     "EngineConfig", "build_engine", "ChaosConfig", "SeraphEngine",
     # language + explain
     "parse_seraph", "parse_cypher", "run_cypher", "run_update",
-    "explain", "explain_analyze", "SeraphQuery", "CollectingSink",
-    "Emission",
+    "explain", "explain_analyze", "explain_dataflow", "SeraphQuery",
+    "CollectingSink", "Emission",
+    # dataflow chaining (EMIT ... INTO)
+    "DataflowGraph", "StreamMaterializer",
     # data model
     "GraphBuilder", "Node", "Path", "PropertyGraph", "Record",
     "Relationship", "Table",
@@ -26,6 +28,7 @@ PINNED_EXPORTS = {
     "ReproError", "GraphError", "StreamError", "CypherError",
     "SeraphError", "SeraphSyntaxError", "SeraphSemanticError",
     "QueryRegistryError", "EngineError", "CheckpointError",
+    "DataflowError", "DataflowCycleError", "UnknownStreamError",
     "ServiceError", "AuthenticationError", "UnknownTenantError",
     "QuotaExceededError", "TenantQuarantinedError", "ConsumerLagError",
 }
@@ -51,3 +54,12 @@ def test_service_errors_carry_http_statuses():
     assert repro.QuotaExceededError.status == 429
     assert repro.TenantQuarantinedError.status == 503
     assert repro.ConsumerLagError.status == 409
+
+
+def test_dataflow_errors_carry_http_statuses():
+    assert repro.DataflowError.status == 400
+    assert repro.DataflowCycleError.status == 409
+    assert repro.UnknownStreamError.status == 404
+    assert issubclass(repro.DataflowCycleError, repro.DataflowError)
+    assert issubclass(repro.UnknownStreamError, repro.DataflowError)
+    assert issubclass(repro.DataflowError, repro.SeraphError)
